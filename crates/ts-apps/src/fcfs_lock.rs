@@ -1,0 +1,226 @@
+//! Bakery-style FCFS mutual exclusion over a long-lived timestamp
+//! object.
+//!
+//! Lamport's bakery algorithm (CACM 1974) is the original consumer of
+//! timestamps: the *doorway* takes a ticket; the waiting loop admits
+//! processes in ticket order. Here the ticket source is the crate's
+//! long-lived [`CollectMax`] object, demonstrating the paper's
+//! motivation directly: FCFS fairness requires that a process whose
+//! doorway finished before another's began gets the smaller ticket —
+//! exactly the timestamp property.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use ts_core::{CollectMax, LongLivedTimestamp};
+
+/// First-come-first-served mutual exclusion lock for `n` registered
+/// processes.
+///
+/// `lock(pid)` may be called repeatedly (the ticket object is
+/// long-lived), but by at most one thread per `pid` at a time.
+///
+/// # Example
+///
+/// ```
+/// use ts_apps::FcfsLock;
+///
+/// let lock = FcfsLock::new(2);
+/// {
+///     let _guard = lock.lock(0);
+///     // critical section for process 0
+/// } // released on drop
+/// let _guard = lock.lock(1);
+/// ```
+pub struct FcfsLock {
+    tickets: CollectMax,
+    choosing: Vec<AtomicBool>,
+    /// Active ticket per process; 0 = not competing.
+    active: Vec<AtomicU64>,
+}
+
+impl FcfsLock {
+    /// Creates a lock for `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one process");
+        Self {
+            tickets: CollectMax::new(n),
+            choosing: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            active: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of registered processes.
+    pub fn processes(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Acquires the lock as process `pid`; blocks (spinning) until the
+    /// critical section is available in FCFS order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range or already competing (each
+    /// process may hold/request the lock once at a time).
+    pub fn lock(&self, pid: usize) -> FcfsLockGuard<'_> {
+        assert!(pid < self.active.len(), "pid {pid} out of range");
+        assert_eq!(
+            self.active[pid].load(Ordering::SeqCst),
+            0,
+            "process {pid} is already competing"
+        );
+        // Doorway: announce, take a ticket, publish it.
+        self.choosing[pid].store(true, Ordering::SeqCst);
+        let ticket = self
+            .tickets
+            .get_ts(pid)
+            .expect("pid validated above")
+            .rnd; // scalar timestamps: rnd carries the value, ≥ 1
+        self.active[pid].store(ticket, Ordering::SeqCst);
+        self.choosing[pid].store(false, Ordering::SeqCst);
+
+        // Waiting room: defer to every smaller (ticket, pid).
+        for q in 0..self.active.len() {
+            if q == pid {
+                continue;
+            }
+            while self.choosing[q].load(Ordering::SeqCst) {
+                std::hint::spin_loop();
+            }
+            loop {
+                let tq = self.active[q].load(Ordering::SeqCst);
+                if tq == 0 || (tq, q) > (ticket, pid) {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        }
+        FcfsLockGuard { lock: self, pid }
+    }
+
+    /// The ticket currently held by `pid` (0 if not competing) —
+    /// exposed for fairness assertions in tests.
+    pub fn ticket_of(&self, pid: usize) -> u64 {
+        self.active[pid].load(Ordering::SeqCst)
+    }
+
+    fn unlock(&self, pid: usize) {
+        self.active[pid].store(0, Ordering::SeqCst);
+    }
+}
+
+impl fmt::Debug for FcfsLock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FcfsLock")
+            .field("processes", &self.active.len())
+            .finish()
+    }
+}
+
+/// RAII guard: the critical section lasts until the guard drops.
+pub struct FcfsLockGuard<'a> {
+    lock: &'a FcfsLock,
+    pid: usize,
+}
+
+impl FcfsLockGuard<'_> {
+    /// The process holding the lock.
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+}
+
+impl Drop for FcfsLockGuard<'_> {
+    fn drop(&mut self) {
+        self.lock.unlock(self.pid);
+    }
+}
+
+impl fmt::Debug for FcfsLockGuard<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FcfsLockGuard").field("pid", &self.pid).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn uncontended_lock_unlock() {
+        let lock = FcfsLock::new(2);
+        let g = lock.lock(0);
+        assert_eq!(g.pid(), 0);
+        assert!(lock.ticket_of(0) > 0);
+        drop(g);
+        assert_eq!(lock.ticket_of(0), 0);
+        let _g = lock.lock(1);
+    }
+
+    #[test]
+    fn same_process_can_relock_sequentially() {
+        let lock = FcfsLock::new(1);
+        for _ in 0..5 {
+            let g = lock.lock(0);
+            drop(g);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_pid_panics() {
+        let lock = FcfsLock::new(1);
+        let _ = lock.lock(3);
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        let n = 8;
+        let iters = 200;
+        let lock = Arc::new(FcfsLock::new(n));
+        let in_cs = Arc::new(AtomicUsize::new(0));
+        let max_seen = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::new(AtomicUsize::new(0));
+        crossbeam::scope(|s| {
+            for pid in 0..n {
+                let lock = Arc::clone(&lock);
+                let in_cs = Arc::clone(&in_cs);
+                let max_seen = Arc::clone(&max_seen);
+                let counter = Arc::clone(&counter);
+                s.spawn(move |_| {
+                    for _ in 0..iters {
+                        let g = lock.lock(pid);
+                        let now = in_cs.fetch_add(1, Ordering::SeqCst) + 1;
+                        max_seen.fetch_max(now, Ordering::SeqCst);
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        in_cs.fetch_sub(1, Ordering::SeqCst);
+                        drop(g);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(max_seen.load(Ordering::SeqCst), 1, "mutual exclusion broken");
+        assert_eq!(counter.load(Ordering::SeqCst), n * iters);
+    }
+
+    #[test]
+    fn fcfs_across_sequential_doorways() {
+        // If p's entire lock/unlock finished before q started, q's
+        // ticket must be strictly larger (the timestamp property at
+        // work).
+        let lock = FcfsLock::new(2);
+        let g0 = lock.lock(0);
+        let t0 = lock.ticket_of(0);
+        drop(g0);
+        let _g1 = lock.lock(1);
+        let t1 = lock.ticket_of(1);
+        assert!(t0 < t1, "{t0} !< {t1}");
+    }
+}

@@ -1,0 +1,208 @@
+//! k-exclusion over a long-lived timestamp object.
+//!
+//! The FIFO k-exclusion problem (Fischer, Lynch, Burns, Borodin 1989,
+//! cited in the paper's introduction) admits up to `k` processes into
+//! the resource simultaneously, in first-come-first-served order. The
+//! bakery waiting rule generalizes: enter once fewer than `k`
+//! competitors hold strictly smaller `(ticket, pid)` priorities.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use ts_core::{CollectMax, LongLivedTimestamp};
+
+/// k-exclusion admission for `n` registered processes.
+///
+/// # Example
+///
+/// ```
+/// use ts_apps::KExclusion;
+///
+/// let pool = KExclusion::new(4, 2); // 4 processes, 2 slots
+/// let a = pool.acquire(0);
+/// let b = pool.acquire(1); // both fit
+/// drop(a);
+/// drop(b);
+/// ```
+pub struct KExclusion {
+    tickets: CollectMax,
+    choosing: Vec<AtomicBool>,
+    active: Vec<AtomicU64>,
+    k: usize,
+}
+
+impl KExclusion {
+    /// Creates a pool with `k` slots for `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `k == 0`.
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(n > 0, "need at least one process");
+        assert!(k > 0, "need at least one slot");
+        Self {
+            tickets: CollectMax::new(n),
+            choosing: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            active: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            k,
+        }
+    }
+
+    /// Number of slots.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of registered processes.
+    pub fn processes(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Acquires a slot as process `pid` (spins until fewer than `k`
+    /// smaller-priority competitors remain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range or already competing.
+    pub fn acquire(&self, pid: usize) -> KExclusionGuard<'_> {
+        assert!(pid < self.active.len(), "pid {pid} out of range");
+        assert_eq!(
+            self.active[pid].load(Ordering::SeqCst),
+            0,
+            "process {pid} is already competing"
+        );
+        self.choosing[pid].store(true, Ordering::SeqCst);
+        let ticket = self.tickets.get_ts(pid).expect("pid validated").rnd;
+        self.active[pid].store(ticket, Ordering::SeqCst);
+        self.choosing[pid].store(false, Ordering::SeqCst);
+
+        loop {
+            let mut smaller = 0usize;
+            for q in 0..self.active.len() {
+                if q == pid {
+                    continue;
+                }
+                while self.choosing[q].load(Ordering::SeqCst) {
+                    std::hint::spin_loop();
+                }
+                let tq = self.active[q].load(Ordering::SeqCst);
+                if tq != 0 && (tq, q) < (ticket, pid) {
+                    smaller += 1;
+                }
+            }
+            if smaller < self.k {
+                return KExclusionGuard { pool: self, pid };
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    fn release(&self, pid: usize) {
+        self.active[pid].store(0, Ordering::SeqCst);
+    }
+}
+
+impl fmt::Debug for KExclusion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KExclusion")
+            .field("processes", &self.active.len())
+            .field("k", &self.k)
+            .finish()
+    }
+}
+
+/// RAII guard for one k-exclusion slot.
+pub struct KExclusionGuard<'a> {
+    pool: &'a KExclusion,
+    pid: usize,
+}
+
+impl KExclusionGuard<'_> {
+    /// The process holding the slot.
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+}
+
+impl Drop for KExclusionGuard<'_> {
+    fn drop(&mut self) {
+        self.pool.release(self.pid);
+    }
+}
+
+impl fmt::Debug for KExclusionGuard<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KExclusionGuard")
+            .field("pid", &self.pid)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn k_slots_admit_k_holders() {
+        let pool = KExclusion::new(3, 2);
+        let a = pool.acquire(0);
+        let b = pool.acquire(1);
+        assert_eq!(a.pid(), 0);
+        assert_eq!(b.pid(), 1);
+        drop(a);
+        let _c = pool.acquire(2);
+        drop(b);
+    }
+
+    #[test]
+    fn k_equals_one_is_mutual_exclusion() {
+        let pool = KExclusion::new(2, 1);
+        let g = pool.acquire(0);
+        drop(g);
+        let _g = pool.acquire(1);
+    }
+
+    #[test]
+    fn never_more_than_k_holders_under_contention() {
+        let n = 8;
+        let k = 3;
+        let iters = 150;
+        let pool = Arc::new(KExclusion::new(n, k));
+        let holders = Arc::new(AtomicUsize::new(0));
+        let max_holders = Arc::new(AtomicUsize::new(0));
+        crossbeam::scope(|s| {
+            for pid in 0..n {
+                let pool = Arc::clone(&pool);
+                let holders = Arc::clone(&holders);
+                let max_holders = Arc::clone(&max_holders);
+                s.spawn(move |_| {
+                    for _ in 0..iters {
+                        let g = pool.acquire(pid);
+                        let now = holders.fetch_add(1, Ordering::SeqCst) + 1;
+                        max_holders.fetch_max(now, Ordering::SeqCst);
+                        // Dwell briefly so slots actually overlap.
+                        for _ in 0..3 {
+                            std::thread::yield_now();
+                        }
+                        holders.fetch_sub(1, Ordering::SeqCst);
+                        drop(g);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let max = max_holders.load(Ordering::SeqCst);
+        assert!(max <= k, "{max} holders observed with k = {k}");
+        // Scheduling may serialize the whole run on loaded machines, so
+        // overlap (max ≥ 2) is expected but not asserted; the guaranteed
+        // multi-holder case is covered by `k_slots_admit_k_holders`.
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_rejected() {
+        let _ = KExclusion::new(2, 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Order-preserving one-shot renaming from one-shot timestamps.
+//!
+//! Renaming (Attiya–Fouren 2003, cited in the paper's introduction)
+//! gives processes from a large id space small distinct names. The
+//! one-shot timestamp object yields a wait-free *order-preserving*
+//! variant for free: process `p`'s name is the pair `(getTS(), p)`
+//! flattened into an integer. Names are distinct (ties on the timestamp
+//! are broken by `p`), and if `p` finished acquiring its name before
+//! `q` started, then `name(p) < name(q)` — the timestamp property made
+//! visible in the namespace.
+//!
+//! Namespace size: Algorithm 4's one-shot timestamps satisfy
+//! `rnd ≤ m` and `turn < m` with `m = ⌈2√n⌉`, so the flattened names
+//! live in `[0, n·m·(m+1))` = O(n²) — a bounded, order-preserving
+//! namespace (exact order-preserving renaming into O(n) is impossible
+//! to get this cheaply; the point here is the application wiring, not
+//! namespace optimality).
+
+use std::fmt;
+
+use ts_core::{BoundedTimestamp, GetTsError, OneShotTimestamp, Timestamp};
+
+/// Wait-free order-preserving one-shot renaming for `n` processes.
+///
+/// # Example
+///
+/// ```
+/// use ts_apps::OrderPreservingRenaming;
+///
+/// let renaming = OrderPreservingRenaming::new(4);
+/// let a = renaming.acquire(2).unwrap();
+/// let b = renaming.acquire(0).unwrap(); // strictly after a
+/// assert!(a < b);
+/// assert!(b < renaming.namespace());
+/// ```
+pub struct OrderPreservingRenaming {
+    timestamps: BoundedTimestamp,
+    n: usize,
+}
+
+impl OrderPreservingRenaming {
+    /// Creates a renaming object for `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        Self {
+            timestamps: BoundedTimestamp::one_shot(n),
+            n,
+        }
+    }
+
+    /// Number of processes.
+    pub fn processes(&self) -> usize {
+        self.n
+    }
+
+    /// Size of the output namespace: names are in `[0, namespace())`.
+    pub fn namespace(&self) -> u64 {
+        let m = OneShotTimestamp::registers(&self.timestamps) as u64;
+        // rnd ∈ [1, m], turn ∈ [0, m): flatten((rnd, turn), pid).
+        self.n as u64 * m * (m + 1)
+    }
+
+    /// Acquires `pid`'s name (at most once per process).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the one-shot discipline of the timestamp object
+    /// ([`GetTsError::AlreadyUsed`], [`GetTsError::PidOutOfRange`]).
+    pub fn acquire(&self, pid: usize) -> Result<u64, GetTsError> {
+        let ts = self.timestamps.get_ts(pid)?;
+        Ok(self.flatten(&ts, pid))
+    }
+
+    fn flatten(&self, ts: &Timestamp, pid: usize) -> u64 {
+        let m = OneShotTimestamp::registers(&self.timestamps) as u64;
+        debug_assert!(ts.rnd >= 1 && ts.rnd <= m, "rnd {} out of [1, {m}]", ts.rnd);
+        debug_assert!(ts.turn < m, "turn {} out of [0, {m})", ts.turn);
+        ((ts.rnd - 1) * m + ts.turn) * self.n as u64 + pid as u64
+    }
+}
+
+impl fmt::Debug for OrderPreservingRenaming {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OrderPreservingRenaming")
+            .field("processes", &self.n)
+            .field("namespace", &self.namespace())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn names_are_distinct_and_in_namespace() {
+        let n = 16;
+        let renaming = Arc::new(OrderPreservingRenaming::new(n));
+        let names: Vec<u64> = crossbeam::scope(|s| {
+            let hs: Vec<_> = (0..n)
+                .map(|p| {
+                    let r = Arc::clone(&renaming);
+                    s.spawn(move |_| r.acquire(p).unwrap())
+                })
+                .collect();
+            hs.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+        let distinct: HashSet<_> = names.iter().collect();
+        assert_eq!(distinct.len(), n, "name collision: {names:?}");
+        for &name in &names {
+            assert!(name < renaming.namespace());
+        }
+    }
+
+    #[test]
+    fn sequential_names_are_order_preserving() {
+        let renaming = OrderPreservingRenaming::new(8);
+        let mut last = None;
+        for p in (0..8).rev() {
+            // reversed pids: order must come from time, not pid
+            let name = renaming.acquire(p).unwrap();
+            if let Some(prev) = last {
+                assert!(prev < name, "{prev} !< {name}");
+            }
+            last = Some(name);
+        }
+    }
+
+    #[test]
+    fn one_shot_discipline_enforced() {
+        let renaming = OrderPreservingRenaming::new(2);
+        renaming.acquire(0).unwrap();
+        assert_eq!(
+            renaming.acquire(0),
+            Err(GetTsError::AlreadyUsed { pid: 0 })
+        );
+        assert!(matches!(
+            renaming.acquire(7),
+            Err(GetTsError::PidOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn rounds_of_names_respect_happens_before() {
+        let n = 12;
+        let renaming = Arc::new(OrderPreservingRenaming::new(n));
+        let round = |lo: usize, hi: usize| -> Vec<u64> {
+            crossbeam::scope(|s| {
+                let hs: Vec<_> = (lo..hi)
+                    .map(|p| {
+                        let r = Arc::clone(&renaming);
+                        s.spawn(move |_| r.acquire(p).unwrap())
+                    })
+                    .collect();
+                hs.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .unwrap()
+        };
+        let first = round(0, n / 2);
+        let second = round(n / 2, n);
+        for a in &first {
+            for b in &second {
+                assert!(a < b, "{a} !< {b} across rounds");
+            }
+        }
+    }
+}

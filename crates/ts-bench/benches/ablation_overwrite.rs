@@ -1,0 +1,42 @@
+//! E9 — timing side of the overwrite-policy ablation: does the paper's
+//! conditional overwrite (vs. always-overwrite) pay off in time as well
+//! as space?
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use ts_core::{BoundedTimestamp, GetTsId, OverwritePolicy};
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/overwrite_policy");
+    group.sample_size(15);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let budget = 512usize;
+    for policy in [
+        OverwritePolicy::Paper,
+        OverwritePolicy::Always,
+        OverwritePolicy::Never,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                b.iter_batched(
+                    || BoundedTimestamp::with_budget_and_policy(budget, policy),
+                    |ts| {
+                        for k in 0..budget {
+                            let _ = std::hint::black_box(
+                                ts.get_ts_with_id(GetTsId::new(0, k as u32)),
+                            );
+                        }
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

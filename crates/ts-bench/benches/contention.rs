@@ -1,0 +1,77 @@
+//! E8 — throughput of budgeted Algorithm 4 and collect-max under thread
+//! contention.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+
+use ts_core::{BoundedTimestamp, CollectMax, GetTsId, LongLivedTimestamp};
+
+const CALLS_PER_THREAD: usize = 64;
+
+fn bench_bounded_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contention/alg4");
+    group.sample_size(15);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for threads in [1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements((threads * CALLS_PER_THREAD) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter_batched(
+                || BoundedTimestamp::with_budget(t * CALLS_PER_THREAD),
+                |ts| {
+                    crossbeam::scope(|s| {
+                        for tid in 0..t {
+                            let ts = &ts;
+                            s.spawn(move |_| {
+                                for k in 0..CALLS_PER_THREAD {
+                                    let _ = std::hint::black_box(
+                                        ts.get_ts_with_id(GetTsId::new(tid as u32, k as u32)),
+                                    );
+                                }
+                            });
+                        }
+                    })
+                    .unwrap();
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_collect_max_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contention/collect_max");
+    group.sample_size(15);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for threads in [1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements((threads * CALLS_PER_THREAD) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter_batched(
+                || CollectMax::new(t.max(2)),
+                |ts| {
+                    crossbeam::scope(|s| {
+                        for tid in 0..t {
+                            let ts = &ts;
+                            s.spawn(move |_| {
+                                for _ in 0..CALLS_PER_THREAD {
+                                    let _ = std::hint::black_box(ts.get_ts(tid).unwrap());
+                                }
+                            });
+                        }
+                    })
+                    .unwrap();
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bounded_contention,
+    bench_collect_max_contention
+);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! E8 — `getTS` latency of each algorithm (sequential, per call).
+//!
+//! Wait-freedom is a progress property, not a speed claim, but the
+//! paper's algorithms trade space for steps: the simple object does
+//! Θ(n) register accesses per call, Algorithm 4 does O(√M) plus a scan.
+//! This bench makes the trade visible.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use ts_core::{
+    BoundedTimestamp, CollectMax, GetTsId, GrowableTimestamp, LongLivedTimestamp,
+    OneShotTimestamp, SimpleOneShot,
+};
+
+fn bench_simple(c: &mut Criterion) {
+    let mut group = c.benchmark_group("getts_sequential/simple");
+    group.sample_size(15);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || SimpleOneShot::new(n),
+                |ts| {
+                    for p in 0..n {
+                        std::hint::black_box(ts.get_ts(p).unwrap());
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_bounded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("getts_sequential/alg4");
+    group.sample_size(15);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || BoundedTimestamp::one_shot(n),
+                |ts| {
+                    for p in 0..n {
+                        std::hint::black_box(ts.get_ts(p).unwrap());
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_collect_max(c: &mut Criterion) {
+    let mut group = c.benchmark_group("getts_sequential/collect_max");
+    group.sample_size(15);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [16usize, 64, 256] {
+        let ts = CollectMax::new(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(ts.get_ts(0).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_growable(c: &mut Criterion) {
+    let mut group = c.benchmark_group("getts_sequential/growable");
+    group.sample_size(15);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("calls=256", |b| {
+        b.iter_batched(
+            GrowableTimestamp::new,
+            |ts| {
+                for k in 0..256u32 {
+                    std::hint::black_box(ts.get_ts_with_id(GetTsId::new(0, k)));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simple,
+    bench_bounded,
+    bench_collect_max,
+    bench_growable
+);
+criterion_main!(benches);

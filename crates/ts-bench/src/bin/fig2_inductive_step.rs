@@ -1,0 +1,48 @@
+//! E4 — Figure 2: the inductive step of the one-shot construction.
+//!
+//! Prints consecutive grids of the construction's inductive rounds with
+//! their Case 1 / Case 2 classification: Case 1 keeps the `ℓ` diagonal,
+//! Case 2 (two block-writes, single new column) lowers it by one — the
+//! paper bounds Case 2 occurrences by `log n`.
+
+use ts_core::model::BoundedModel;
+use ts_lowerbound::grid::{render_pair, Grid};
+use ts_lowerbound::oneshot::OneShotConstruction;
+
+fn main() {
+    for n in [32usize, 64, 128] {
+        println!("=== Figure 2 against Algorithm 4's model, n = {n} ===");
+        let report = OneShotConstruction::run(BoundedModel::new(n));
+        let inductive: Vec<_> = report
+            .steps
+            .iter()
+            .filter(|s| s.case.is_some())
+            .collect();
+        if inductive.is_empty() {
+            println!("(no inductive steps — construction ended at Figure 1)\n");
+            continue;
+        }
+        for pair in report.steps.windows(2) {
+            let (before, after) = (&pair[0], &pair[1]);
+            if after.case.is_none() {
+                continue;
+            }
+            let left = Grid::new(before.ordered.clone(), before.l);
+            let right = Grid::new(after.ordered.clone(), after.l);
+            println!(
+                "{}",
+                render_pair(
+                    &left,
+                    &format!("before (l={}, j={})", before.l, before.j),
+                    &right,
+                    &format!("after: {:?} (l={}, j={})", after.case.unwrap(), after.l, after.j),
+                )
+            );
+        }
+        println!(
+            "case-2 count: {} (paper bound: log2 n = {:.1})\n",
+            report.case2_count,
+            (n as f64).log2()
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! E2 — long-lived vs one-shot space gap (Theorem 1.1 vs Theorem 1.3).
+//!
+//! For each `n`: the long-lived collect-max object (Θ(n) registers, all
+//! written) against the one-shot Algorithm 4 (Θ(√n)), with the `n/6 − 1`
+//! long-lived lower bound in between.
+//!
+//! Paper shape: long-lived usage is linear and must be — the lower bound
+//! `n/6 − 1` forbids sublinear long-lived objects — while the one-shot
+//! column grows only as √n. The crossover is immediate and the gap
+//! widens with n.
+
+use ts_bench::{run_bounded_oneshot, run_collect_max, Table};
+use ts_lowerbound::bounds::{
+    bounded_upper_bound, efr_longlived_upper_bound, longlived_lower_bound,
+};
+
+fn main() {
+    let mut table = Table::new(
+        "E2 — long-lived Θ(n) vs one-shot Θ(√n) (paper's headline gap)",
+        &[
+            "n",
+            "long-lived LB n/6−1",
+            "collect-max written (ours, n)",
+            "EFR upper (cited, n−1)",
+            "alg4 one-shot written",
+            "alg4 alloc ⌈2√n⌉",
+            "gap (longlived/oneshot)",
+            "ordered ok",
+        ],
+    );
+    for n in [8usize, 16, 32, 64, 128, 256, 512] {
+        let ll = run_collect_max(n, 2);
+        let (os, _) = run_bounded_oneshot(n);
+        let gap = ll.written as f64 / os.allocated as f64;
+        table.push_row(vec![
+            n.to_string(),
+            format!("{:.2}", longlived_lower_bound(n)),
+            ll.written.to_string(),
+            efr_longlived_upper_bound(n).to_string(),
+            os.written.to_string(),
+            bounded_upper_bound(n).to_string(),
+            format!("{gap:.2}"),
+            (ll.ordered_ok && os.ordered_ok).to_string(),
+        ]);
+    }
+    table.emit();
+}

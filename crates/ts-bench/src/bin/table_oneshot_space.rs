@@ -1,0 +1,48 @@
+//! E1 — one-shot space table (Theorems 1.2/1.3 + Section 5).
+//!
+//! For each `n`: run the simple `⌈n/2⌉`-register object and Algorithm 4
+//! (`⌈2√n⌉` registers) with `n` threads, and print registers allocated /
+//! written against the `√(2n) − log n − 2` lower bound.
+//!
+//! Paper shape to reproduce: both algorithms are correct; the simple one
+//! is linear in `n` while Algorithm 4 is Θ(√n); the lower bound stays
+//! below Algorithm 4's usage; the √n advantage widens with `n`.
+
+use ts_bench::{run_bounded_oneshot, run_simple_oneshot, Table};
+use ts_lowerbound::bounds::{bounded_upper_bound, oneshot_lower_bound, simple_upper_bound};
+
+fn main() {
+    let mut table = Table::new(
+        "E1 — one-shot space: registers vs n (paper: Θ(√n) suffices one-shot)",
+        &[
+            "n",
+            "lower bound √(2n)−log n−2",
+            "simple ⌈n/2⌉ (alloc)",
+            "simple written",
+            "alg4 ⌈2√n⌉ (alloc)",
+            "alg4 written",
+            "ordered ok",
+        ],
+    );
+    for n in [4usize, 8, 16, 32, 64, 128, 256, 512, 1024] {
+        let simple = run_simple_oneshot(n);
+        let (bounded, stats) = run_bounded_oneshot(n);
+        assert_eq!(simple.allocated, simple_upper_bound(n));
+        assert_eq!(bounded.allocated, bounded_upper_bound(n).max(2));
+        assert!(stats.space_bound_holds(), "n={n}: {stats:?}");
+        table.push_row(vec![
+            n.to_string(),
+            format!("{:.2}", oneshot_lower_bound(n)),
+            simple.allocated.to_string(),
+            simple.written.to_string(),
+            bounded.allocated.to_string(),
+            bounded.written.to_string(),
+            (simple.ordered_ok && bounded.ordered_ok).to_string(),
+        ]);
+    }
+    table.emit();
+    println!(
+        "shape check: alg4 allocation / simple allocation at n=1024: {:.2}x smaller",
+        simple_upper_bound(1024) as f64 / bounded_upper_bound(1024) as f64
+    );
+}

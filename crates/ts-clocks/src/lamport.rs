@@ -1,0 +1,138 @@
+//! Lamport's scalar logical clock (CACM 1978).
+
+use std::fmt;
+
+/// A Lamport timestamp: the scalar clock value plus the issuing process
+/// (the classic total-order tiebreak).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LamportStamp {
+    /// Clock value `C(e)`.
+    pub time: u64,
+    /// Issuing process (tiebreak for the derived total order).
+    pub pid: usize,
+}
+
+impl LamportStamp {
+    /// The derived total order `(time, pid)` — Lamport's `⇒` relation.
+    pub fn total_order(&self, other: &LamportStamp) -> std::cmp::Ordering {
+        (self.time, self.pid).cmp(&(other.time, other.pid))
+    }
+}
+
+impl fmt::Display for LamportStamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@p{}", self.time, self.pid)
+    }
+}
+
+/// One process's scalar clock.
+///
+/// The clock law: if event `e1` happens before `e2` then
+/// `C(e1) < C(e2)`. The converse does **not** hold (that is what vector
+/// clocks add).
+///
+/// # Example
+///
+/// ```
+/// use ts_clocks::LamportClock;
+///
+/// let mut sender = LamportClock::new(0);
+/// let mut receiver = LamportClock::new(1);
+/// let msg = sender.tick();           // send event
+/// let recv = receiver.receive(&msg); // receive event
+/// assert!(msg.time < recv.time);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LamportClock {
+    pid: usize,
+    time: u64,
+}
+
+impl LamportClock {
+    /// Creates the clock of process `pid`, starting at 0.
+    pub fn new(pid: usize) -> Self {
+        Self { pid, time: 0 }
+    }
+
+    /// The owning process.
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+
+    /// Current clock value (the timestamp of the *last* event).
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Records a local (or send) event: `C := C + 1`.
+    pub fn tick(&mut self) -> LamportStamp {
+        self.time += 1;
+        LamportStamp {
+            time: self.time,
+            pid: self.pid,
+        }
+    }
+
+    /// Records a receive event carrying `stamp`:
+    /// `C := max(C, C_msg) + 1`.
+    pub fn receive(&mut self, stamp: &LamportStamp) -> LamportStamp {
+        self.time = self.time.max(stamp.time) + 1;
+        LamportStamp {
+            time: self.time,
+            pid: self.pid,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_events_count_up() {
+        let mut c = LamportClock::new(3);
+        assert_eq!(c.tick().time, 1);
+        assert_eq!(c.tick().time, 2);
+        assert_eq!(c.pid(), 3);
+        assert_eq!(c.time(), 2);
+    }
+
+    #[test]
+    fn receive_jumps_past_the_message() {
+        let mut a = LamportClock::new(0);
+        let mut b = LamportClock::new(1);
+        for _ in 0..5 {
+            a.tick();
+        }
+        let msg = a.tick(); // time 6
+        let recv = b.receive(&msg);
+        assert_eq!(recv.time, 7);
+    }
+
+    #[test]
+    fn receive_keeps_local_lead() {
+        let mut a = LamportClock::new(0);
+        let mut b = LamportClock::new(1);
+        for _ in 0..9 {
+            b.tick();
+        }
+        let msg = a.tick(); // time 1
+        let recv = b.receive(&msg);
+        assert_eq!(recv.time, 10);
+    }
+
+    #[test]
+    fn total_order_breaks_ties_by_pid() {
+        let x = LamportStamp { time: 4, pid: 0 };
+        let y = LamportStamp { time: 4, pid: 1 };
+        assert_eq!(x.total_order(&y), std::cmp::Ordering::Less);
+        assert_eq!(y.total_order(&x), std::cmp::Ordering::Greater);
+        assert_eq!(x.total_order(&x), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn display_formats() {
+        let x = LamportStamp { time: 2, pid: 5 };
+        assert_eq!(x.to_string(), "2@p5");
+    }
+}

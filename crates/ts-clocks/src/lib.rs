@@ -1,0 +1,43 @@
+//! Logical clocks — the lineage the paper builds on.
+//!
+//! Section 1 of Helmi et al. traces timestamp objects back to Lamport's
+//! happens-before relation and logical clocks (CACM 1978), their vector
+//! extensions (Fidge 1988, Mattern 1989) and matrix extensions (Wuu &
+//! Bernstein 1986, Sarin & Lynch 1987). Those mechanisms live in
+//! *message-passing* systems; the paper's subject is their shared-memory
+//! descendants. This crate implements the message-passing ancestors over
+//! a small simulated event layer, so the repository covers the whole
+//! family the introduction surveys:
+//!
+//! - [`LamportClock`] — scalar clocks: `e1 → e2 ⇒ C(e1) < C(e2)`;
+//! - [`VectorClock`] — exact happens-before: `e1 → e2 ⇔ V(e1) < V(e2)`;
+//! - [`MatrixClock`] — everyone's knowledge of everyone's clock, with
+//!   the garbage-collection floor it was invented for;
+//! - [`simulation`] — a deterministic message-passing simulator that
+//!   generates event histories to validate the clock laws against true
+//!   causality.
+//!
+//! # Example
+//!
+//! ```
+//! use ts_clocks::VectorClock;
+//!
+//! let mut a = VectorClock::new(0, 2);
+//! let mut b = VectorClock::new(1, 2);
+//! let stamp = a.tick();            // event on process 0
+//! b.observe(&stamp);               // message delivery to process 1
+//! let later = b.tick();
+//! assert!(stamp.happens_before(&later));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod lamport;
+mod matrix;
+pub mod simulation;
+mod vector;
+
+pub use lamport::{LamportClock, LamportStamp};
+pub use matrix::MatrixClock;
+pub use vector::{VectorClock, VectorStamp};

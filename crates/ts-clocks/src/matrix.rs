@@ -1,0 +1,190 @@
+//! Matrix clocks (Wuu & Bernstein 1986, Sarin & Lynch 1987).
+
+use std::fmt;
+
+/// One process's matrix clock: `M[i][j]` is what this process knows of
+/// process `i`'s knowledge of process `j`'s clock.
+///
+/// The row `M[self]` is the process's own vector clock; the column
+/// minimum `min_i M[i][j]` is a *global knowledge floor* — every
+/// process is known to have seen events of `j` up to that count, which
+/// is exactly the discard criterion of the replicated-log/dictionary
+/// problems the structure was invented for.
+///
+/// # Example
+///
+/// ```
+/// use ts_clocks::MatrixClock;
+///
+/// let mut a = MatrixClock::new(0, 2);
+/// let mut b = MatrixClock::new(1, 2);
+/// a.tick();
+/// let msg = a.clone();
+/// b.receive(&msg);
+/// // b now knows that a has seen a's first event:
+/// assert_eq!(b.knowledge_of(0)[0], 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatrixClock {
+    pid: usize,
+    m: Vec<Vec<u64>>,
+}
+
+impl MatrixClock {
+    /// Creates the matrix clock of process `pid` in an `n`-process
+    /// system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid >= n`.
+    pub fn new(pid: usize, n: usize) -> Self {
+        assert!(pid < n, "pid {pid} out of range for {n} processes");
+        Self {
+            pid,
+            m: vec![vec![0; n]; n],
+        }
+    }
+
+    /// The owning process.
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.m.len()
+    }
+
+    /// Whether the system has zero processes (never true by
+    /// construction, provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.m.is_empty()
+    }
+
+    /// Records a local or send event (bumps own entry of own row).
+    pub fn tick(&mut self) {
+        let pid = self.pid;
+        self.m[pid][pid] += 1;
+    }
+
+    /// This process's own vector clock (its row).
+    pub fn own_vector(&self) -> &[u64] {
+        &self.m[self.pid]
+    }
+
+    /// What this process knows about process `who`'s vector clock.
+    pub fn knowledge_of(&self, who: usize) -> &[u64] {
+        &self.m[who]
+    }
+
+    /// Receive event: merge the sender's entire matrix, adopt the
+    /// sender's row into our knowledge of the sender, then tick.
+    pub fn receive(&mut self, from: &MatrixClock) {
+        assert_eq!(self.len(), from.len());
+        let n = self.len();
+        // Component-wise max of everything we know.
+        for i in 0..n {
+            for j in 0..n {
+                self.m[i][j] = self.m[i][j].max(from.m[i][j]);
+            }
+        }
+        // Our own vector additionally absorbs the sender's vector.
+        for j in 0..n {
+            self.m[self.pid][j] = self.m[self.pid][j].max(from.m[from.pid][j]);
+        }
+        self.tick();
+    }
+
+    /// The global knowledge floor for process `j`'s events:
+    /// `min_i M[i][j]`. Every process is known to have observed `j`'s
+    /// events up to this count — records below it can be discarded.
+    pub fn discard_floor(&self, j: usize) -> u64 {
+        self.m.iter().map(|row| row[j]).min().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for MatrixClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "matrix clock of p{}:", self.pid)?;
+        for row in &self.m {
+            writeln!(f, "  {row:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_bumps_own_diagonal() {
+        let mut c = MatrixClock::new(1, 3);
+        c.tick();
+        c.tick();
+        assert_eq!(c.own_vector(), &[0, 2, 0]);
+        assert_eq!(c.knowledge_of(0), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn receive_transfers_knowledge() {
+        let mut a = MatrixClock::new(0, 2);
+        let mut b = MatrixClock::new(1, 2);
+        a.tick(); // a: [1,0]
+        b.receive(&a.clone());
+        // b's own vector: max([0,0],[1,0]) then tick → [1,1]
+        assert_eq!(b.own_vector(), &[1, 1]);
+        // b's knowledge of a's vector:
+        assert_eq!(b.knowledge_of(0), &[1, 0]);
+    }
+
+    #[test]
+    fn discard_floor_is_min_column() {
+        let mut a = MatrixClock::new(0, 2);
+        let mut b = MatrixClock::new(1, 2);
+        a.tick();
+        // Before any communication, nobody is known to have seen a's
+        // event (b's row is all-zero in a's matrix):
+        assert_eq!(a.discard_floor(0), 0);
+        b.receive(&a.clone());
+        a.receive(&b.clone());
+        // Now a knows that both itself and b have seen a's first event:
+        assert_eq!(a.discard_floor(0), 1);
+    }
+
+    #[test]
+    fn three_way_gossip_raises_all_floors() {
+        let mut clocks: Vec<MatrixClock> = (0..3).map(|p| MatrixClock::new(p, 3)).collect();
+        for c in clocks.iter_mut() {
+            c.tick();
+        }
+        // Full gossip round: everyone sends to everyone.
+        for round in 0..2 {
+            for from in 0..3 {
+                for to in 0..3 {
+                    if from != to {
+                        let snapshot = clocks[from].clone();
+                        clocks[to].receive(&snapshot);
+                    }
+                }
+            }
+            let _ = round;
+        }
+        for j in 0..3 {
+            assert!(
+                clocks[0].discard_floor(j) >= 1,
+                "floor for p{j} did not rise: {}",
+                clocks[0]
+            );
+        }
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let c = MatrixClock::new(0, 2);
+        let s = c.to_string();
+        assert!(s.contains("matrix clock of p0"));
+        assert!(!c.is_empty());
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,190 @@
+//! Vector clocks (Fidge 1988, Mattern 1989): exact happens-before.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A vector timestamp: one counter per process.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct VectorStamp {
+    entries: Vec<u64>,
+    /// Issuing process.
+    pub pid: usize,
+}
+
+impl VectorStamp {
+    /// The per-process counters.
+    pub fn entries(&self) -> &[u64] {
+        &self.entries
+    }
+
+    /// Exact happens-before: `self → other` iff `self ≤ other`
+    /// component-wise and they differ.
+    pub fn happens_before(&self, other: &VectorStamp) -> bool {
+        assert_eq!(self.entries.len(), other.entries.len());
+        let le = self
+            .entries
+            .iter()
+            .zip(&other.entries)
+            .all(|(a, b)| a <= b);
+        le && self.entries != other.entries
+    }
+
+    /// Whether neither stamp happens before the other.
+    pub fn concurrent(&self, other: &VectorStamp) -> bool {
+        !self.happens_before(other) && !other.happens_before(self) && self.entries != other.entries
+    }
+
+    /// Partial order as `PartialOrd`-style comparison.
+    pub fn causal_cmp(&self, other: &VectorStamp) -> Option<Ordering> {
+        if self.entries == other.entries {
+            Some(Ordering::Equal)
+        } else if self.happens_before(other) {
+            Some(Ordering::Less)
+        } else if other.happens_before(self) {
+            Some(Ordering::Greater)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for VectorStamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}@p{}", self.entries, self.pid)
+    }
+}
+
+/// One process's vector clock for an `n`-process system.
+///
+/// Clock law (exact, unlike Lamport's): `e1 → e2` **iff**
+/// `V(e1) < V(e2)` component-wise.
+///
+/// # Example
+///
+/// ```
+/// use ts_clocks::VectorClock;
+///
+/// let mut a = VectorClock::new(0, 3);
+/// let mut b = VectorClock::new(1, 3);
+/// let ea = a.tick();
+/// let eb = b.tick();
+/// assert!(ea.concurrent(&eb)); // independent events
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorClock {
+    pid: usize,
+    entries: Vec<u64>,
+}
+
+impl VectorClock {
+    /// Creates the clock of process `pid` in an `n`-process system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid >= n`.
+    pub fn new(pid: usize, n: usize) -> Self {
+        assert!(pid < n, "pid {pid} out of range for {n} processes");
+        Self {
+            pid,
+            entries: vec![0; n],
+        }
+    }
+
+    /// The owning process.
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+
+    /// Records a local or send event.
+    pub fn tick(&mut self) -> VectorStamp {
+        self.entries[self.pid] += 1;
+        VectorStamp {
+            entries: self.entries.clone(),
+            pid: self.pid,
+        }
+    }
+
+    /// Merges a received stamp *without* ticking (pure knowledge
+    /// transfer).
+    pub fn observe(&mut self, stamp: &VectorStamp) {
+        assert_eq!(self.entries.len(), stamp.entries.len());
+        for (mine, theirs) in self.entries.iter_mut().zip(&stamp.entries) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Records a receive event carrying `stamp`: merge then tick.
+    pub fn receive(&mut self, stamp: &VectorStamp) -> VectorStamp {
+        self.observe(stamp);
+        self.tick()
+    }
+
+    /// The current knowledge vector.
+    pub fn entries(&self) -> &[u64] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_events_are_concurrent() {
+        let mut a = VectorClock::new(0, 2);
+        let mut b = VectorClock::new(1, 2);
+        let ea = a.tick();
+        let eb = b.tick();
+        assert!(ea.concurrent(&eb));
+        assert_eq!(ea.causal_cmp(&eb), None);
+    }
+
+    #[test]
+    fn message_chain_orders_events() {
+        let mut a = VectorClock::new(0, 3);
+        let mut b = VectorClock::new(1, 3);
+        let mut c = VectorClock::new(2, 3);
+        let e1 = a.tick();
+        let e2 = b.receive(&e1);
+        let e3 = c.receive(&e2);
+        assert!(e1.happens_before(&e2));
+        assert!(e2.happens_before(&e3));
+        assert!(e1.happens_before(&e3)); // transitivity through b
+        assert_eq!(e1.causal_cmp(&e3), Some(Ordering::Less));
+        assert_eq!(e3.causal_cmp(&e1), Some(Ordering::Greater));
+    }
+
+    #[test]
+    fn local_successor_dominates() {
+        let mut a = VectorClock::new(0, 2);
+        let e1 = a.tick();
+        let e2 = a.tick();
+        assert!(e1.happens_before(&e2));
+        assert!(!e2.happens_before(&e1));
+        assert!(!e1.concurrent(&e2));
+    }
+
+    #[test]
+    fn observe_merges_without_tick() {
+        let mut a = VectorClock::new(0, 2);
+        let mut b = VectorClock::new(1, 2);
+        let ea = a.tick();
+        b.observe(&ea);
+        assert_eq!(b.entries(), &[1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pid_out_of_range_panics() {
+        let _ = VectorClock::new(2, 2);
+    }
+
+    #[test]
+    fn equal_stamps_are_not_ordered_or_concurrent() {
+        let mut a = VectorClock::new(0, 2);
+        let e = a.tick();
+        assert!(!e.happens_before(&e));
+        assert!(!e.concurrent(&e));
+        assert_eq!(e.causal_cmp(&e), Some(Ordering::Equal));
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests: the clock laws hold on arbitrary message-passing
+//! histories.
+
+use proptest::prelude::*;
+
+use ts_clocks::simulation::{check_laws, run, Action};
+
+fn arb_action(n: usize) -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0..n).prop_map(Action::Local),
+        (0..n, 0..n).prop_map(|(a, b)| Action::Send(a, b)),
+        (0..n).prop_map(Action::Receive),
+    ]
+}
+
+proptest! {
+    /// Lamport's one-directional law and the vector iff-law hold on
+    /// random histories of up to 5 processes and 40 actions.
+    #[test]
+    fn clock_laws_hold_on_random_histories(
+        n in 2usize..6,
+        script in proptest::collection::vec(arb_action(5), 1..40),
+    ) {
+        // Clamp pids into range for this n.
+        let script: Vec<Action> = script
+            .into_iter()
+            .map(|a| match a {
+                Action::Local(p) => Action::Local(p % n),
+                Action::Send(a, b) => Action::Send(a % n, b % n),
+                Action::Receive(p) => Action::Receive(p % n),
+            })
+            .collect();
+        let events = run(n, &script);
+        prop_assert_eq!(check_laws(&events), None);
+    }
+
+    /// Vector-stamp causality is a strict partial order on every
+    /// generated history: irreflexive, asymmetric, transitive.
+    #[test]
+    fn vector_causality_is_a_strict_partial_order(
+        script in proptest::collection::vec(arb_action(4), 1..30),
+    ) {
+        let events = run(4, &script);
+        for a in &events {
+            prop_assert!(!a.vector.happens_before(&a.vector));
+            for b in &events {
+                if a.vector.happens_before(&b.vector) {
+                    prop_assert!(!b.vector.happens_before(&a.vector));
+                    for c in &events {
+                        if b.vector.happens_before(&c.vector) {
+                            prop_assert!(a.vector.happens_before(&c.vector));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lamport total order (time, pid) linearizes every history
+    /// consistently with causality.
+    #[test]
+    fn lamport_total_order_extends_causality(
+        script in proptest::collection::vec(arb_action(4), 1..30),
+    ) {
+        let events = run(4, &script);
+        for a in &events {
+            for b in &events {
+                if b.causes.contains(&a.index) {
+                    prop_assert_eq!(
+                        a.lamport.total_order(&b.lamport),
+                        std::cmp::Ordering::Less
+                    );
+                }
+            }
+        }
+    }
+}

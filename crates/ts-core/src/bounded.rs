@@ -1,0 +1,668 @@
+//! Algorithm 4: the `⌈2√M⌉`-register bounded-concurrency timestamp
+//! object (Section 6 of the paper).
+//!
+//! For a bound `M` on the total number of `getTS()` invocations, the
+//! object uses `m = ⌈2√M⌉` multi-writer registers `R[1..m]`, each holding
+//! `⊥` or a pair `⟨seq, rnd⟩` where `seq` is a sequence of getTS-ids and
+//! `rnd` a positive integer. Specialized to one-shot timestamps
+//! (`M = n`) this realizes Theorem 1.3 and matches the `√(2n) − log n`
+//! lower bound of Theorem 1.2 asymptotically.
+//!
+//! The execution proceeds in *phases*. During phase `k` registers
+//! `R[1..k−1]` are non-`⊥`; a `getTS` whose while-loop measures
+//! `myrnd = k − 1` either finds a *valid* register `R[j]` (its last
+//! writer equals the `j`-th entry recorded in `R[k−1]`... see line 7),
+//! invalidates it and returns `(k − 1, j)`-style turn timestamps, or
+//! discovers every register invalid, scans, opens phase `k` by writing
+//! `R[k]` and returns `(k, 0)`.
+//!
+//! This module also carries the paper's accounting instrumentation
+//! (Section 6.3): phases, invalidation writes, and register usage are
+//! counted so the bounds `Φ < 2√M` (Lemma 6.5) and `≤ 2M` invalidation
+//! writes (Claim 6.13) can be checked against real executions.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ts_register::{RegisterArray, SpaceMeter};
+use ts_snapshot::double_collect_scan;
+
+use crate::error::GetTsError;
+use crate::ids::GetTsId;
+use crate::timestamp::Timestamp;
+use crate::traits::OneShotTimestamp;
+
+/// Register contents: `⊥` or `⟨seq, rnd⟩`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Slot {
+    /// The initial value `⊥`.
+    Bot,
+    /// A written pair `⟨seq, rnd⟩` (shared so clones are cheap).
+    Val(Arc<SlotVal>),
+}
+
+impl Slot {
+    /// Builds a written slot.
+    pub fn val(seq: Vec<GetTsId>, rnd: u64) -> Self {
+        Slot::Val(Arc::new(SlotVal { seq, rnd }))
+    }
+
+    /// Whether the slot is `⊥`.
+    pub fn is_bot(&self) -> bool {
+        matches!(self, Slot::Bot)
+    }
+
+    /// `last(R.seq)` — the last getTS-id of the stored sequence.
+    pub fn last(&self) -> Option<GetTsId> {
+        match self {
+            Slot::Bot => None,
+            Slot::Val(v) => v.seq.last().copied(),
+        }
+    }
+
+    /// `R.seq[j]` with the paper's 1-based indexing.
+    pub fn seq_get(&self, j: usize) -> Option<GetTsId> {
+        match self {
+            Slot::Bot => None,
+            Slot::Val(v) => v.seq.get(j.checked_sub(1)?).copied(),
+        }
+    }
+
+    /// `R.rnd`, if written.
+    pub fn rnd(&self) -> Option<u64> {
+        match self {
+            Slot::Bot => None,
+            Slot::Val(v) => Some(v.rnd),
+        }
+    }
+}
+
+/// The pair `⟨seq, rnd⟩` stored in a written register.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SlotVal {
+    /// Sequence of getTS-ids (length 1 for invalidation writes, length
+    /// `k` for the write opening phase `k`).
+    pub seq: Vec<GetTsId>,
+    /// The round the write belongs to.
+    pub rnd: u64,
+}
+
+/// What to do at lines 10–11 when a register is found invalid.
+///
+/// The paper overwrites only when the stale value's round is older than
+/// the current one (`R[j].rnd < myrnd`) — enough to pin the register
+/// invalid for the rest of the phase without wasting writes. The
+/// alternatives exist for the E9 ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OverwritePolicy {
+    /// Overwrite iff `R[j].rnd < myrnd` (the paper's Algorithm 4).
+    #[default]
+    Paper,
+    /// Overwrite every invalid register ("simple repair" — correct but
+    /// write-heavier).
+    Always,
+    /// Never overwrite (the bug discussed in Section 6.1: a stale
+    /// phase-opening write can re-validate invalidated registers and
+    /// invert timestamps).
+    Never,
+}
+
+#[derive(Debug)]
+struct Accounting {
+    total_writes: AtomicU64,
+    invalidation_writes: AtomicU64,
+    line15_writes: AtomicU64,
+    early_returns: AtomicU64,
+    turn_returns: AtomicU64,
+    scans: AtomicU64,
+    /// Visible-phase epoch: incremented at each phase-opening write.
+    epoch: AtomicU64,
+    /// Epoch of the last write per register (u64::MAX = never written).
+    last_write_epoch: Vec<AtomicU64>,
+}
+
+impl Accounting {
+    fn new(m: usize) -> Self {
+        Self {
+            total_writes: AtomicU64::new(0),
+            invalidation_writes: AtomicU64::new(0),
+            line15_writes: AtomicU64::new(0),
+            early_returns: AtomicU64::new(0),
+            turn_returns: AtomicU64::new(0),
+            scans: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            last_write_epoch: (0..m).map(|_| AtomicU64::new(u64::MAX)).collect(),
+        }
+    }
+
+    fn record_write(&self, paper_index: usize, opens_phase: bool) {
+        self.total_writes.fetch_add(1, Ordering::Relaxed);
+        let epoch = if opens_phase {
+            self.line15_writes.fetch_add(1, Ordering::Relaxed);
+            // Racing scanners may both open the same phase k by writing
+            // R[k]; the phase number is the highest register opened, not
+            // the number of opening writes.
+            self.epoch.fetch_max(paper_index as u64, Ordering::Relaxed);
+            paper_index as u64
+        } else {
+            self.epoch.load(Ordering::Relaxed)
+        };
+        let slot = &self.last_write_epoch[paper_index - 1];
+        if slot.swap(epoch, Ordering::Relaxed) != epoch {
+            // First write to this register in the current (visible)
+            // phase: an invalidation write in the paper's sense.
+            self.invalidation_writes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Accounting snapshot for one [`BoundedTimestamp`]'s history.
+///
+/// Phases are counted at *visible* granularity (a phase is counted when
+/// its opening register write lands, not at the opening scan), which
+/// can only under-count invalidation writes relative to the paper's
+/// definition; the paper's upper bounds still apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PhaseStats {
+    /// Register budget `m = ⌈2√M⌉`.
+    pub m: usize,
+    /// Invocation budget `M`.
+    pub budget: usize,
+    /// `getTS` calls served so far.
+    pub calls: u64,
+    /// Completed phases Φ (phase-opening writes).
+    pub phases: u64,
+    /// Invalidation writes (first write per register per visible phase).
+    pub invalidation_writes: u64,
+    /// All register writes.
+    pub total_writes: u64,
+    /// Double-collect scans executed.
+    pub scans: u64,
+    /// Calls that returned at line 12 (saw the next phase open early).
+    pub early_returns: u64,
+    /// Calls that returned a turn timestamp at line 9.
+    pub turn_returns: u64,
+    /// Registers written at least once.
+    pub registers_written: usize,
+}
+
+impl PhaseStats {
+    /// Claim 6.13: at most `2M` invalidation writes.
+    pub fn invalidation_bound_holds(&self) -> bool {
+        self.invalidation_writes <= 2 * self.budget as u64
+    }
+
+    /// Lemma 6.5: fewer than `2√M` phases.
+    pub fn phase_bound_holds(&self) -> bool {
+        (self.phases as f64) < 2.0 * (self.budget as f64).sqrt() + f64::EPSILON
+    }
+
+    /// Theorem 1.3 specialization: at most `⌈2√M⌉` registers written.
+    pub fn space_bound_holds(&self) -> bool {
+        self.registers_written <= self.m
+    }
+}
+
+/// The bounded-concurrency timestamp object of Algorithm 4.
+///
+/// Wait-free for up to `M` `getTS()` invocations using `⌈2√M⌉`
+/// registers; `compare` is Algorithm 3 ([`Timestamp::compare`]).
+///
+/// # Example
+///
+/// ```
+/// use ts_core::{BoundedTimestamp, GetTsId, Timestamp};
+///
+/// // Budget of 9 calls from any mix of processes: ⌈2√9⌉ = 6 registers.
+/// let ts = BoundedTimestamp::with_budget(9);
+/// assert_eq!(ts.registers(), 6);
+/// let a = ts.get_ts_with_id(GetTsId::new(0, 0)).unwrap();
+/// let b = ts.get_ts_with_id(GetTsId::new(0, 1)).unwrap();
+/// assert!(Timestamp::compare(&a, &b));
+/// ```
+pub struct BoundedTimestamp {
+    regs: RegisterArray<Slot>,
+    meter: SpaceMeter,
+    m: usize,
+    budget: usize,
+    policy: OverwritePolicy,
+    invocations: AtomicU64,
+    /// One-shot guard, present when built with [`BoundedTimestamp::one_shot`].
+    used: Option<Vec<AtomicBool>>,
+    accounting: Accounting,
+}
+
+/// `⌈2√M⌉` computed exactly: the least `m` with `m² ≥ 4M`.
+pub(crate) fn registers_for_budget(budget: usize) -> usize {
+    let target = 4u128 * budget as u128;
+    let mut m = (target as f64).sqrt() as u128;
+    while m * m < target {
+        m += 1;
+    }
+    while m > 0 && (m - 1) * (m - 1) >= target {
+        m -= 1;
+    }
+    m as usize
+}
+
+impl BoundedTimestamp {
+    /// Creates an object accepting at most `budget` `getTS()` calls,
+    /// from any processes, identified by caller-supplied [`GetTsId`]s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget == 0`.
+    pub fn with_budget(budget: usize) -> Self {
+        Self::with_budget_and_policy(budget, OverwritePolicy::Paper)
+    }
+
+    /// Like [`BoundedTimestamp::with_budget`] with an explicit
+    /// invalidation-overwrite policy (see [`OverwritePolicy`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget == 0`.
+    pub fn with_budget_and_policy(budget: usize, policy: OverwritePolicy) -> Self {
+        assert!(budget > 0, "budget must be positive");
+        // One extra sentinel beyond the writable range is already part of
+        // ⌈2√M⌉ (Φ < 2√M), but guard the degenerate tiny budgets where
+        // the ceiling equals the phase count.
+        let m = registers_for_budget(budget).max(2);
+        let meter = SpaceMeter::new(m);
+        Self {
+            regs: RegisterArray::with_meter(m, Slot::Bot, meter.clone()),
+            meter,
+            m,
+            budget,
+            policy,
+            invocations: AtomicU64::new(0),
+            used: None,
+            accounting: Accounting::new(m),
+        }
+    }
+
+    /// Creates a one-shot object for `processes` processes (`M = n`),
+    /// realizing Theorem 1.3 with `⌈2√n⌉` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processes == 0`.
+    pub fn one_shot(processes: usize) -> Self {
+        Self::one_shot_with_policy(processes, OverwritePolicy::Paper)
+    }
+
+    /// One-shot constructor with an explicit overwrite policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processes == 0`.
+    pub fn one_shot_with_policy(processes: usize, policy: OverwritePolicy) -> Self {
+        let mut obj = Self::with_budget_and_policy(processes, policy);
+        obj.used = Some((0..processes).map(|_| AtomicBool::new(false)).collect());
+        obj
+    }
+
+    /// The register budget `m`.
+    pub fn registers(&self) -> usize {
+        self.m
+    }
+
+    /// The invocation budget `M`.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// The meter recording this object's register traffic.
+    pub fn meter(&self) -> &SpaceMeter {
+        &self.meter
+    }
+
+    /// A snapshot of the phase accounting (Section 6.3 quantities).
+    pub fn phase_stats(&self) -> PhaseStats {
+        PhaseStats {
+            m: self.m,
+            budget: self.budget,
+            calls: self
+                .invocations
+                .load(Ordering::Relaxed)
+                .min(self.budget as u64),
+            phases: self.accounting.epoch.load(Ordering::Relaxed),
+            invalidation_writes: self
+                .accounting
+                .invalidation_writes
+                .load(Ordering::Relaxed),
+            total_writes: self.accounting.total_writes.load(Ordering::Relaxed),
+            scans: self.accounting.scans.load(Ordering::Relaxed),
+            early_returns: self.accounting.early_returns.load(Ordering::Relaxed),
+            turn_returns: self.accounting.turn_returns.load(Ordering::Relaxed),
+            registers_written: self.meter.snapshot().registers_written(),
+        }
+    }
+
+    /// Reads register `R[j]` (paper's 1-based indexing).
+    fn read(&self, j: usize) -> Slot {
+        self.regs
+            .read(j - 1)
+            .expect("paper register index within the array")
+    }
+
+    /// Writes register `R[j]` (paper's 1-based indexing).
+    fn write(&self, j: usize, value: Slot, opens_phase: bool) {
+        self.accounting.record_write(j, opens_phase);
+        self.regs
+            .write(j - 1, value)
+            .expect("paper register index within the array");
+    }
+
+    /// Algorithm 4 `getTS(ID)` for an explicit getTS-id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GetTsError::BudgetExhausted`] once `M` calls have been
+    /// admitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an execution exceeds the proven space bound (which
+    /// would falsify Lemma 6.5) — this is an internal invariant check,
+    /// not an expected failure mode.
+    pub fn get_ts_with_id(&self, id: GetTsId) -> Result<Timestamp, GetTsError> {
+        let admitted = self.invocations.fetch_add(1, Ordering::AcqRel);
+        if admitted >= self.budget as u64 {
+            return Err(GetTsError::BudgetExhausted {
+                budget: self.budget,
+            });
+        }
+        Ok(self.get_ts_inner(id))
+    }
+
+    fn get_ts_inner(&self, id: GetTsId) -> Timestamp {
+        let m = self.m;
+
+        // Lines 1–4: find the non-⊥ prefix, recording it in r[1..myrnd].
+        let mut r: Vec<Slot> = vec![Slot::Bot; m + 1]; // r[1..=m]
+        let mut j = 1usize;
+        loop {
+            let v = self.read(j);
+            if v.is_bot() {
+                break;
+            }
+            r[j] = v;
+            j += 1;
+            assert!(
+                j <= m,
+                "space bound violated: all {m} registers non-⊥ (Lemma 6.5 refuted)"
+            );
+        }
+        let myrnd = j - 1;
+
+        // Lines 5–12: look for the first valid register among R[1..myrnd-1].
+        for j in 1..myrnd {
+            // Line 6: has the next phase opened?
+            if !self.read(myrnd + 1).is_bot() {
+                // Line 12.
+                self.accounting.early_returns.fetch_add(1, Ordering::Relaxed);
+                return Timestamp::new((myrnd + 1) as u64, 0);
+            }
+            // Lines 7–11: one read of R[j] serves both the validity test
+            // and the staleness test.
+            let cur = self.read(j);
+            let expected = r[myrnd].seq_get(j);
+            if expected.is_some() && cur.last() == expected {
+                // Lines 8–9: R[j] is valid — invalidate it, take turn j.
+                self.write(j, Slot::val(vec![id], myrnd as u64), false);
+                self.accounting.turn_returns.fetch_add(1, Ordering::Relaxed);
+                return Timestamp::new(myrnd as u64, j as u64);
+            }
+            let overwrite = match self.policy {
+                OverwritePolicy::Paper => {
+                    // Line 10: only a write from an *older* phase can
+                    // spuriously re-validate later; pin it down.
+                    cur.rnd().is_some_and(|rnd| rnd < myrnd as u64)
+                }
+                OverwritePolicy::Always => true,
+                OverwritePolicy::Never => false,
+            };
+            if overwrite {
+                // Line 11.
+                self.write(j, Slot::val(vec![id], myrnd as u64), false);
+            }
+        }
+
+        // Line 13: linearizable view via double-collect scan.
+        self.accounting.scans.fetch_add(1, Ordering::Relaxed);
+        let view = double_collect_scan(&self.regs);
+
+        // Line 14: r[myrnd + 1] == ⊥ ? (1-based paper index → 0-based array)
+        if view[myrnd].value.is_bot() {
+            // Line 15: open phase myrnd + 1.
+            assert!(
+                myrnd + 1 < m,
+                "space bound violated: writing sentinel register R[{m}]"
+            );
+            let mut seq = Vec::with_capacity(myrnd + 1);
+            for jj in 1..=myrnd {
+                let last = view[jj - 1]
+                    .value
+                    .last()
+                    .expect("scanned prefix registers are non-⊥ (Claim 6.1)");
+                seq.push(last);
+            }
+            seq.push(id);
+            self.write(
+                myrnd + 1,
+                Slot::val(seq, (myrnd + 1) as u64),
+                true,
+            );
+        }
+        // Line 16.
+        Timestamp::new((myrnd + 1) as u64, 0)
+    }
+}
+
+impl OneShotTimestamp for BoundedTimestamp {
+    fn get_ts(&self, pid: usize) -> Result<Timestamp, GetTsError> {
+        let used = self
+            .used
+            .as_ref()
+            .expect("get_ts(pid) requires a one-shot object; use get_ts_with_id on budgeted objects");
+        if pid >= used.len() {
+            return Err(GetTsError::PidOutOfRange {
+                pid,
+                processes: used.len(),
+            });
+        }
+        if used[pid].swap(true, Ordering::AcqRel) {
+            return Err(GetTsError::AlreadyUsed { pid });
+        }
+        self.get_ts_with_id(GetTsId::one_shot(pid as u32))
+    }
+
+    fn processes(&self) -> usize {
+        self.used.as_ref().map_or(self.budget, Vec::len)
+    }
+
+    fn registers(&self) -> usize {
+        self.m
+    }
+}
+
+impl fmt::Debug for BoundedTimestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BoundedTimestamp")
+            .field("m", &self.m)
+            .field("budget", &self.budget)
+            .field("policy", &self.policy)
+            .field("stats", &self.phase_stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn register_budget_formula_is_exact() {
+        assert_eq!(registers_for_budget(1), 2);
+        assert_eq!(registers_for_budget(4), 4);
+        assert_eq!(registers_for_budget(9), 6);
+        assert_eq!(registers_for_budget(16), 8);
+        assert_eq!(registers_for_budget(10), 7); // 2√10 ≈ 6.32 → 7
+        assert_eq!(registers_for_budget(100), 20);
+        // Exact ceiling around perfect squares:
+        assert_eq!(registers_for_budget(99), 20); // 2√99 ≈ 19.899
+        assert_eq!(registers_for_budget(101), 21); // 2√101 ≈ 20.09
+    }
+
+    #[test]
+    fn sequential_timestamps_strictly_increase() {
+        let ts = BoundedTimestamp::with_budget(50);
+        let mut last: Option<Timestamp> = None;
+        for k in 0..50u32 {
+            let t = ts.get_ts_with_id(GetTsId::new(0, k)).unwrap();
+            if let Some(prev) = last {
+                assert!(Timestamp::compare(&prev, &t), "call {k}: {prev} !< {t}");
+            }
+            last = Some(t);
+        }
+    }
+
+    #[test]
+    fn sequential_pattern_matches_paper_walkthrough() {
+        // The sequential run of Section 6.1: the opener of phase k
+        // returns (k, 0); the j-th call after it returns (k, j).
+        let ts = BoundedTimestamp::with_budget(10);
+        let got: Vec<Timestamp> = (0..10u32)
+            .map(|k| ts.get_ts_with_id(GetTsId::new(k, 0)).unwrap())
+            .collect();
+        let expected = [
+            Timestamp::new(1, 0),
+            Timestamp::new(2, 0),
+            Timestamp::new(2, 1),
+            Timestamp::new(3, 0),
+            Timestamp::new(3, 1),
+            Timestamp::new(3, 2),
+            Timestamp::new(4, 0),
+            Timestamp::new(4, 1),
+            Timestamp::new(4, 2),
+            Timestamp::new(4, 3),
+        ];
+        assert_eq!(got.as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let ts = BoundedTimestamp::with_budget(2);
+        ts.get_ts_with_id(GetTsId::new(0, 0)).unwrap();
+        ts.get_ts_with_id(GetTsId::new(0, 1)).unwrap();
+        assert_eq!(
+            ts.get_ts_with_id(GetTsId::new(0, 2)),
+            Err(GetTsError::BudgetExhausted { budget: 2 })
+        );
+    }
+
+    #[test]
+    fn one_shot_guard_rejects_repeats() {
+        let ts = BoundedTimestamp::one_shot(4);
+        ts.get_ts(1).unwrap();
+        assert_eq!(ts.get_ts(1), Err(GetTsError::AlreadyUsed { pid: 1 }));
+        assert!(matches!(
+            ts.get_ts(9),
+            Err(GetTsError::PidOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn space_bound_holds_sequentially() {
+        for n in [4usize, 16, 64, 256] {
+            let ts = BoundedTimestamp::one_shot(n);
+            for p in 0..n {
+                ts.get_ts(p).unwrap();
+            }
+            let stats = ts.phase_stats();
+            assert!(stats.space_bound_holds(), "n={n}: {stats:?}");
+            assert!(stats.phase_bound_holds(), "n={n}: {stats:?}");
+            assert!(stats.invalidation_bound_holds(), "n={n}: {stats:?}");
+        }
+    }
+
+    #[test]
+    fn concurrent_rounds_respect_happens_before() {
+        let n = 32;
+        let ts = Arc::new(BoundedTimestamp::one_shot(n));
+        let mut rounds: Vec<Vec<Timestamp>> = Vec::new();
+        for round in 0..4 {
+            let outs: Vec<Timestamp> = crossbeam::scope(|s| {
+                let handles: Vec<_> = (0..n / 4)
+                    .map(|i| {
+                        let ts = Arc::clone(&ts);
+                        let pid = round * (n / 4) + i;
+                        s.spawn(move |_| ts.get_ts(pid).unwrap())
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .unwrap();
+            rounds.push(outs);
+        }
+        for earlier in 0..rounds.len() {
+            for later in earlier + 1..rounds.len() {
+                for a in &rounds[earlier] {
+                    for b in &rounds[later] {
+                        assert!(Timestamp::compare(a, b), "{a} !< {b}");
+                        assert!(!Timestamp::compare(b, a), "{b} < {a}");
+                    }
+                }
+            }
+        }
+        let stats = ts.phase_stats();
+        assert!(stats.space_bound_holds(), "{stats:?}");
+        assert!(stats.invalidation_bound_holds(), "{stats:?}");
+    }
+
+    #[test]
+    fn always_overwrite_policy_is_also_correct_sequentially() {
+        let ts = BoundedTimestamp::with_budget_and_policy(30, OverwritePolicy::Always);
+        let mut last: Option<Timestamp> = None;
+        for k in 0..30u32 {
+            let t = ts.get_ts_with_id(GetTsId::new(k, 0)).unwrap();
+            if let Some(prev) = last {
+                assert!(Timestamp::compare(&prev, &t));
+            }
+            last = Some(t);
+        }
+    }
+
+    #[test]
+    fn slot_accessors() {
+        let bot = Slot::Bot;
+        assert!(bot.is_bot());
+        assert_eq!(bot.last(), None);
+        assert_eq!(bot.rnd(), None);
+        assert_eq!(bot.seq_get(1), None);
+        let v = Slot::val(vec![GetTsId::new(1, 0), GetTsId::new(2, 0)], 3);
+        assert_eq!(v.last(), Some(GetTsId::new(2, 0)));
+        assert_eq!(v.seq_get(1), Some(GetTsId::new(1, 0)));
+        assert_eq!(v.seq_get(2), Some(GetTsId::new(2, 0)));
+        assert_eq!(v.seq_get(3), None);
+        assert_eq!(v.seq_get(0), None);
+        assert_eq!(v.rnd(), Some(3));
+    }
+
+    #[test]
+    fn stats_snapshot_is_coherent() {
+        let ts = BoundedTimestamp::with_budget(20);
+        for k in 0..20u32 {
+            ts.get_ts_with_id(GetTsId::new(k, 0)).unwrap();
+        }
+        let stats = ts.phase_stats();
+        assert_eq!(stats.calls, 20);
+        assert!(stats.phases > 0);
+        assert!(stats.total_writes >= stats.invalidation_writes);
+        assert!(stats.scans >= stats.phases);
+    }
+}

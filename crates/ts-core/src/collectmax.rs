@@ -1,0 +1,181 @@
+//! Long-lived collect-max baseline (`n` SWMR registers).
+//!
+//! The matching upper bound for Theorem 1.1 cited by the paper is the
+//! `n−1`-register wait-free algorithm of Ellen, Fatourou and Ruppert
+//! (Distributed Computing 2008). That construction lives in a different
+//! paper; we substitute the folklore `n`-register algorithm with the same
+//! asymptotics and progress guarantee (see DESIGN.md §5): every process
+//! owns one single-writer register; `getTS()` collects all registers,
+//! picks `max + 1`, writes it to its own register and returns it.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ts_register::{SpaceMeter, WordRegister};
+
+use crate::error::GetTsError;
+use crate::timestamp::Timestamp;
+use crate::traits::LongLivedTimestamp;
+
+/// Long-lived timestamp object over `n` single-writer registers.
+///
+/// Wait-free; timestamps are scalars ordered by `<`. If two concurrent
+/// calls return equal values the object is still correct: the timestamp
+/// property only constrains non-overlapping calls, and a call that starts
+/// after another finishes always observes its write and returns a
+/// strictly larger value.
+///
+/// # Example
+///
+/// ```
+/// use ts_core::{CollectMax, LongLivedTimestamp, Timestamp};
+///
+/// let ts = CollectMax::new(4);
+/// let a = ts.get_ts(0).unwrap();
+/// let b = ts.get_ts(0).unwrap(); // long-lived: same process again
+/// assert!(Timestamp::compare(&a, &b));
+/// ```
+pub struct CollectMax {
+    registers: Vec<WordRegister>,
+    meter: SpaceMeter,
+    calls: AtomicU64,
+}
+
+impl CollectMax {
+    /// Creates an object for `processes` processes using `n` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processes == 0`.
+    pub fn new(processes: usize) -> Self {
+        assert!(processes > 0, "need at least one process");
+        Self {
+            registers: (0..processes).map(|_| WordRegister::new(0)).collect(),
+            meter: SpaceMeter::new(processes),
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// The meter recording this object's register traffic.
+    pub fn meter(&self) -> &SpaceMeter {
+        &self.meter
+    }
+
+    /// Total `getTS` calls served so far.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+}
+
+impl LongLivedTimestamp for CollectMax {
+    fn get_ts(&self, pid: usize) -> Result<Timestamp, GetTsError> {
+        let n = self.registers.len();
+        if pid >= n {
+            return Err(GetTsError::PidOutOfRange {
+                pid,
+                processes: n,
+            });
+        }
+        let mut max = 0u64;
+        for i in 0..n {
+            self.meter.record_read(i);
+            max = max.max(self.registers[i].read());
+        }
+        let t = max + 1;
+        self.meter.record_write(pid);
+        self.registers[pid].write(t);
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        Ok(Timestamp::scalar(t))
+    }
+
+    fn processes(&self) -> usize {
+        self.registers.len()
+    }
+
+    fn registers(&self) -> usize {
+        self.registers.len()
+    }
+}
+
+impl fmt::Debug for CollectMax {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CollectMax")
+            .field("processes", &self.registers.len())
+            .field("calls", &self.calls())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_calls_increase() {
+        let ts = CollectMax::new(3);
+        let mut last = Timestamp::scalar(0);
+        for round in 0..5 {
+            for p in 0..3 {
+                let t = ts.get_ts(p).unwrap();
+                assert!(
+                    Timestamp::compare(&last, &t),
+                    "round {round} p{p}: {last} !< {t}"
+                );
+                last = t;
+            }
+        }
+        assert_eq!(ts.calls(), 15);
+    }
+
+    #[test]
+    fn same_process_repeats_fine() {
+        let ts = CollectMax::new(1);
+        let a = ts.get_ts(0).unwrap();
+        let b = ts.get_ts(0).unwrap();
+        assert!(Timestamp::compare(&a, &b));
+    }
+
+    #[test]
+    fn out_of_range_pid_is_rejected() {
+        let ts = CollectMax::new(2);
+        assert!(ts.get_ts(2).is_err());
+    }
+
+    #[test]
+    fn uses_exactly_n_registers() {
+        let ts = CollectMax::new(5);
+        for p in 0..5 {
+            ts.get_ts(p).unwrap();
+        }
+        assert_eq!(ts.meter().snapshot().registers_written(), 5);
+    }
+
+    #[test]
+    fn barrier_separated_rounds_are_ordered_across_threads() {
+        let n = 8;
+        let ts = Arc::new(CollectMax::new(n));
+        let mut round_maxima = Vec::new();
+        for _round in 0..4 {
+            let outs: Vec<Timestamp> = crossbeam::scope(|s| {
+                let handles: Vec<_> = (0..n)
+                    .map(|p| {
+                        let ts = Arc::clone(&ts);
+                        s.spawn(move |_| ts.get_ts(p).unwrap())
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .unwrap();
+            let max = outs.iter().copied().max().unwrap();
+            let min = outs.iter().copied().min().unwrap();
+            if let Some(prev_max) = round_maxima.last() {
+                assert!(
+                    Timestamp::compare(prev_max, &min),
+                    "cross-round ordering broken: {prev_max} !< {min}"
+                );
+            }
+            round_maxima.push(max);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Errors returned by timestamp objects.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error from a `getTS()` call on a concrete timestamp object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GetTsError {
+    /// The process id is not within `0..n`.
+    PidOutOfRange {
+        /// The offending process id.
+        pid: usize,
+        /// The number of processes the object was created for.
+        processes: usize,
+    },
+    /// A one-shot object was asked for a second timestamp by the same
+    /// process.
+    AlreadyUsed {
+        /// The process that already holds a timestamp.
+        pid: usize,
+    },
+    /// The object's invocation budget `M` is exhausted.
+    BudgetExhausted {
+        /// The configured maximum number of `getTS()` calls.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for GetTsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GetTsError::PidOutOfRange { pid, processes } => {
+                write!(f, "process id {pid} out of range (n = {processes})")
+            }
+            GetTsError::AlreadyUsed { pid } => {
+                write!(f, "process {pid} already obtained its one-shot timestamp")
+            }
+            GetTsError::BudgetExhausted { budget } => {
+                write!(f, "getTS budget of {budget} invocations exhausted")
+            }
+        }
+    }
+}
+
+impl Error for GetTsError {}
+
+/// Legacy alias kept for the one-shot-specific error surface.
+pub type UsedError = GetTsError;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_specific() {
+        assert!(GetTsError::PidOutOfRange {
+            pid: 7,
+            processes: 4
+        }
+        .to_string()
+        .contains("7"));
+        assert!(GetTsError::AlreadyUsed { pid: 2 }.to_string().contains("2"));
+        assert!(GetTsError::BudgetExhausted { budget: 9 }
+            .to_string()
+            .contains("9"));
+    }
+}

@@ -1,0 +1,293 @@
+//! Section 7 extension: unbounded invocations with registers acquired on
+//! demand.
+//!
+//! The paper remarks that Algorithm 4 "generalizes even to the situation
+//! where the number of getTS() method invocations is not bounded,
+//! provided that the system could acquire additional registers as
+//! needed. In this case however, progress would be non-blocking only
+//! instead of wait-free." This module makes that concrete: the register
+//! array is a lazily-allocated segmented vector, so no bound `M` is ever
+//! fixed; the while-loop, invalidation pass and scan are unchanged.
+//!
+//! Progress: each individual `getTS` can now be overtaken forever by a
+//! stream of phase-opening writes (its scan and line-6 checks keep
+//! failing), so the object is non-blocking (some call always completes)
+//! rather than wait-free. Register acquisition itself uses `OnceLock`
+//! segment initialization, whose one-time initialization race is the
+//! "system acquires registers" step the paper hypothesizes.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use ts_register::{Stamped, StampedRegister};
+
+use crate::bounded::Slot;
+use crate::ids::GetTsId;
+use crate::timestamp::Timestamp;
+
+/// Number of doubling segments: segment `s` holds `2^s` registers, so 40
+/// segments cover ~10^12 registers — unbounded for practical purposes.
+const SEGMENTS: usize = 40;
+
+/// Lazily grown register bank: segment `s` covers 0-based indices
+/// `[2^s − 1, 2^{s+1} − 1)`.
+struct SegmentedRegisters {
+    segments: Vec<OnceLock<Box<[StampedRegister<Slot>]>>>,
+    /// High-water mark of touched 0-based indices (for space reporting).
+    touched: AtomicU64,
+}
+
+impl SegmentedRegisters {
+    fn new() -> Self {
+        Self {
+            segments: (0..SEGMENTS).map(|_| OnceLock::new()).collect(),
+            touched: AtomicU64::new(0),
+        }
+    }
+
+    fn locate(index: usize) -> (usize, usize) {
+        let segment = (usize::BITS - (index + 1).leading_zeros() - 1) as usize;
+        let offset = index + 1 - (1 << segment);
+        (segment, offset)
+    }
+
+    fn register(&self, index: usize) -> &StampedRegister<Slot> {
+        let (segment, offset) = Self::locate(index);
+        assert!(segment < SEGMENTS, "register index {index} beyond growth limit");
+        self.touched.fetch_max(index as u64 + 1, Ordering::Relaxed);
+        let seg = self.segments[segment].get_or_init(|| {
+            (0..1usize << segment)
+                .map(|_| StampedRegister::new(Slot::Bot))
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+        });
+        &seg[offset]
+    }
+
+    fn high_water(&self) -> usize {
+        self.touched.load(Ordering::Relaxed) as usize
+    }
+}
+
+/// Unbounded-`M` timestamp object (Section 7): Algorithm 4 over a
+/// register bank that grows on demand.
+///
+/// `getTS` never fails and there is no invocation budget; the space used
+/// after `M` calls is still `O(√M)` (the phase accounting of Section 6.3
+/// does not depend on `m` being fixed in advance).
+///
+/// # Example
+///
+/// ```
+/// use ts_core::{GetTsId, GrowableTimestamp, Timestamp};
+///
+/// let ts = GrowableTimestamp::new();
+/// let a = ts.get_ts_with_id(GetTsId::new(0, 0));
+/// let b = ts.get_ts_with_id(GetTsId::new(1, 0));
+/// assert!(Timestamp::compare(&a, &b));
+/// ```
+pub struct GrowableTimestamp {
+    regs: SegmentedRegisters,
+    calls: AtomicU64,
+}
+
+impl GrowableTimestamp {
+    /// Creates an empty object (no registers allocated yet).
+    pub fn new() -> Self {
+        Self {
+            regs: SegmentedRegisters::new(),
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// Total `getTS` calls served.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Highest register index ever touched (reads or writes) — the
+    /// object's space consumption.
+    pub fn registers_touched(&self) -> usize {
+        self.regs.high_water()
+    }
+
+    /// Reads `R[j]` (paper's 1-based indexing).
+    fn read(&self, j: usize) -> Slot {
+        self.regs.register(j - 1).read()
+    }
+
+    fn read_stamped(&self, j: usize) -> Stamped<Slot> {
+        self.regs.register(j - 1).read_stamped()
+    }
+
+    /// Writes `R[j]` (paper's 1-based indexing).
+    fn write(&self, j: usize, value: Slot) {
+        self.regs.register(j - 1).write(value);
+    }
+
+    /// Double-collect scan of `R[1..=hi]` (sufficient for line 15, which
+    /// only consults the prefix).
+    fn scan_prefix(&self, hi: usize) -> Vec<Stamped<Slot>> {
+        let collect = |_: &Self| -> Vec<Stamped<Slot>> {
+            (1..=hi).map(|j| self.read_stamped(j)).collect()
+        };
+        let mut previous = collect(self);
+        loop {
+            let current = collect(self);
+            let same = current
+                .iter()
+                .zip(&previous)
+                .all(|(a, b)| a.stamp == b.stamp);
+            if same {
+                return current;
+            }
+            previous = current;
+        }
+    }
+
+    /// Algorithm 4 `getTS(ID)` without an invocation budget.
+    ///
+    /// Never fails; progress is non-blocking (see the module docs).
+    pub fn get_ts_with_id(&self, id: GetTsId) -> Timestamp {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+
+        // Lines 1–4.
+        let mut r: Vec<Slot> = vec![Slot::Bot];
+        let mut j = 1usize;
+        loop {
+            let v = self.read(j);
+            if v.is_bot() {
+                break;
+            }
+            r.push(v);
+            j += 1;
+        }
+        let myrnd = j - 1;
+
+        // Lines 5–12.
+        for j in 1..myrnd {
+            if !self.read(myrnd + 1).is_bot() {
+                return Timestamp::new((myrnd + 1) as u64, 0);
+            }
+            let cur = self.read(j);
+            let expected = r[myrnd].seq_get(j);
+            if expected.is_some() && cur.last() == expected {
+                self.write(j, Slot::val(vec![id], myrnd as u64));
+                return Timestamp::new(myrnd as u64, j as u64);
+            }
+            if cur.rnd().is_some_and(|rnd| rnd < myrnd as u64) {
+                self.write(j, Slot::val(vec![id], myrnd as u64));
+            }
+        }
+
+        // Lines 13–16 over the prefix R[1..=myrnd+1].
+        let view = self.scan_prefix(myrnd + 1);
+        if view[myrnd].value.is_bot() {
+            let mut seq = Vec::with_capacity(myrnd + 1);
+            for jj in 1..=myrnd {
+                let last = view[jj - 1]
+                    .value
+                    .last()
+                    .expect("scanned prefix registers are non-⊥");
+                seq.push(last);
+            }
+            seq.push(id);
+            self.write(myrnd + 1, Slot::val(seq, (myrnd + 1) as u64));
+        }
+        Timestamp::new((myrnd + 1) as u64, 0)
+    }
+
+    /// `compare` — Algorithm 3.
+    pub fn compare(t1: &Timestamp, t2: &Timestamp) -> bool {
+        Timestamp::compare(t1, t2)
+    }
+}
+
+impl Default for GrowableTimestamp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for GrowableTimestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GrowableTimestamp")
+            .field("calls", &self.calls())
+            .field("registers_touched", &self.registers_touched())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn segment_locate_is_consistent() {
+        assert_eq!(SegmentedRegisters::locate(0), (0, 0));
+        assert_eq!(SegmentedRegisters::locate(1), (1, 0));
+        assert_eq!(SegmentedRegisters::locate(2), (1, 1));
+        assert_eq!(SegmentedRegisters::locate(3), (2, 0));
+        assert_eq!(SegmentedRegisters::locate(6), (2, 3));
+        assert_eq!(SegmentedRegisters::locate(7), (3, 0));
+    }
+
+    #[test]
+    fn sequential_timestamps_strictly_increase_without_budget() {
+        let ts = GrowableTimestamp::new();
+        let mut last: Option<Timestamp> = None;
+        for k in 0..200u32 {
+            let t = ts.get_ts_with_id(GetTsId::new(0, k));
+            if let Some(prev) = last {
+                assert!(Timestamp::compare(&prev, &t), "call {k}");
+            }
+            last = Some(t);
+        }
+        assert_eq!(ts.calls(), 200);
+    }
+
+    #[test]
+    fn space_grows_like_sqrt_of_calls() {
+        let ts = GrowableTimestamp::new();
+        for k in 0..400u32 {
+            ts.get_ts_with_id(GetTsId::new(0, k));
+        }
+        let touched = ts.registers_touched();
+        // Sequential runs use ~√(2M) registers; 2√M + slack is a safe cap.
+        let cap = (2.0 * 400f64.sqrt()) as usize + 2;
+        assert!(
+            touched <= cap,
+            "registers touched {touched} exceeds O(√M) cap {cap}"
+        );
+        assert!(touched >= 20, "suspiciously few registers: {touched}");
+    }
+
+    #[test]
+    fn concurrent_rounds_respect_happens_before() {
+        let ts = Arc::new(GrowableTimestamp::new());
+        let mut prev_round_max: Option<Timestamp> = None;
+        for round in 0..3u32 {
+            let outs: Vec<Timestamp> = crossbeam::scope(|s| {
+                let handles: Vec<_> = (0..8u32)
+                    .map(|i| {
+                        let ts = Arc::clone(&ts);
+                        s.spawn(move |_| ts.get_ts_with_id(GetTsId::new(i, round)))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .unwrap();
+            let min = *outs.iter().min().unwrap();
+            let max = *outs.iter().max().unwrap();
+            if let Some(pm) = prev_round_max {
+                assert!(
+                    Timestamp::compare(&pm, &min),
+                    "round {round}: {pm} !< {min}"
+                );
+            }
+            prev_round_max = Some(max);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Model twin of the long-lived collect-max baseline.
+
+use ts_model::{Algorithm, Machine, Poised, ProcId};
+
+use crate::timestamp::Timestamp;
+
+/// Step machine for one collect-max `getTS()` call.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CollectMaxMachine {
+    pid: usize,
+    n: usize,
+    phase: Phase,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Phase {
+    Collect { i: usize, max: u64 },
+    WriteOwn { t: u64 },
+    Finished { t: u64 },
+}
+
+impl CollectMaxMachine {
+    /// Creates the machine for process `pid` of an `n`-process object.
+    pub fn new(pid: ProcId, n: usize) -> Self {
+        assert!(pid < n);
+        Self {
+            pid,
+            n,
+            phase: Phase::Collect { i: 0, max: 0 },
+        }
+    }
+}
+
+impl Machine for CollectMaxMachine {
+    type Value = u64;
+    type Output = Timestamp;
+
+    fn poised(&self) -> Poised<u64, Timestamp> {
+        match &self.phase {
+            Phase::Collect { i, .. } => Poised::Read { reg: *i },
+            Phase::WriteOwn { t } => Poised::Write {
+                reg: self.pid,
+                value: *t,
+            },
+            Phase::Finished { t } => Poised::Done(Timestamp::scalar(*t)),
+        }
+    }
+
+    fn observe(&mut self, observed: Option<u64>) {
+        self.phase = match (&self.phase, observed) {
+            (Phase::Collect { i, max }, Some(v)) => {
+                let max = (*max).max(v);
+                if i + 1 < self.n {
+                    Phase::Collect { i: i + 1, max }
+                } else {
+                    Phase::WriteOwn { t: max + 1 }
+                }
+            }
+            (Phase::WriteOwn { t }, None) => Phase::Finished { t: *t },
+            (phase, obs) => panic!("invalid observe({obs:?}) in {phase:?}"),
+        };
+    }
+}
+
+/// Model algorithm: long-lived collect-max over `n` SWMR registers.
+#[derive(Debug, Clone)]
+pub struct CollectMaxModel {
+    n: usize,
+}
+
+impl CollectMaxModel {
+    /// Creates the model for `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        Self { n }
+    }
+}
+
+impl Algorithm for CollectMaxModel {
+    type Machine = CollectMaxMachine;
+
+    fn processes(&self) -> usize {
+        self.n
+    }
+
+    fn registers(&self) -> usize {
+        self.n
+    }
+
+    fn initial_value(&self) -> u64 {
+        0
+    }
+
+    fn invoke(&self, pid: ProcId, _op_index: usize) -> CollectMaxMachine {
+        CollectMaxMachine::new(pid, self.n)
+    }
+
+    fn compare(&self, t1: &Timestamp, t2: &Timestamp) -> bool {
+        Timestamp::compare(t1, t2)
+    }
+
+    fn ops_per_process(&self) -> Option<usize> {
+        None // long-lived
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_model::{Explorer, RandomScheduler, System};
+
+    #[test]
+    fn sequential_calls_count_up() {
+        let mut sys = System::new(CollectMaxModel::new(2));
+        assert_eq!(
+            sys.run_solo_to_completion(0, 100).unwrap(),
+            Timestamp::scalar(1)
+        );
+        assert_eq!(
+            sys.run_solo_to_completion(1, 100).unwrap(),
+            Timestamp::scalar(2)
+        );
+        assert_eq!(
+            sys.run_solo_to_completion(0, 100).unwrap(),
+            Timestamp::scalar(3)
+        );
+    }
+
+    #[test]
+    fn exhaustive_check_two_processes_two_ops_each() {
+        let report = Explorer::new(CollectMaxModel::new(2), 2).run();
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+    }
+
+    #[test]
+    fn exhaustive_check_three_processes_one_op() {
+        let report = Explorer::new(CollectMaxModel::new(3), 1).run();
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+    }
+
+    #[test]
+    fn random_long_lived_runs() {
+        for seed in 0..10 {
+            let report = RandomScheduler::new(seed)
+                .ops_per_process(3)
+                .run(CollectMaxModel::new(6));
+            assert!(report.violation.is_none(), "seed {seed}");
+            assert_eq!(report.completed_ops, 18);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Model twin of the simple one-shot algorithm (Algorithms 1–2).
+
+use ts_model::{Algorithm, Machine, Poised, ProcId};
+
+use crate::timestamp::Timestamp;
+
+/// Where a [`SimpleMachine`] is in its register walk.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Phase {
+    /// About to read register `i`.
+    Walk { i: usize },
+    /// About to write `value` to own register `i`.
+    OwnWrite { i: usize, value: u64 },
+    /// About to re-read own register `i` (the `sum := sum + R[i]` read).
+    OwnReread { i: usize },
+    /// Finished.
+    Finished,
+}
+
+/// Step machine for one `simple-getTS()` call by process `pid`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SimpleMachine {
+    own: usize,
+    m: usize,
+    sum: u64,
+    phase: Phase,
+}
+
+impl SimpleMachine {
+    /// Creates the machine for process `pid` of an `n`-process object.
+    pub fn new(pid: ProcId, n: usize) -> Self {
+        assert!(pid < n);
+        Self {
+            own: pid / 2,
+            m: n.div_ceil(2),
+            sum: 0,
+            phase: Phase::Walk { i: 0 },
+        }
+    }
+
+    fn advance_from(&self, i: usize) -> Phase {
+        if i + 1 < self.m {
+            Phase::Walk { i: i + 1 }
+        } else {
+            Phase::Finished
+        }
+    }
+}
+
+impl Machine for SimpleMachine {
+    type Value = u64;
+    type Output = Timestamp;
+
+    fn poised(&self) -> Poised<u64, Timestamp> {
+        match &self.phase {
+            Phase::Walk { i } => Poised::Read { reg: *i },
+            Phase::OwnWrite { i, value } => Poised::Write {
+                reg: *i,
+                value: *value,
+            },
+            Phase::OwnReread { i } => Poised::Read { reg: *i },
+            Phase::Finished => Poised::Done(Timestamp::scalar(self.sum)),
+        }
+    }
+
+    fn observe(&mut self, observed: Option<u64>) {
+        self.phase = match (&self.phase, observed) {
+            (Phase::Walk { i }, Some(v)) => {
+                if *i == self.own {
+                    Phase::OwnWrite {
+                        i: *i,
+                        value: v + 1,
+                    }
+                } else {
+                    self.sum += v;
+                    self.advance_from(*i)
+                }
+            }
+            (Phase::OwnWrite { i, .. }, None) => Phase::OwnReread { i: *i },
+            (Phase::OwnReread { i }, Some(v)) => {
+                self.sum += v;
+                self.advance_from(*i)
+            }
+            (phase, obs) => panic!("invalid observe({obs:?}) in {phase:?}"),
+        };
+    }
+}
+
+/// Model algorithm: the Section 5 simple one-shot object for `n`
+/// processes over `⌈n/2⌉` registers.
+#[derive(Debug, Clone)]
+pub struct SimpleModel {
+    n: usize,
+}
+
+impl SimpleModel {
+    /// Creates the model for `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        Self { n }
+    }
+}
+
+impl Algorithm for SimpleModel {
+    type Machine = SimpleMachine;
+
+    fn processes(&self) -> usize {
+        self.n
+    }
+
+    fn registers(&self) -> usize {
+        self.n.div_ceil(2)
+    }
+
+    fn initial_value(&self) -> u64 {
+        0
+    }
+
+    fn invoke(&self, pid: ProcId, op_index: usize) -> SimpleMachine {
+        assert_eq!(op_index, 0, "one-shot object");
+        SimpleMachine::new(pid, self.n)
+    }
+
+    fn compare(&self, t1: &Timestamp, t2: &Timestamp) -> bool {
+        Timestamp::compare(t1, t2)
+    }
+
+    fn ops_per_process(&self) -> Option<usize> {
+        Some(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_model::{Explorer, RandomScheduler, System};
+
+    #[test]
+    fn solo_machine_matches_concrete_algorithm() {
+        let mut sys = System::new(SimpleModel::new(4));
+        let t0 = sys.run_solo_to_completion(0, 100).unwrap();
+        let t1 = sys.run_solo_to_completion(1, 100).unwrap();
+        let t2 = sys.run_solo_to_completion(2, 100).unwrap();
+        // Concrete algorithm sequentially returns sums 1, 2, 3, ...
+        assert_eq!(t0, Timestamp::scalar(1));
+        assert_eq!(t1, Timestamp::scalar(2));
+        assert_eq!(t2, Timestamp::scalar(3));
+    }
+
+    #[test]
+    fn exhaustive_check_two_processes() {
+        let report = Explorer::new(SimpleModel::new(2), 1).run();
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(report.executions > 0);
+    }
+
+    #[test]
+    fn exhaustive_check_three_processes() {
+        let report = Explorer::new(SimpleModel::new(3), 1).run();
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+    }
+
+    #[test]
+    fn exhaustive_check_four_processes() {
+        let report = Explorer::new(SimpleModel::new(4), 1).run();
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+    }
+
+    #[test]
+    fn random_runs_ten_processes() {
+        for seed in 0..20 {
+            let report = RandomScheduler::new(seed).run(SimpleModel::new(10));
+            assert!(report.violation.is_none(), "seed {seed}");
+            assert_eq!(report.completed_ops, 10);
+            assert!(report.registers_written <= 5);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Recorded histories: exact happens-before checking for real threads.
+//!
+//! The model checker verifies the timestamp property over simulated
+//! schedules; this module brings the same check to *real* concurrent
+//! executions. Every `getTS` call is bracketed by ticks of a global
+//! atomic sequencer: if call `a`'s response tick precedes call `b`'s
+//! invocation tick, then `a` really did happen before `b` (the
+//! sequencer is monotone), so `compare` must order their outputs. The
+//! converse direction is conservative — overlapping calls are simply
+//! not constrained — which is exactly the paper's specification.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::error::GetTsError;
+use crate::timestamp::Timestamp;
+
+/// One recorded `getTS` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordedCall {
+    /// The calling process.
+    pub pid: usize,
+    /// Global tick taken immediately before the call.
+    pub invoked: u64,
+    /// Global tick taken immediately after the call returned.
+    pub responded: u64,
+    /// The returned timestamp.
+    pub output: Timestamp,
+}
+
+impl RecordedCall {
+    /// Whether this call provably happened before `other`.
+    pub fn happens_before(&self, other: &RecordedCall) -> bool {
+        self.responded < other.invoked
+    }
+}
+
+/// A pair of recorded calls violating the timestamp property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordedViolation {
+    /// The earlier call.
+    pub earlier: RecordedCall,
+    /// The later call.
+    pub later: RecordedCall,
+}
+
+impl fmt::Display for RecordedViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "p{} returned {} before p{} started, which returned {}",
+            self.earlier.pid, self.earlier.output, self.later.pid, self.later.output
+        )
+    }
+}
+
+/// Records real-time `getTS` intervals and checks the timestamp
+/// property post-hoc.
+///
+/// # Example
+///
+/// ```
+/// use ts_core::{HistoryRecorder, OneShotTimestamp, SimpleOneShot};
+///
+/// let ts = SimpleOneShot::new(2);
+/// let recorder = HistoryRecorder::new();
+/// recorder.record(0, || ts.get_ts(0)).unwrap();
+/// recorder.record(1, || ts.get_ts(1)).unwrap();
+/// assert!(recorder.violations().is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct HistoryRecorder {
+    clock: AtomicU64,
+    calls: Mutex<Vec<RecordedCall>>,
+}
+
+impl HistoryRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `call` for process `pid`, bracketing it with global ticks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the inner call's error (nothing is recorded then).
+    pub fn record(
+        &self,
+        pid: usize,
+        call: impl FnOnce() -> Result<Timestamp, GetTsError>,
+    ) -> Result<Timestamp, GetTsError> {
+        let invoked = self.clock.fetch_add(1, Ordering::SeqCst);
+        let output = call()?;
+        let responded = self.clock.fetch_add(1, Ordering::SeqCst);
+        self.calls
+            .lock()
+            .expect("recorder mutex")
+            .push(RecordedCall {
+                pid,
+                invoked,
+                responded,
+                output,
+            });
+        Ok(output)
+    }
+
+    /// Records an infallible call (e.g. [`crate::GrowableTimestamp`]).
+    pub fn record_infallible(&self, pid: usize, call: impl FnOnce() -> Timestamp) -> Timestamp {
+        self.record(pid, || Ok(call())).expect("infallible call")
+    }
+
+    /// All recorded calls so far (in response order).
+    pub fn calls(&self) -> Vec<RecordedCall> {
+        self.calls.lock().expect("recorder mutex").clone()
+    }
+
+    /// Number of recorded calls.
+    pub fn len(&self) -> usize {
+        self.calls.lock().expect("recorder mutex").len()
+    }
+
+    /// Whether nothing was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Every pair of provably-ordered calls whose outputs `compare`
+    /// wrongly (empty for correct objects).
+    pub fn violations(&self) -> Vec<RecordedViolation> {
+        let calls = self.calls();
+        let mut out = Vec::new();
+        for a in &calls {
+            for b in &calls {
+                if a.happens_before(b) {
+                    let forward = Timestamp::compare(&a.output, &b.output);
+                    let backward = Timestamp::compare(&b.output, &a.output);
+                    if !forward || backward {
+                        out.push(RecordedViolation {
+                            earlier: *a,
+                            later: *b,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broken::BrokenConstant;
+    use crate::simple::SimpleOneShot;
+    use crate::traits::OneShotTimestamp;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_calls_are_ordered_and_clean() {
+        let ts = SimpleOneShot::new(3);
+        let rec = HistoryRecorder::new();
+        for p in 0..3 {
+            rec.record(p, || ts.get_ts(p)).unwrap();
+        }
+        assert_eq!(rec.len(), 3);
+        assert!(rec.violations().is_empty());
+        let calls = rec.calls();
+        assert!(calls[0].happens_before(&calls[1]));
+        assert!(!calls[1].happens_before(&calls[0]));
+    }
+
+    #[test]
+    fn broken_object_is_flagged() {
+        let ts = BrokenConstant::new(2);
+        let rec = HistoryRecorder::new();
+        rec.record(0, || ts.get_ts(0)).unwrap();
+        rec.record(1, || ts.get_ts(1)).unwrap();
+        let violations = rec.violations();
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].to_string().contains("p0"));
+    }
+
+    #[test]
+    fn failed_calls_are_not_recorded() {
+        let ts = SimpleOneShot::new(1);
+        let rec = HistoryRecorder::new();
+        rec.record(0, || ts.get_ts(0)).unwrap();
+        assert!(rec.record(0, || ts.get_ts(0)).is_err());
+        assert_eq!(rec.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_recording_finds_no_false_positives() {
+        let n = 16;
+        let ts = Arc::new(SimpleOneShot::new(n));
+        let rec = Arc::new(HistoryRecorder::new());
+        crossbeam::scope(|s| {
+            for p in 0..n {
+                let ts = Arc::clone(&ts);
+                let rec = Arc::clone(&rec);
+                s.spawn(move |_| {
+                    rec.record(p, || ts.get_ts(p)).unwrap();
+                });
+            }
+        })
+        .unwrap();
+        assert!(rec.violations().is_empty());
+        assert_eq!(rec.len(), n);
+        assert!(!rec.is_empty());
+    }
+}

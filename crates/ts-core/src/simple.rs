@@ -1,0 +1,232 @@
+//! The simple one-shot algorithm of Section 5 (Algorithms 1–2).
+//!
+//! `⌈n/2⌉` registers, each shared by a *pair* of processes and holding a
+//! value in `{0, 1, 2}`. `simple-getTS()` by process `p` walks the array
+//! in order; at `p`'s own register it increments the value; the returned
+//! timestamp is the sum of all values it observed. `simple-compare` is
+//! plain `<` on the sums.
+//!
+//! Correctness (Lemma 5.1) hinges on one-shot-ness: a register only ever
+//! steps `0 → 1 → 2` (a process writes 2 only after observing its
+//! partner's 1), so register values — and therefore sums — never
+//! decrease, and a later `getTS` additionally counts its own increment.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use ts_register::{SpaceMeter, WordRegister};
+
+use crate::error::GetTsError;
+use crate::timestamp::Timestamp;
+use crate::traits::OneShotTimestamp;
+
+/// One-shot timestamp object using `⌈n/2⌉` registers (Algorithms 1–2).
+///
+/// # Example
+///
+/// ```
+/// use ts_core::{OneShotTimestamp, SimpleOneShot, Timestamp};
+///
+/// let ts = SimpleOneShot::new(6); // 3 registers
+/// assert_eq!(ts.registers(), 3);
+/// let a = ts.get_ts(0).unwrap();
+/// let b = ts.get_ts(1).unwrap();
+/// assert!(Timestamp::compare(&a, &b));
+/// ```
+pub struct SimpleOneShot {
+    registers: Vec<WordRegister>,
+    used: Vec<AtomicBool>,
+    meter: SpaceMeter,
+    processes: usize,
+}
+
+impl SimpleOneShot {
+    /// Creates an object for `processes` processes using `⌈n/2⌉`
+    /// registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processes == 0`.
+    pub fn new(processes: usize) -> Self {
+        assert!(processes > 0, "need at least one process");
+        let m = processes.div_ceil(2);
+        Self {
+            registers: (0..m).map(|_| WordRegister::new(0)).collect(),
+            used: (0..processes).map(|_| AtomicBool::new(false)).collect(),
+            meter: SpaceMeter::new(m),
+            processes,
+        }
+    }
+
+    /// The meter recording this object's register traffic.
+    pub fn meter(&self) -> &SpaceMeter {
+        &self.meter
+    }
+
+    fn read(&self, i: usize) -> u64 {
+        self.meter.record_read(i);
+        self.registers[i].read()
+    }
+
+    fn write(&self, i: usize, v: u64) {
+        self.meter.record_write(i);
+        self.registers[i].write(v);
+    }
+}
+
+impl OneShotTimestamp for SimpleOneShot {
+    /// Algorithm 2: walk all registers, incrementing one's own; return
+    /// the sum of observed values as a scalar timestamp.
+    fn get_ts(&self, pid: usize) -> Result<Timestamp, GetTsError> {
+        if pid >= self.processes {
+            return Err(GetTsError::PidOutOfRange {
+                pid,
+                processes: self.processes,
+            });
+        }
+        if self.used[pid].swap(true, Ordering::AcqRel) {
+            return Err(GetTsError::AlreadyUsed { pid });
+        }
+        // Register i is written by processes 2i and 2i+1 (0-indexed).
+        let own = pid / 2;
+        let mut sum = 0u64;
+        for i in 0..self.registers.len() {
+            if i == own {
+                // R[i] := R[i] + 1, then sum := sum + R[i] — read,
+                // write, re-read, exactly as in the pseudocode.
+                let v = self.read(i);
+                self.write(i, v + 1);
+                sum += self.read(i);
+            } else {
+                sum += self.read(i);
+            }
+        }
+        Ok(Timestamp::scalar(sum))
+    }
+
+    fn processes(&self) -> usize {
+        self.processes
+    }
+
+    fn registers(&self) -> usize {
+        self.registers.len()
+    }
+}
+
+impl fmt::Debug for SimpleOneShot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimpleOneShot")
+            .field("processes", &self.processes)
+            .field("registers", &self.registers.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn register_count_is_half_n_rounded_up() {
+        assert_eq!(SimpleOneShot::new(1).registers(), 1);
+        assert_eq!(SimpleOneShot::new(2).registers(), 1);
+        assert_eq!(SimpleOneShot::new(5).registers(), 3);
+        assert_eq!(SimpleOneShot::new(8).registers(), 4);
+    }
+
+    #[test]
+    fn sequential_timestamps_strictly_increase() {
+        let ts = SimpleOneShot::new(8);
+        let mut last = None;
+        for p in 0..8 {
+            let t = ts.get_ts(p).unwrap();
+            if let Some(prev) = last {
+                assert!(
+                    Timestamp::compare(&prev, &t),
+                    "p{p}: {prev} !< {t}"
+                );
+            }
+            last = Some(t);
+        }
+    }
+
+    #[test]
+    fn second_call_is_rejected() {
+        let ts = SimpleOneShot::new(2);
+        ts.get_ts(0).unwrap();
+        assert_eq!(ts.get_ts(0), Err(GetTsError::AlreadyUsed { pid: 0 }));
+    }
+
+    #[test]
+    fn out_of_range_pid_is_rejected() {
+        let ts = SimpleOneShot::new(2);
+        assert!(matches!(
+            ts.get_ts(5),
+            Err(GetTsError::PidOutOfRange { pid: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn register_values_never_exceed_two() {
+        let ts = SimpleOneShot::new(6);
+        for p in 0..6 {
+            ts.get_ts(p).unwrap();
+        }
+        for i in 0..ts.registers() {
+            let v = ts.registers[i].read();
+            assert!(v <= 2, "register {i} = {v}");
+        }
+    }
+
+    #[test]
+    fn space_meter_reports_all_registers_written() {
+        let ts = SimpleOneShot::new(7);
+        for p in 0..7 {
+            ts.get_ts(p).unwrap();
+        }
+        let snap = ts.meter().snapshot();
+        assert_eq!(snap.registers_written(), 4); // ⌈7/2⌉
+    }
+
+    #[test]
+    fn concurrent_rounds_respect_happens_before() {
+        // Round 1: half the processes take timestamps concurrently.
+        // Round 2 (strictly after): the rest. Every round-2 timestamp
+        // must compare above every round-1 timestamp.
+        let n = 16;
+        let ts = Arc::new(SimpleOneShot::new(n));
+        let round1: Vec<Timestamp> = crossbeam::scope(|s| {
+            let handles: Vec<_> = (0..n / 2)
+                .map(|p| {
+                    let ts = Arc::clone(&ts);
+                    s.spawn(move |_| ts.get_ts(p).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+        let round2: Vec<Timestamp> = crossbeam::scope(|s| {
+            let handles: Vec<_> = (n / 2..n)
+                .map(|p| {
+                    let ts = Arc::clone(&ts);
+                    s.spawn(move |_| ts.get_ts(p).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+        for a in &round1 {
+            for b in &round2 {
+                assert!(Timestamp::compare(a, b), "{a} !< {b}");
+                assert!(!Timestamp::compare(b, a), "{b} < {a}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn zero_processes_rejected() {
+        let _ = SimpleOneShot::new(0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Timestamps and the `compare` method (Algorithm 3).
+
+use std::fmt;
+
+/// A timestamp `(rnd, turn)` as returned by Algorithm 4.
+///
+/// `compare` (Algorithm 3 of the paper) orders timestamps
+/// lexicographically without accessing shared memory:
+/// `(rnd1, turn1) < (rnd2, turn2)` iff `rnd1 < rnd2`, or `rnd1 = rnd2`
+/// and `turn1 < turn2`.
+///
+/// Timestamps of the other algorithms in this crate (sums, counter
+/// values) are embedded as `(value, 0)` so that every implementation
+/// returns the same public type.
+///
+/// # Example
+///
+/// ```
+/// use ts_core::Timestamp;
+///
+/// let a = Timestamp::new(2, 1);
+/// let b = Timestamp::new(3, 0);
+/// assert!(Timestamp::compare(&a, &b));
+/// assert!(!Timestamp::compare(&b, &a));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Timestamp {
+    /// The phase/round number.
+    pub rnd: u64,
+    /// The turn within the round (0 for round-opening timestamps).
+    pub turn: u64,
+}
+
+impl Timestamp {
+    /// Creates a timestamp with the given round and turn.
+    pub fn new(rnd: u64, turn: u64) -> Self {
+        Self { rnd, turn }
+    }
+
+    /// Embeds a scalar timestamp (from the simple or collect-max
+    /// algorithms) as `(value, 0)`.
+    pub fn scalar(value: u64) -> Self {
+        Self {
+            rnd: value,
+            turn: 0,
+        }
+    }
+
+    /// Algorithm 3: `compare((rnd1, turn1), (rnd2, turn2))`.
+    ///
+    /// Returns `(rnd1 < rnd2) ∨ ((rnd1 = rnd2) ∧ (turn1 < turn2))`.
+    /// No shared memory is accessed.
+    pub fn compare(t1: &Timestamp, t2: &Timestamp) -> bool {
+        (t1.rnd < t2.rnd) || (t1.rnd == t2.rnd && t1.turn < t2.turn)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.rnd, self.turn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_is_lexicographic() {
+        assert!(Timestamp::compare(
+            &Timestamp::new(1, 9),
+            &Timestamp::new(2, 0)
+        ));
+        assert!(Timestamp::compare(
+            &Timestamp::new(2, 0),
+            &Timestamp::new(2, 1)
+        ));
+        assert!(!Timestamp::compare(
+            &Timestamp::new(2, 1),
+            &Timestamp::new(2, 0)
+        ));
+    }
+
+    #[test]
+    fn compare_is_irreflexive() {
+        let t = Timestamp::new(4, 2);
+        assert!(!Timestamp::compare(&t, &t));
+    }
+
+    #[test]
+    fn compare_agrees_with_derived_ord() {
+        for (a, b) in [
+            (Timestamp::new(0, 0), Timestamp::new(0, 1)),
+            (Timestamp::new(1, 5), Timestamp::new(2, 0)),
+            (Timestamp::new(3, 3), Timestamp::new(3, 3)),
+        ] {
+            assert_eq!(Timestamp::compare(&a, &b), a < b);
+        }
+    }
+
+    #[test]
+    fn scalar_embedding_orders_by_value() {
+        assert!(Timestamp::compare(
+            &Timestamp::scalar(1),
+            &Timestamp::scalar(2)
+        ));
+        assert!(!Timestamp::compare(
+            &Timestamp::scalar(2),
+            &Timestamp::scalar(2)
+        ));
+    }
+
+    #[test]
+    fn display_formats_pair() {
+        assert_eq!(Timestamp::new(3, 1).to_string(), "(3, 1)");
+    }
+}

@@ -1,0 +1,59 @@
+//! Object-level traits for the concrete (thread-safe) implementations.
+
+use crate::error::GetTsError;
+use crate::timestamp::Timestamp;
+
+/// A one-shot unbounded timestamp object: each process may call
+/// [`get_ts`](OneShotTimestamp::get_ts) at most once.
+///
+/// All implementations return the common [`Timestamp`] type and order it
+/// with [`Timestamp::compare`] (Algorithm 3), so objects are
+/// interchangeable in the experiment harness.
+pub trait OneShotTimestamp: Send + Sync {
+    /// Returns a new timestamp for process `pid`.
+    ///
+    /// # Errors
+    ///
+    /// - [`GetTsError::PidOutOfRange`] if `pid >= n`;
+    /// - [`GetTsError::AlreadyUsed`] if `pid` already called `get_ts`.
+    fn get_ts(&self, pid: usize) -> Result<Timestamp, GetTsError>;
+
+    /// Number of processes the object serves.
+    fn processes(&self) -> usize;
+
+    /// Number of shared registers the object allocated.
+    fn registers(&self) -> usize;
+
+    /// `compare(t1, t2)` — no shared memory access.
+    fn compare(t1: &Timestamp, t2: &Timestamp) -> bool
+    where
+        Self: Sized,
+    {
+        Timestamp::compare(t1, t2)
+    }
+}
+
+/// A long-lived unbounded timestamp object: each process may call
+/// [`get_ts`](LongLivedTimestamp::get_ts) arbitrarily many times.
+pub trait LongLivedTimestamp: Send + Sync {
+    /// Returns a new timestamp for process `pid`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GetTsError::PidOutOfRange`] if `pid >= n`.
+    fn get_ts(&self, pid: usize) -> Result<Timestamp, GetTsError>;
+
+    /// Number of processes the object serves.
+    fn processes(&self) -> usize;
+
+    /// Number of shared registers the object allocated.
+    fn registers(&self) -> usize;
+
+    /// `compare(t1, t2)` — no shared memory access.
+    fn compare(t1: &Timestamp, t2: &Timestamp) -> bool
+    where
+        Self: Sized,
+    {
+        Timestamp::compare(t1, t2)
+    }
+}

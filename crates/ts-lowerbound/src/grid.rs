@@ -1,0 +1,161 @@
+//! The geometric grid representation of covering configurations
+//! (Figures 1 and 2).
+//!
+//! A configuration with ordered signature `(s_1, ..., s_m)` is drawn on
+//! an `m`-column grid: column `c` has its lowest `s_c` cells shaded (each
+//! shaded cell is one covering process). An `ℓ`-constrained configuration
+//! keeps all shading strictly below the *stepped diagonal* that starts at
+//! height `ℓ − 1` in column 1 and descends one cell per column. Figure 1
+//! is the moment a column first reaches the diagonal; Figure 2 shows the
+//! two cases of the inductive step.
+
+use crate::signature::OrderedSignature;
+
+/// A renderable covering grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grid {
+    ordered: OrderedSignature,
+    l: usize,
+}
+
+impl Grid {
+    /// Builds a grid for an ordered signature under an `ℓ` constraint.
+    pub fn new(ordered: OrderedSignature, l: usize) -> Self {
+        Self { ordered, l }
+    }
+
+    /// The ordered signature being drawn.
+    pub fn ordered(&self) -> &OrderedSignature {
+        &self.ordered
+    }
+
+    /// The `ℓ` parameter (diagonal height at column 1 is `ℓ − 1`).
+    pub fn l(&self) -> usize {
+        self.l
+    }
+
+    /// Height of the stepped diagonal over column `c` (1-based):
+    /// `ℓ − c`, the maximum shading an `ℓ`-constrained configuration
+    /// permits there.
+    pub fn diagonal_height(&self, c: usize) -> usize {
+        self.l.saturating_sub(c)
+    }
+
+    /// ASCII rendering.
+    ///
+    /// - `#` shaded cell (a covering process)
+    /// - `*` shaded cell **on** the diagonal (the column has reached it)
+    /// - `/` unshaded diagonal cell
+    /// - `.` unshaded cell below the diagonal
+    /// - ` ` above the diagonal
+    ///
+    /// Rows print top-down from height `ℓ − 1` (or the tallest column)
+    /// to height 1; a baseline and column indices close the figure.
+    pub fn render(&self) -> String {
+        let m = self.ordered.width().max(self.l.saturating_sub(1));
+        let max_height = (1..=m)
+            .map(|c| self.ordered.s(c))
+            .max()
+            .unwrap_or(0)
+            .max(self.l.saturating_sub(1));
+        let mut out = String::new();
+        for h in (1..=max_height).rev() {
+            out.push_str(&format!("{h:>3} |"));
+            for c in 1..=m {
+                let shaded = self.ordered.s(c) >= h;
+                let diag = self.diagonal_height(c) == h;
+                let ch = match (shaded, diag) {
+                    (true, true) => '*',
+                    (true, false) => '#',
+                    (false, true) => '/',
+                    (false, false) => {
+                        if h < self.diagonal_height(c) {
+                            '.'
+                        } else {
+                            ' '
+                        }
+                    }
+                };
+                out.push(ch);
+            }
+            out.push('\n');
+        }
+        out.push_str("    +");
+        out.push_str(&"-".repeat(m));
+        out.push('\n');
+        out.push_str("     ");
+        for c in 1..=m {
+            out.push_str(&(c % 10).to_string());
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Renders two grids side by side with a label row (Figure 2's
+/// before/after presentation).
+pub fn render_pair(left: &Grid, left_label: &str, right: &Grid, right_label: &str) -> String {
+    let l_lines: Vec<String> = left.render().lines().map(String::from).collect();
+    let r_lines: Vec<String> = right.render().lines().map(String::from).collect();
+    let l_width = l_lines.iter().map(String::len).max().unwrap_or(0).max(left_label.len());
+    let rows = l_lines.len().max(r_lines.len());
+    let mut out = format!("{left_label:<l_width$}   {right_label}\n");
+    for i in 0..rows {
+        let l = l_lines.get(i).map(String::as_str).unwrap_or("");
+        let r = r_lines.get(i).map(String::as_str).unwrap_or("");
+        out.push_str(&format!("{l:<l_width$}   {r}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(sig: &[usize], l: usize) -> Grid {
+        Grid::new(OrderedSignature::from_signature(sig), l)
+    }
+
+    #[test]
+    fn diagonal_height_descends() {
+        let g = grid(&[0, 0, 0, 0], 5);
+        assert_eq!(g.diagonal_height(1), 4);
+        assert_eq!(g.diagonal_height(4), 1);
+        assert_eq!(g.diagonal_height(5), 0);
+        assert_eq!(g.diagonal_height(9), 0);
+    }
+
+    #[test]
+    fn render_marks_column_reaching_diagonal() {
+        // ℓ = 4, sig (3, 0, 0): column 1 shaded to height 3 = ℓ − 1 → '*'.
+        let g = grid(&[3, 0, 0], 4);
+        let art = g.render();
+        assert!(art.contains('*'), "expected diagonal hit:\n{art}");
+        // Empty columns keep an unshaded diagonal marker.
+        assert!(art.contains('/'), "expected empty diagonal cells:\n{art}");
+    }
+
+    #[test]
+    fn render_has_one_row_per_height() {
+        let g = grid(&[2, 1], 4);
+        let art = g.render();
+        // heights 3, 2, 1 + baseline + indices = 5 lines
+        assert_eq!(art.lines().count(), 5, "{art}");
+    }
+
+    #[test]
+    fn pair_rendering_aligns_labels() {
+        let a = grid(&[2, 1], 3);
+        let b = grid(&[2, 2], 3);
+        let art = render_pair(&a, "before", &b, "after");
+        assert!(art.lines().next().unwrap().contains("before"));
+        assert!(art.lines().next().unwrap().contains("after"));
+    }
+
+    #[test]
+    fn zero_grid_renders_baseline_only_plus_diagonal_rows() {
+        let g = grid(&[], 0);
+        let art = g.render();
+        assert!(art.contains('+'));
+    }
+}

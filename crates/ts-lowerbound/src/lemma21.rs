@@ -1,0 +1,133 @@
+//! Executable analogue of Lemma 2.1 (Ellen, Fatourou, Ruppert).
+//!
+//! The lemma: if disjoint process sets `B0, B1, B2` each cover a register
+//! set `R` in a reachable configuration `C`, then for at least one
+//! `i ∈ {0, 1}`, every `Ui`-only execution from `π_{Bi}(C)` containing a
+//! complete `getTS()` writes outside `R`. For a *deterministic* algorithm
+//! the disjunction is decidable by simulation: run each candidate after
+//! the corresponding block-write and watch for an outside write.
+//!
+//! The executable form doubles as a correctness probe: if *neither*
+//! candidate writes outside `R`, the lemma's proof shows how to build two
+//! indistinguishable executions with oppositely-ordered `getTS` calls —
+//! i.e. the algorithm under test is wrong (or not a timestamp object).
+
+use ts_model::{solo_run, Algorithm, ProcId, SoloOutcome, System};
+
+/// Result of probing Lemma 2.1 on a configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lemma21Outcome {
+    /// Whether candidate `q0` (after `π_{B0}`) wrote/covers outside `R`.
+    pub q0_escapes: bool,
+    /// Whether candidate `q1` (after `π_{B1}`) wrote/covers outside `R`.
+    pub q1_escapes: bool,
+}
+
+impl Lemma21Outcome {
+    /// The index `i` guaranteed by the lemma, preferring `0`.
+    pub fn witness(&self) -> Option<usize> {
+        if self.q0_escapes {
+            Some(0)
+        } else if self.q1_escapes {
+            Some(1)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the lemma's guarantee held (it must, for correct
+    /// algorithms).
+    pub fn holds(&self) -> bool {
+        self.q0_escapes || self.q1_escapes
+    }
+}
+
+/// Probes Lemma 2.1: from (a clone of) `sys`, for each `i ∈ {0, 1}`,
+/// performs the block-write `π_{Bi}` and runs `q_i` solo; reports which
+/// candidates are forced outside `R` before completing a `getTS`.
+///
+/// `b0`/`b1` must currently cover registers (each scheduled step must be
+/// a write); `q0`/`q1` should have an invocation available.
+///
+/// # Panics
+///
+/// Panics if a block-write step fails (e.g. a member of `b0`/`b1` is not
+/// actually poised) or the solo run exhausts `budget` (a solo-termination
+/// violation).
+pub fn probe<A: Algorithm + Clone>(
+    sys: &System<A>,
+    b0: &[ProcId],
+    b1: &[ProcId],
+    q0: ProcId,
+    q1: ProcId,
+    covered: &[usize],
+    budget: usize,
+) -> Lemma21Outcome {
+    let escapes = |block: &[ProcId], q: ProcId| -> bool {
+        let mut trial = sys.clone();
+        let mut sorted = block.to_vec();
+        sorted.sort_unstable();
+        for &p in &sorted {
+            trial.step(p).expect("block-write member steps");
+        }
+        match solo_run(&mut trial, q, covered, budget).expect("candidate steps") {
+            SoloOutcome::CoversOutside { .. } => true,
+            SoloOutcome::Completed { .. } => false,
+            SoloOutcome::BudgetExhausted => {
+                panic!("candidate q{q} exhausted {budget} steps — solo termination violated")
+            }
+        }
+    };
+    Lemma21Outcome {
+        q0_escapes: escapes(b0, q0),
+        q1_escapes: escapes(b1, q1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_core::model::{BoundedModel, SimpleModel};
+    use ts_model::SoloOutcome;
+
+    #[test]
+    fn fresh_bounded_system_forces_everyone_outside_empty_r() {
+        // With R = ∅ and empty blocks, both candidates must escape: every
+        // getTS writes somewhere.
+        let sys = System::new(BoundedModel::new(4));
+        let outcome = probe(&sys, &[], &[], 0, 1, &[], 100_000);
+        assert!(outcome.q0_escapes && outcome.q1_escapes);
+        assert_eq!(outcome.witness(), Some(0));
+        assert!(outcome.holds());
+    }
+
+    #[test]
+    fn covered_register_forces_escape_to_a_new_one() {
+        // Pause p0 and p1 covering register 0 (their phase-1 opening
+        // write), then block-write with p0 and probe fresh processes:
+        // they must cover a register outside {0}.
+        let mut sys = System::new(BoundedModel::new(6));
+        for p in 0..2 {
+            let out = solo_run(&mut sys, p, &[], 100_000).unwrap();
+            assert_eq!(out.covered(), Some(0));
+        }
+        let outcome = probe(&sys, &[0], &[1], 2, 3, &[0], 100_000);
+        assert!(
+            outcome.holds(),
+            "Lemma 2.1 must hold for a correct algorithm: {outcome:?}"
+        );
+    }
+
+    #[test]
+    fn simple_model_candidates_escape_protected_pair_register() {
+        // Protect register 0 (owned by p0/p1); candidates p2, p3 write
+        // register 1 — outside R — as the lemma forces.
+        let mut sys = System::new(SimpleModel::new(6));
+        let out = solo_run(&mut sys, 0, &[], 1000).unwrap();
+        assert!(matches!(out, SoloOutcome::CoversOutside { reg: 0, .. }));
+        let out = solo_run(&mut sys, 1, &[], 1000).unwrap();
+        assert!(matches!(out, SoloOutcome::CoversOutside { reg: 0, .. }));
+        let outcome = probe(&sys, &[0], &[1], 2, 3, &[0], 1000);
+        assert!(outcome.q0_escapes && outcome.q1_escapes);
+    }
+}

@@ -1,0 +1,242 @@
+//! Executable Lemma 4.1: force all but one idle process to cover
+//! registers outside a protected set.
+//!
+//! Lemma 4.1 strengthens Lemma 2.1 by induction: given disjoint sets
+//! `B0, B1, B2` covering `R` and a set `U` of idle processes
+//! (`|U| ≥ 2`), there is a schedule `β σ β′ σ′` (block-writes
+//! interleaved with solo chains) after which **all but one** process of
+//! `U` covers a register outside `R`.
+//!
+//! The proof builds two *chains* `δ_0, δ_1` — concatenations of solo
+//! schedules by distinct processes of `U`, each truncated at the point
+//! where the process covers a register outside `R`, except the last,
+//! which runs a complete `getTS`. At every step Lemma 2.1 guarantees
+//! that at least one chain's last process can be forced outside `R`
+//! (after that chain's block-write); that chain absorbs the next
+//! process of `U`. For deterministic algorithms the whole induction is
+//! directly executable: probing a chain is replaying it on a clone.
+
+use ts_model::{block_write_schedule, solo_run, Algorithm, ProcId, SoloOutcome, System};
+
+/// The outcome of running the Lemma 4.1 construction.
+#[derive(Debug, Clone)]
+pub struct Lemma41Report {
+    /// Which block-write (`0` for `B0`, `1` for `B1`) comes first — the
+    /// `β` of the lemma's schedule `β σ β′ σ′`.
+    pub first_block: usize,
+    /// `participants(σ)`: the chain run after the first block-write.
+    pub sigma: Vec<ProcId>,
+    /// `participants(σ′)`: the chain run after the second block-write.
+    pub sigma_prime: Vec<ProcId>,
+    /// The one process of `U` left out (part (d): `|σ| + |σ′| = |U| − 1`).
+    pub excluded: ProcId,
+    /// Registers covered outside the protected set in the final
+    /// configuration, by the participants.
+    pub covers_outside: Vec<(ProcId, usize)>,
+    /// Set when neither chain's candidate could be forced outside `R` —
+    /// for a correct timestamp implementation this is impossible
+    /// (it contradicts Lemma 2.1), so it flags a broken algorithm.
+    pub lemma_violated: bool,
+}
+
+/// Runs the Lemma 4.1 construction from configuration `sys` (not
+/// modified; all probing happens on clones) and returns both the
+/// schedule structure and the resulting system.
+///
+/// `b0`/`b1` must be disjoint covering sets for `covered` (every member
+/// poised on a write into it), and `u` the idle candidates, all
+/// distinct from `b0 ∪ b1`.
+///
+/// # Panics
+///
+/// Panics if `u.len() < 2`, if a replayed chain member fails to pause
+/// where it paused before (non-determinism — machines must be
+/// deterministic), or if a solo run exceeds `budget` steps.
+pub fn lemma41<A: Algorithm + Clone>(
+    sys: &System<A>,
+    b0: &[ProcId],
+    b1: &[ProcId],
+    u: &[ProcId],
+    covered: &[usize],
+    budget: usize,
+) -> (Lemma41Report, System<A>) {
+    assert!(u.len() >= 2, "Lemma 4.1 needs |U| ≥ 2");
+    let blocks = [b0, b1];
+
+    // Replays `chain` after block-write `π_{B_i}` on a clone; pauses every
+    // member at its escape point and returns whether the *last* member
+    // escapes (covers outside) or completes its getTS.
+    let replay = |i: usize, chain: &[ProcId]| -> bool {
+        let mut trial = sys.clone();
+        trial
+            .run(&block_write_schedule(blocks[i]))
+            .expect("block-write members are poised");
+        let (members, last) = chain.split_at(chain.len() - 1);
+        for &p in members {
+            let out = solo_run(&mut trial, p, covered, budget).expect("chain member steps");
+            assert!(
+                out.covered().is_some(),
+                "replayed member p{p} failed to pause — machines must be deterministic"
+            );
+        }
+        match solo_run(&mut trial, last[0], covered, budget).expect("chain last steps") {
+            SoloOutcome::CoversOutside { .. } => true,
+            SoloOutcome::Completed { .. } => false,
+            SoloOutcome::BudgetExhausted => panic!("solo termination violated"),
+        }
+    };
+
+    // The induction: two chains, each seeded with one process of U.
+    let mut chains: [Vec<ProcId>; 2] = [vec![u[0]], vec![u[1]]];
+    let mut next = 2;
+    let mut violated = false;
+    while next < u.len() {
+        let j = if replay(0, &chains[0]) {
+            0
+        } else if replay(1, &chains[1]) {
+            1
+        } else {
+            violated = true;
+            break;
+        };
+        // The escaping chain's last member is truncated at its escape
+        // point (replay does that implicitly) and the next process of U
+        // is appended as the new running last.
+        chains[j].push(u[next]);
+        next += 1;
+    }
+
+    // Final Lemma 2.1 application: whichever chain's last escapes is σ;
+    // the other chain drops its last process entirely (the excluded
+    // process of part (d)).
+    let j = if replay(0, &chains[0]) {
+        0
+    } else if replay(1, &chains[1]) {
+        1
+    } else {
+        violated = true;
+        0
+    };
+    let excluded = *chains[1 - j].last().expect("chains are non-empty");
+    let short_chain: Vec<ProcId> = chains[1 - j][..chains[1 - j].len() - 1].to_vec();
+
+    // Apply for real: β = π_{B_j}, σ = chain j (all paused at escapes),
+    // β′ = π_{B_{1−j}}, σ′ = the other chain minus its last.
+    let mut result = sys.clone();
+    result
+        .run(&block_write_schedule(blocks[j]))
+        .expect("block-write members are poised");
+    for &p in &chains[j] {
+        let out = solo_run(&mut result, p, covered, budget).expect("sigma member steps");
+        if out.covered().is_none() && !violated {
+            // Only the theoretical-violation path may complete here.
+            violated = true;
+        }
+    }
+    result
+        .run(&block_write_schedule(blocks[1 - j]))
+        .expect("second block-write members are poised");
+    for &p in &short_chain {
+        let out = solo_run(&mut result, p, covered, budget).expect("sigma' member steps");
+        if out.covered().is_none() && !violated {
+            violated = true;
+        }
+    }
+
+    let covers_outside: Vec<(ProcId, usize)> = chains[j]
+        .iter()
+        .chain(&short_chain)
+        .filter_map(|&p| result.config().covers(p).map(|r| (p, r)))
+        .filter(|(_, r)| !covered.contains(r))
+        .collect();
+
+    (
+        Lemma41Report {
+            first_block: j,
+            sigma: chains[j].clone(),
+            sigma_prime: short_chain,
+            excluded,
+            covers_outside,
+            lemma_violated: violated,
+        },
+        result,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_core::model::BoundedModel;
+
+    const BUDGET: usize = 1_000_000;
+
+    /// Sets up Algorithm 4's model with `coverers` processes paused on
+    /// R[1] (model register 0).
+    fn covered_setup(n: usize, coverers: usize) -> System<BoundedModel> {
+        let mut sys = System::new(BoundedModel::new(n));
+        for p in 0..coverers {
+            let out = solo_run(&mut sys, p, &[], BUDGET).unwrap();
+            assert_eq!(out.covered(), Some(0));
+        }
+        sys
+    }
+
+    #[test]
+    fn all_but_one_idle_process_is_forced_outside() {
+        let n = 10;
+        let sys = covered_setup(n, 3);
+        let u: Vec<ProcId> = (3..n).collect(); // 7 idle processes
+        let (report, result) = lemma41(&sys, &[0], &[1], &u, &[0], BUDGET);
+        assert!(!report.lemma_violated, "{report:?}");
+        // Part (d): |σ| + |σ′| = |U| − 1.
+        assert_eq!(
+            report.sigma.len() + report.sigma_prime.len(),
+            u.len() - 1,
+            "{report:?}"
+        );
+        // Part (e): the first chain is the larger half.
+        assert!(report.sigma.len() >= report.sigma_prime.len());
+        // Part (b): every participant covers outside R.
+        assert_eq!(
+            report.covers_outside.len(),
+            u.len() - 1,
+            "everyone must cover outside: {report:?}"
+        );
+        for &(p, r) in &report.covers_outside {
+            assert_ne!(r, 0, "p{p} covers the protected register");
+            assert_eq!(result.config().covers(p), Some(r));
+        }
+        // Part (c): the excluded process is in U and not a participant.
+        assert!(u.contains(&report.excluded));
+        assert!(!report.sigma.contains(&report.excluded));
+        assert!(!report.sigma_prime.contains(&report.excluded));
+    }
+
+    #[test]
+    fn works_with_minimal_u() {
+        let sys = covered_setup(6, 2);
+        let u: Vec<ProcId> = vec![2, 3];
+        let (report, _) = lemma41(&sys, &[0], &[1], &u, &[0], BUDGET);
+        assert!(!report.lemma_violated);
+        assert_eq!(report.sigma.len() + report.sigma_prime.len(), 1);
+        assert_eq!(report.covers_outside.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "|U| ≥ 2")]
+    fn rejects_singleton_u() {
+        let sys = covered_setup(4, 2);
+        let _ = lemma41(&sys, &[0], &[1], &[2], &[0], BUDGET);
+    }
+
+    #[test]
+    fn empty_blocks_from_initial_configuration() {
+        // The construction's very first application uses B0 = B1 = ∅
+        // and R = ∅: every process must end up covering something.
+        let sys = System::new(BoundedModel::new(6));
+        let u: Vec<ProcId> = (0..6).collect();
+        let (report, _) = lemma41(&sys, &[], &[], &u, &[], BUDGET);
+        assert!(!report.lemma_violated);
+        assert_eq!(report.covers_outside.len(), 5);
+    }
+}

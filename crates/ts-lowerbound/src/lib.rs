@@ -1,0 +1,51 @@
+//! Covering-argument machinery and executable lower-bound constructions.
+//!
+//! The paper's lower bounds (Theorems 1.1 and 1.2) are proved by
+//! *covering arguments* (Burns–Lynch style): an adversary builds an
+//! execution in which many processes are poised to write ("cover")
+//! distinct registers, so the registers must exist. The proofs are
+//! statements about all algorithms, but their constructions are
+//! *effective procedures* given a deterministic algorithm: run a process
+//! solo until it is about to write outside the protected set, perform
+//! block-writes to obliterate traces, repeat.
+//!
+//! This crate makes the machinery concrete:
+//!
+//! - [`bounds`] — the closed-form bound functions of the theorems;
+//! - [`signature`] — signatures, ordered signatures,
+//!   `(3,k)`-configurations, `ℓ`-constrained / `(j,k)`-full predicates
+//!   (Sections 3–4);
+//! - [`grid`] — the geometric grid representation of Figures 1–2, with
+//!   ASCII rendering;
+//! - [`lemma21`] — an executable analogue of Lemma 2.1 (Ellen, Fatourou,
+//!   Ruppert): decide which of two processes can be forced to write
+//!   outside a covered set;
+//! - [`lemma41`] — the full Lemma 4.1 induction: force all but one idle
+//!   process to cover registers outside the protected set, via two
+//!   block-writes and truncated solo chains;
+//! - [`oneshot`] — the Section 4 construction, run against our one-shot
+//!   model algorithms, producing real `(j,k)`-full configurations and the
+//!   Figure 1/2 artifacts;
+//! - [`longlived`] — the Lemma 3.1/3.2 construction for long-lived
+//!   algorithms, producing `(3,k)`-configurations.
+//!
+//! # Example
+//!
+//! ```
+//! use ts_core::model::BoundedModel;
+//! use ts_lowerbound::oneshot::OneShotConstruction;
+//!
+//! let report = OneShotConstruction::run(BoundedModel::new(16));
+//! assert!(report.final_covered >= 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bounds;
+pub mod grid;
+pub mod lemma21;
+pub mod lemma41;
+pub mod longlived;
+pub mod oneshot;
+pub mod signature;

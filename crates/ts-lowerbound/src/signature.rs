@@ -1,0 +1,177 @@
+//! Signatures, ordered signatures, and the fullness predicates of
+//! Sections 3–4.
+
+/// The signature `sig(C) = (c_1, ..., c_m)`: per register, the number of
+/// processes covering it (Section 3).
+pub type Signature = Vec<usize>;
+
+/// The ordered signature `ordSig(C)`: the signature's entries sorted
+/// non-increasingly (Section 4).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OrderedSignature {
+    entries: Vec<usize>,
+}
+
+impl OrderedSignature {
+    /// Orders a signature (non-increasing).
+    pub fn from_signature(sig: &[usize]) -> Self {
+        let mut entries = sig.to_vec();
+        entries.sort_unstable_by(|a, b| b.cmp(a));
+        Self { entries }
+    }
+
+    /// The sorted entries `s_1 ≥ s_2 ≥ ...` (0-indexed storage).
+    pub fn entries(&self) -> &[usize] {
+        &self.entries
+    }
+
+    /// `s_c` with the paper's 1-based indexing; 0 beyond the width.
+    pub fn s(&self, c: usize) -> usize {
+        assert!(c >= 1, "ordered signatures are 1-indexed");
+        self.entries.get(c - 1).copied().unwrap_or(0)
+    }
+
+    /// Number of columns (registers).
+    pub fn width(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `ℓ`-constrained: `s_c ≤ ℓ − c` for every `1 ≤ c ≤ ℓ`.
+    pub fn is_constrained(&self, l: usize) -> bool {
+        (1..=l).all(|c| self.s(c) <= l.saturating_sub(c))
+    }
+
+    /// `(j, k)`-full: at least `j` registers each covered by ≥ `k`
+    /// processes — in ordered form, `s_j ≥ k`.
+    pub fn is_full(&self, j: usize, k: usize) -> bool {
+        j >= 1 && self.s(j) >= k
+    }
+
+    /// The first column `j` that reaches the stepped diagonal of an
+    /// `ℓ`-grid, i.e. the least `j` with `s_j ≥ ℓ − j` (Figure 1).
+    pub fn diagonal_column(&self, l: usize) -> Option<usize> {
+        (1..=self.width().max(l)).find(|&j| self.s(j) >= l.saturating_sub(j) && self.s(j) > 0)
+    }
+
+    /// Total number of covering processes `Σ s_c`.
+    pub fn total(&self) -> usize {
+        self.entries.iter().sum()
+    }
+
+    /// Number of registers covered at least once.
+    pub fn covered(&self) -> usize {
+        self.entries.iter().filter(|&&s| s > 0).count()
+    }
+}
+
+/// Whether `sig` is a `(3, k)`-signature: `Σ c_i = k` and every
+/// `c_i ≤ 3` (Section 3). Returns `k`.
+pub fn as_3k_configuration(sig: &[usize]) -> Option<usize> {
+    if sig.iter().all(|&c| c <= 3) {
+        Some(sig.iter().sum())
+    } else {
+        None
+    }
+}
+
+/// `R3(C)`: the registers whose signature entry equals 3.
+pub fn r3(sig: &[usize]) -> Vec<usize> {
+    sig.iter()
+        .enumerate()
+        .filter_map(|(i, &c)| (c == 3).then_some(i))
+        .collect()
+}
+
+/// A set of `j` register indices each covered by at least `k` processes
+/// (a witness for `(j, k)`-fullness), taking the most-covered registers
+/// first. `None` if no such set exists.
+pub fn full_register_set(sig: &[usize], j: usize, k: usize) -> Option<Vec<usize>> {
+    let mut indexed: Vec<(usize, usize)> =
+        sig.iter().copied().enumerate().collect();
+    indexed.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    let chosen: Vec<usize> = indexed
+        .into_iter()
+        .take_while(|&(_, c)| c >= k)
+        .map(|(i, _)| i)
+        .take(j)
+        .collect();
+    (chosen.len() == j).then_some(chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_signature_sorts_descending() {
+        let o = OrderedSignature::from_signature(&[1, 3, 0, 2]);
+        assert_eq!(o.entries(), &[3, 2, 1, 0]);
+        assert_eq!(o.s(1), 3);
+        assert_eq!(o.s(4), 0);
+        assert_eq!(o.s(9), 0); // beyond width
+        assert_eq!(o.total(), 6);
+        assert_eq!(o.covered(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-indexed")]
+    fn s_zero_panics() {
+        let o = OrderedSignature::from_signature(&[1]);
+        let _ = o.s(0);
+    }
+
+    #[test]
+    fn constrained_matches_definition() {
+        // ℓ = 4: need s_1 ≤ 3, s_2 ≤ 2, s_3 ≤ 1, s_4 ≤ 0.
+        assert!(OrderedSignature::from_signature(&[3, 2, 1, 0]).is_constrained(4));
+        assert!(!OrderedSignature::from_signature(&[4, 0, 0, 0]).is_constrained(4));
+        assert!(!OrderedSignature::from_signature(&[3, 2, 1, 1]).is_constrained(4));
+        // Vacuous for ℓ = 0.
+        assert!(OrderedSignature::from_signature(&[]).is_constrained(0));
+    }
+
+    #[test]
+    fn fullness_matches_definition() {
+        let o = OrderedSignature::from_signature(&[2, 5, 3]);
+        // ordered: 5, 3, 2
+        assert!(o.is_full(1, 5));
+        assert!(o.is_full(2, 3));
+        assert!(o.is_full(3, 2));
+        assert!(!o.is_full(2, 4));
+        assert!(!o.is_full(0, 1)); // j must be ≥ 1
+    }
+
+    #[test]
+    fn diagonal_column_finds_figure1_column() {
+        // ℓ = 5 grid; ordered sig (2,2,2,0,...): s_3 = 2 ≥ 5 − 3.
+        let o = OrderedSignature::from_signature(&[2, 2, 2, 0, 0]);
+        assert_eq!(o.diagonal_column(5), Some(3));
+        // A tall first column reaches immediately: s_1 = 4 ≥ 5 − 1.
+        let o = OrderedSignature::from_signature(&[4, 0, 0, 0, 0]);
+        assert_eq!(o.diagonal_column(5), Some(1));
+        // Nothing covered: no column.
+        let o = OrderedSignature::from_signature(&[0, 0]);
+        assert_eq!(o.diagonal_column(5), None);
+    }
+
+    #[test]
+    fn three_k_configuration_detection() {
+        assert_eq!(as_3k_configuration(&[3, 2, 0, 1]), Some(6));
+        assert_eq!(as_3k_configuration(&[4, 0]), None);
+        assert_eq!(as_3k_configuration(&[]), Some(0));
+    }
+
+    #[test]
+    fn r3_finds_triple_covered_registers() {
+        assert_eq!(r3(&[3, 1, 3, 0]), vec![0, 2]);
+        assert!(r3(&[2, 2]).is_empty());
+    }
+
+    #[test]
+    fn full_register_set_picks_witnesses() {
+        let sig = [1, 4, 2, 4];
+        assert_eq!(full_register_set(&sig, 2, 4), Some(vec![1, 3]));
+        assert_eq!(full_register_set(&sig, 3, 2), Some(vec![1, 3, 2]));
+        assert_eq!(full_register_set(&sig, 3, 4), None);
+    }
+}

@@ -1,0 +1,164 @@
+//! Randomized schedulers for configurations too large to explore
+//! exhaustively.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::algorithm::Algorithm;
+use crate::history::PropertyViolation;
+use crate::machine::Machine;
+use crate::schedule::ProcId;
+use crate::system::System;
+
+/// Result of one randomized run.
+#[derive(Debug, Clone)]
+pub struct RandomRunReport<O> {
+    /// Steps taken.
+    pub steps: usize,
+    /// Operations completed.
+    pub completed_ops: usize,
+    /// Registers written at least once.
+    pub registers_written: usize,
+    /// The schedule that was executed.
+    pub schedule: Vec<ProcId>,
+    /// First property violation in the final history, if any.
+    pub violation: Option<PropertyViolation<O>>,
+}
+
+/// A seeded uniform random scheduler.
+///
+/// At every step, picks uniformly among enabled processes until every
+/// process has exhausted its invocation budget and completed. Reproducible
+/// from the seed, so failures can be replayed.
+///
+/// # Example
+///
+/// ```
+/// use ts_model::RandomScheduler;
+/// use ts_model::toy::CounterAlgorithm;
+///
+/// let report = RandomScheduler::new(42).ops_per_process(1).run(CounterAlgorithm::new(2));
+/// assert_eq!(report.completed_ops, 2);
+/// assert!(report.violation.is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomScheduler {
+    seed: u64,
+    ops_per_process: usize,
+    max_steps: usize,
+}
+
+impl RandomScheduler {
+    /// Creates a scheduler with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            ops_per_process: 1,
+            max_steps: 1_000_000,
+        }
+    }
+
+    /// Sets how many operations each process performs (clamped by the
+    /// algorithm's own one-shot limit).
+    pub fn ops_per_process(mut self, ops: usize) -> Self {
+        self.ops_per_process = ops;
+        self
+    }
+
+    /// Sets the safety cap on total steps.
+    pub fn max_steps(mut self, max_steps: usize) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Runs the algorithm to quiescence under a random schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run does not finish within the step cap (a progress
+    /// failure for wait-free algorithms).
+    pub fn run<A: Algorithm>(
+        &self,
+        algorithm: A,
+    ) -> RandomRunReport<<A::Machine as Machine>::Output> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut sys = System::new(algorithm);
+        let mut schedule = Vec::new();
+        let mut steps = 0usize;
+        loop {
+            let enabled: Vec<ProcId> = (0..sys.config().processes())
+                .filter(|&p| {
+                    if sys.config().procs[p].is_some() {
+                        return true;
+                    }
+                    let own_limit = sys
+                        .algorithm()
+                        .ops_per_process()
+                        .unwrap_or(self.ops_per_process);
+                    sys.started(p) < own_limit.min(self.ops_per_process)
+                })
+                .collect();
+            if enabled.is_empty() {
+                break;
+            }
+            assert!(
+                steps < self.max_steps,
+                "random run exceeded {} steps — progress failure",
+                self.max_steps
+            );
+            let pid = enabled[rng.random_range(0..enabled.len())];
+            sys.step(pid).expect("enabled process steps");
+            schedule.push(pid);
+            steps += 1;
+        }
+        RandomRunReport {
+            steps,
+            completed_ops: sys.history().completed().len(),
+            registers_written: sys.registers_written(),
+            schedule,
+            violation: sys.check_property(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::{ConstantAlgorithm, CounterAlgorithm};
+
+    #[test]
+    fn random_runs_are_reproducible() {
+        let a = RandomScheduler::new(7).run(CounterAlgorithm::new(3));
+        let b = RandomScheduler::new(7).run(CounterAlgorithm::new(3));
+        assert_eq!(a.schedule, b.schedule);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = RandomScheduler::new(1).run(CounterAlgorithm::new(3));
+        let b = RandomScheduler::new(2).run(CounterAlgorithm::new(3));
+        // Not guaranteed in principle, but overwhelmingly likely; if this
+        // ever flakes the seeds can be adjusted.
+        assert_ne!(a.schedule, b.schedule);
+    }
+
+    #[test]
+    fn constant_algorithm_violations_show_up_in_random_runs() {
+        // With sequentialized completions a violation is likely but not
+        // certain per seed; scan a few seeds.
+        let found = (0..50).any(|seed| {
+            RandomScheduler::new(seed)
+                .run(ConstantAlgorithm::new(3))
+                .violation
+                .is_some()
+        });
+        assert!(found, "no seed exposed the broken algorithm");
+    }
+
+    #[test]
+    fn all_ops_complete() {
+        let report = RandomScheduler::new(3).run(CounterAlgorithm::new(5));
+        assert_eq!(report.completed_ops, 5);
+        assert_eq!(report.registers_written, 1);
+    }
+}

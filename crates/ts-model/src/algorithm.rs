@@ -1,0 +1,79 @@
+//! Algorithm factories: mint a step machine per method invocation.
+
+use crate::machine::Machine;
+use crate::schedule::ProcId;
+
+/// A timestamp algorithm expressed over the formal model.
+///
+/// An `Algorithm` owns the static parameters (number of processes,
+/// number of registers, initial register value) and mints a fresh
+/// [`Machine`] for every `getTS()` invocation. It also provides the
+/// `compare` predicate on outputs — like the paper's `compare`, it must
+/// not touch shared memory.
+pub trait Algorithm {
+    /// The step machine for one `getTS()` call.
+    type Machine: Machine;
+
+    /// Number of processes the instance is configured for.
+    fn processes(&self) -> usize;
+
+    /// Number of shared registers the instance uses.
+    fn registers(&self) -> usize;
+
+    /// The initial value of every register (the paper's `⊥`).
+    fn initial_value(&self) -> <Self::Machine as Machine>::Value;
+
+    /// Creates the machine for process `pid`'s `op_index`-th invocation
+    /// (`op_index` counts from 0).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `pid >= self.processes()` or if
+    /// `op_index` exceeds [`Algorithm::ops_per_process`].
+    fn invoke(&self, pid: ProcId, op_index: usize) -> Self::Machine;
+
+    /// The `compare(t1, t2)` predicate on outputs.
+    fn compare(
+        &self,
+        t1: &<Self::Machine as Machine>::Output,
+        t2: &<Self::Machine as Machine>::Output,
+    ) -> bool;
+
+    /// Maximum number of `getTS()` calls per process: `Some(1)` for
+    /// one-shot objects, `None` for long-lived ones.
+    fn ops_per_process(&self) -> Option<usize> {
+        None
+    }
+}
+
+impl<A: Algorithm> Algorithm for &A {
+    type Machine = A::Machine;
+
+    fn processes(&self) -> usize {
+        (**self).processes()
+    }
+
+    fn registers(&self) -> usize {
+        (**self).registers()
+    }
+
+    fn initial_value(&self) -> <Self::Machine as Machine>::Value {
+        (**self).initial_value()
+    }
+
+    fn invoke(&self, pid: ProcId, op_index: usize) -> Self::Machine {
+        (**self).invoke(pid, op_index)
+    }
+
+    fn compare(
+        &self,
+        t1: &<Self::Machine as Machine>::Output,
+        t2: &<Self::Machine as Machine>::Output,
+    ) -> bool {
+        (**self).compare(t1, t2)
+    }
+
+    fn ops_per_process(&self) -> Option<usize> {
+        (**self).ops_per_process()
+    }
+}

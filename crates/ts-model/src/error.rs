@@ -1,0 +1,73 @@
+//! Errors raised by the model runtime.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::schedule::ProcId;
+
+/// An invalid operation on a model [`System`](crate::System).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A schedule referenced a process outside `0..n`.
+    ProcOutOfRange {
+        /// The offending process id.
+        pid: ProcId,
+        /// The number of processes in the system.
+        processes: usize,
+    },
+    /// A process with no pending operation and no remaining invocations
+    /// was scheduled.
+    NothingToDo {
+        /// The offending process id.
+        pid: ProcId,
+    },
+    /// A machine addressed a register outside `0..m`.
+    RegisterOutOfRange {
+        /// The offending register index.
+        reg: usize,
+        /// The number of registers in the system.
+        registers: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::ProcOutOfRange { pid, processes } => {
+                write!(f, "process p{pid} out of range (n = {processes})")
+            }
+            ModelError::NothingToDo { pid } => {
+                write!(
+                    f,
+                    "process p{pid} scheduled with no pending operation and no invocations left"
+                )
+            }
+            ModelError::RegisterOutOfRange { reg, registers } => {
+                write!(f, "register r{reg} out of range (m = {registers})")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_specific() {
+        let e = ModelError::ProcOutOfRange {
+            pid: 9,
+            processes: 4,
+        };
+        assert!(e.to_string().contains("p9"));
+        let e = ModelError::NothingToDo { pid: 1 };
+        assert!(e.to_string().contains("p1"));
+        let e = ModelError::RegisterOutOfRange {
+            reg: 5,
+            registers: 2,
+        };
+        assert!(e.to_string().contains("r5"));
+    }
+}

@@ -1,0 +1,260 @@
+//! Invocation/response histories and the timestamp correctness property.
+
+use std::fmt::Debug;
+
+use crate::schedule::ProcId;
+
+/// Identifier of one method call: process id plus per-process invocation
+/// index (the paper's getTS-id `p.k`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId {
+    /// The invoking process.
+    pub pid: ProcId,
+    /// The invocation index within that process (0-based).
+    pub op_index: usize,
+}
+
+impl std::fmt::Display for OpId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}.{}", self.pid, self.op_index)
+    }
+}
+
+/// One event of a history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event<O> {
+    /// A method call was invoked at the given step time.
+    Invoke {
+        /// Which call.
+        op: OpId,
+        /// Global step counter at invocation.
+        time: u64,
+    },
+    /// A method call returned `output` at the given step time.
+    Respond {
+        /// Which call.
+        op: OpId,
+        /// Global step counter at response.
+        time: u64,
+        /// The call's return value.
+        output: O,
+    },
+}
+
+/// A completed method call with its interval endpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletedOp<O> {
+    /// Which call.
+    pub op: OpId,
+    /// Invocation time.
+    pub invoked: u64,
+    /// Response time.
+    pub responded: u64,
+    /// Return value.
+    pub output: O,
+}
+
+impl<O> CompletedOp<O> {
+    /// The paper's happens-before: `self → other` iff `self`'s response
+    /// precedes `other`'s invocation.
+    pub fn happens_before(&self, other: &CompletedOp<O>) -> bool {
+        self.responded < other.invoked
+    }
+}
+
+/// The full record of an execution's method calls.
+#[derive(Debug, Clone, Default)]
+pub struct History<O> {
+    events: Vec<Event<O>>,
+    completed: Vec<CompletedOp<O>>,
+}
+
+impl<O: Clone + Debug> History<O> {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        Self {
+            events: Vec::new(),
+            completed: Vec::new(),
+        }
+    }
+
+    /// Records an invocation.
+    pub fn record_invoke(&mut self, op: OpId, time: u64) {
+        self.events.push(Event::Invoke { op, time });
+    }
+
+    /// Records a response.
+    pub fn record_respond(&mut self, op: OpId, time: u64, output: O) {
+        self.events.push(Event::Respond {
+            op,
+            time,
+            output: output.clone(),
+        });
+        let invoked = self
+            .events
+            .iter()
+            .find_map(|e| match e {
+                Event::Invoke { op: o, time } if *o == op => Some(*time),
+                _ => None,
+            })
+            .expect("response recorded without invocation");
+        self.completed.push(CompletedOp {
+            op,
+            invoked,
+            responded: time,
+            output,
+        });
+    }
+
+    /// All events in order.
+    pub fn events(&self) -> &[Event<O>] {
+        &self.events
+    }
+
+    /// All completed calls, in response order.
+    pub fn completed(&self) -> &[CompletedOp<O>] {
+        &self.completed
+    }
+
+    /// All ordered pairs `(a, b)` of completed calls with `a → b`.
+    pub fn happens_before_pairs(&self) -> Vec<(&CompletedOp<O>, &CompletedOp<O>)> {
+        let mut pairs = Vec::new();
+        for a in &self.completed {
+            for b in &self.completed {
+                if a.op != b.op && a.happens_before(b) {
+                    pairs.push((a, b));
+                }
+            }
+        }
+        pairs
+    }
+}
+
+/// A violation of the timestamp property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropertyViolation<O> {
+    /// The earlier call (its response precedes `later`'s invocation).
+    pub earlier: CompletedOp<O>,
+    /// The later call.
+    pub later: CompletedOp<O>,
+    /// `compare(earlier, later)` as computed — must be `true`.
+    pub forward: bool,
+    /// `compare(later, earlier)` as computed — must be `false`.
+    pub backward: bool,
+}
+
+impl<O: Debug> std::fmt::Display for PropertyViolation<O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} -> {} but compare({:?}, {:?}) = {}, compare({:?}, {:?}) = {}",
+            self.earlier.op,
+            self.later.op,
+            self.earlier.output,
+            self.later.output,
+            self.forward,
+            self.later.output,
+            self.earlier.output,
+            self.backward
+        )
+    }
+}
+
+/// Checks the unbounded-timestamp correctness condition over a history.
+///
+/// For every pair of completed `getTS` calls `g1 → g2` returning `t1`,
+/// `t2`: `compare(t1, t2)` must be `true` and `compare(t2, t1)` must be
+/// `false`. Returns the first violation found, if any.
+pub fn check_timestamp_property<O: Clone + Debug>(
+    history: &History<O>,
+    compare: impl Fn(&O, &O) -> bool,
+) -> Option<PropertyViolation<O>> {
+    for (a, b) in history.happens_before_pairs() {
+        let forward = compare(&a.output, &b.output);
+        let backward = compare(&b.output, &a.output);
+        if !forward || backward {
+            return Some(PropertyViolation {
+                earlier: a.clone(),
+                later: b.clone(),
+                forward,
+                backward,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(pid: ProcId, k: usize) -> OpId {
+        OpId { pid, op_index: k }
+    }
+
+    #[test]
+    fn happens_before_uses_interval_endpoints() {
+        let mut h: History<u64> = History::new();
+        h.record_invoke(op(0, 0), 0);
+        h.record_respond(op(0, 0), 2, 10);
+        h.record_invoke(op(1, 0), 3);
+        h.record_respond(op(1, 0), 5, 20);
+        let pairs = h.happens_before_pairs();
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].0.op, op(0, 0));
+    }
+
+    #[test]
+    fn overlapping_calls_are_unordered() {
+        let mut h: History<u64> = History::new();
+        h.record_invoke(op(0, 0), 0);
+        h.record_invoke(op(1, 0), 1);
+        h.record_respond(op(0, 0), 2, 10);
+        h.record_respond(op(1, 0), 3, 5);
+        assert!(h.happens_before_pairs().is_empty());
+        assert!(check_timestamp_property(&h, |a, b| a < b).is_none());
+    }
+
+    #[test]
+    fn ordered_calls_with_bad_compare_violate() {
+        let mut h: History<u64> = History::new();
+        h.record_invoke(op(0, 0), 0);
+        h.record_respond(op(0, 0), 1, 10);
+        h.record_invoke(op(1, 0), 2);
+        h.record_respond(op(1, 0), 3, 10); // equal timestamp: not allowed
+        let v = check_timestamp_property(&h, |a, b| a < b).expect("violation");
+        assert!(!v.forward);
+        assert_eq!(v.earlier.op, op(0, 0));
+        assert!(v.to_string().contains("p0.0"));
+    }
+
+    #[test]
+    fn symmetric_compare_is_caught_by_backward_check() {
+        let mut h: History<u64> = History::new();
+        h.record_invoke(op(0, 0), 0);
+        h.record_respond(op(0, 0), 1, 1);
+        h.record_invoke(op(1, 0), 2);
+        h.record_respond(op(1, 0), 3, 2);
+        // compare that says "true" both ways:
+        let v = check_timestamp_property(&h, |_, _| true).expect("violation");
+        assert!(v.forward);
+        assert!(v.backward);
+    }
+
+    #[test]
+    fn good_history_passes() {
+        let mut h: History<u64> = History::new();
+        for i in 0..4u64 {
+            h.record_invoke(op(i as usize, 0), i * 2);
+            h.record_respond(op(i as usize, 0), i * 2 + 1, i);
+        }
+        assert!(check_timestamp_property(&h, |a, b| a < b).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "without invocation")]
+    fn response_without_invocation_panics() {
+        let mut h: History<u64> = History::new();
+        h.record_respond(op(0, 0), 1, 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Deterministic step machines for one method call.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// The next step a machine is poised to take.
+///
+/// This mirrors the paper's covering terminology: a process *covers*
+/// register `r` in a configuration when its poised step is a write to
+/// `r`. Exposing the poised step without executing it is what lets the
+/// lower-bound machinery inspect coverings.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Poised<V, R> {
+    /// The machine will read register `reg`.
+    Read {
+        /// Register index about to be read.
+        reg: usize,
+    },
+    /// The machine will write `value` to register `reg` (it covers `reg`).
+    Write {
+        /// Register index about to be written.
+        reg: usize,
+        /// The value that will be written.
+        value: V,
+    },
+    /// The method call is complete and returns `0`-indexed output.
+    Done(R),
+}
+
+impl<V, R> Poised<V, R> {
+    /// The register this step covers, if it is a write.
+    pub fn covers(&self) -> Option<usize> {
+        match self {
+            Poised::Write { reg, .. } => Some(*reg),
+            _ => None,
+        }
+    }
+
+    /// Whether the method call has finished.
+    pub fn is_done(&self) -> bool {
+        matches!(self, Poised::Done(_))
+    }
+}
+
+/// A deterministic step machine describing one pending method call.
+///
+/// The paper's processes are non-deterministic in general, but its lower
+/// bound proofs immediately fix "an arbitrary (but fixed)" deterministic
+/// decision rule that guarantees solo termination (Section 2). Machines
+/// in this model are that fixed rule: given the same reads, a machine
+/// always takes the same steps.
+///
+/// A machine's life cycle: inspect [`Machine::poised`]; if it is a
+/// [`Poised::Read`], the scheduler performs the read and hands the value
+/// to [`Machine::observe`]; if a [`Poised::Write`], the scheduler applies
+/// the write and calls `observe(None)`; if [`Poised::Done`], the call's
+/// output is recorded and the machine retired.
+///
+/// `Clone + Eq + Hash` are required so that configurations can be
+/// compared for indistinguishability and hashed for state pruning.
+pub trait Machine: Clone + Eq + Hash + Debug {
+    /// Register value universe.
+    type Value: Clone + Eq + Hash + Debug;
+    /// Method call return value.
+    type Output: Clone + Eq + Hash + Debug;
+
+    /// The step this machine is poised to take next.
+    ///
+    /// Must be deterministic and must not change until [`Machine::observe`]
+    /// is called.
+    fn poised(&self) -> Poised<Self::Value, Self::Output>;
+
+    /// Advances past the poised step.
+    ///
+    /// `observed` carries the value returned by the read when the poised
+    /// step was a [`Poised::Read`], and must be `None` for a write.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called while poised on
+    /// [`Poised::Done`], or if `observed` does not match the poised step
+    /// kind.
+    fn observe(&mut self, observed: Option<Self::Value>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_reports_write_target() {
+        let p: Poised<u8, u8> = Poised::Write { reg: 3, value: 1 };
+        assert_eq!(p.covers(), Some(3));
+        let q: Poised<u8, u8> = Poised::Read { reg: 3 };
+        assert_eq!(q.covers(), None);
+        let d: Poised<u8, u8> = Poised::Done(0);
+        assert_eq!(d.covers(), None);
+        assert!(d.is_done());
+        assert!(!q.is_done());
+    }
+}

@@ -1,0 +1,183 @@
+//! Schedules: sequences of process indices.
+
+use std::fmt;
+
+/// Index of a process, `0..n`.
+pub type ProcId = usize;
+
+/// A finite schedule — the paper's σ: the sequence of processes that take
+/// the next steps.
+///
+/// # Example
+///
+/// ```
+/// use ts_model::Schedule;
+///
+/// let sigma = Schedule::from(vec![0, 1, 0]);
+/// let pi = Schedule::solo(2, 4); // process 2 four times
+/// let combined = sigma.then(&pi);
+/// assert_eq!(combined.len(), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Schedule {
+    steps: Vec<ProcId>,
+}
+
+impl Schedule {
+    /// The empty schedule.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// A solo schedule: `pid` repeated `steps` times.
+    pub fn solo(pid: ProcId, steps: usize) -> Self {
+        Self {
+            steps: vec![pid; steps],
+        }
+    }
+
+    /// The schedule's steps in order.
+    pub fn steps(&self) -> &[ProcId] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the schedule has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Appends one step.
+    pub fn push(&mut self, pid: ProcId) {
+        self.steps.push(pid);
+    }
+
+    /// Concatenation `self · other` (the paper's σπ).
+    pub fn then(&self, other: &Schedule) -> Schedule {
+        let mut steps = self.steps.clone();
+        steps.extend_from_slice(&other.steps);
+        Schedule { steps }
+    }
+
+    /// The set of processes taking steps — the paper's `participants(σ)`.
+    pub fn participants(&self) -> Vec<ProcId> {
+        let mut ps: Vec<ProcId> = self.steps.clone();
+        ps.sort_unstable();
+        ps.dedup();
+        ps
+    }
+
+    /// Whether only processes from `allowed` appear (a "P-only" schedule).
+    pub fn is_only(&self, allowed: &[ProcId]) -> bool {
+        self.steps.iter().all(|p| allowed.contains(p))
+    }
+}
+
+impl From<Vec<ProcId>> for Schedule {
+    fn from(steps: Vec<ProcId>) -> Self {
+        Self { steps }
+    }
+}
+
+impl FromIterator<ProcId> for Schedule {
+    fn from_iter<I: IntoIterator<Item = ProcId>>(iter: I) -> Self {
+        Self {
+            steps: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<ProcId> for Schedule {
+    fn extend<I: IntoIterator<Item = ProcId>>(&mut self, iter: I) {
+        self.steps.extend(iter);
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, p) in self.steps.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "p{p}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+/// The block-write schedule π_P: each process of `covering` exactly once,
+/// in ascending id order (the paper's "arbitrary but fixed permutation").
+pub fn block_write_schedule(covering: &[ProcId]) -> Schedule {
+    let mut ps = covering.to_vec();
+    ps.sort_unstable();
+    ps.dedup();
+    Schedule::from(ps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solo_schedule_repeats_one_process() {
+        let s = Schedule::solo(3, 5);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.participants(), vec![3]);
+        assert!(s.is_only(&[3]));
+        assert!(!s.is_only(&[2]));
+    }
+
+    #[test]
+    fn concatenation_preserves_order() {
+        let a = Schedule::from(vec![0, 1]);
+        let b = Schedule::from(vec![2]);
+        assert_eq!(a.then(&b).steps(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn participants_dedup_and_sort() {
+        let s = Schedule::from(vec![2, 0, 2, 1, 0]);
+        assert_eq!(s.participants(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn block_write_schedule_orders_by_id() {
+        let s = block_write_schedule(&[4, 1, 3, 1]);
+        assert_eq!(s.steps(), &[1, 3, 4]);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = Schedule::empty();
+        assert!(s.is_empty());
+        assert!(s.participants().is_empty());
+        assert!(s.is_only(&[]));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: Schedule = (0..3).collect();
+        assert_eq!(s.steps(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn display_renders_process_ids() {
+        let s = Schedule::from(vec![0, 2, 1]);
+        assert_eq!(s.to_string(), "⟨p0 p2 p1⟩");
+        assert_eq!(Schedule::empty().to_string(), "⟨⟩");
+    }
+
+    #[test]
+    fn extend_appends_steps() {
+        let mut s = Schedule::solo(1, 2);
+        s.extend([0, 0]);
+        assert_eq!(s.steps(), &[1, 1, 0, 0]);
+        s.push(2);
+        assert_eq!(s.len(), 5);
+    }
+}

@@ -1,0 +1,123 @@
+//! Solo executions paused at covering points.
+//!
+//! The lower-bound constructions repeatedly extend a process's solo
+//! execution until it either completes its `getTS()` or is *poised to
+//! write outside* a protected register set `R` (at which point it covers
+//! a new register). [`solo_run`] is that primitive.
+
+use crate::algorithm::Algorithm;
+use crate::machine::{Machine, Poised};
+use crate::schedule::ProcId;
+use crate::system::{StepOutcome, System};
+use crate::ModelError;
+
+/// How a paused solo execution ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SoloOutcome<O> {
+    /// The operation completed with `output` without ever being poised to
+    /// write outside the protected set.
+    Completed {
+        /// The call's return value.
+        output: O,
+        /// Steps taken (including invocation and return).
+        steps: usize,
+    },
+    /// The process is now poised to write register `reg`, which is
+    /// outside the protected set. The write has *not* been performed;
+    /// the process covers `reg`.
+    CoversOutside {
+        /// The newly covered register.
+        reg: usize,
+        /// Steps taken before pausing.
+        steps: usize,
+    },
+    /// The step budget ran out first (indicates a non-terminating solo
+    /// run — a solo-termination violation for correct algorithms).
+    BudgetExhausted,
+}
+
+impl<O> SoloOutcome<O> {
+    /// The covered register, if the run paused on one.
+    pub fn covered(&self) -> Option<usize> {
+        match self {
+            SoloOutcome::CoversOutside { reg, .. } => Some(*reg),
+            _ => None,
+        }
+    }
+}
+
+/// Runs `pid` solo (invoking an operation if idle) until it completes or
+/// is about to write a register outside `inside`.
+///
+/// The pause happens *before* the offending write executes, leaving the
+/// process covering that register — exactly the state the covering
+/// arguments need.
+///
+/// # Errors
+///
+/// Propagates [`ModelError`]s from the underlying steps (e.g. scheduling
+/// a one-shot process that already used its invocation).
+pub fn solo_run<A: Algorithm>(
+    sys: &mut System<A>,
+    pid: ProcId,
+    inside: &[usize],
+    budget: usize,
+) -> Result<SoloOutcome<<A::Machine as Machine>::Output>, ModelError> {
+    let mut steps = 0usize;
+    while steps < budget {
+        match sys.config().poised(pid) {
+            Some(Poised::Write { reg, .. }) if !inside.contains(&reg) => {
+                return Ok(SoloOutcome::CoversOutside { reg, steps });
+            }
+            _ => {}
+        }
+        let outcome = sys.step(pid)?;
+        steps += 1;
+        if let StepOutcome::Completed { output } = outcome {
+            return Ok(SoloOutcome::Completed { output, steps });
+        }
+    }
+    Ok(SoloOutcome::BudgetExhausted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::CounterAlgorithm;
+
+    #[test]
+    fn solo_run_pauses_before_outside_write() {
+        let mut sys = System::new(CounterAlgorithm::new(1));
+        let out = solo_run(&mut sys, 0, &[], 100).unwrap();
+        assert_eq!(out.covered(), Some(0));
+        // The write did not happen:
+        assert_eq!(sys.config().regs[0], 0);
+        // And the process covers register 0:
+        assert_eq!(sys.config().covers(0), Some(0));
+    }
+
+    #[test]
+    fn solo_run_completes_when_register_is_protected() {
+        let mut sys = System::new(CounterAlgorithm::new(1));
+        let out = solo_run(&mut sys, 0, &[0], 100).unwrap();
+        assert!(matches!(out, SoloOutcome::Completed { output: 1, .. }));
+        assert_eq!(sys.config().regs[0], 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let mut sys = System::new(CounterAlgorithm::new(1));
+        let out = solo_run(&mut sys, 0, &[0], 1).unwrap();
+        assert_eq!(out, SoloOutcome::BudgetExhausted);
+    }
+
+    #[test]
+    fn resuming_a_paused_run_completes_it() {
+        let mut sys = System::new(CounterAlgorithm::new(1));
+        let first = solo_run(&mut sys, 0, &[], 100).unwrap();
+        assert!(first.covered().is_some());
+        // Now allow the write:
+        let second = solo_run(&mut sys, 0, &[0], 100).unwrap();
+        assert!(matches!(second, SoloOutcome::Completed { .. }));
+    }
+}

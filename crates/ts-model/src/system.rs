@@ -1,0 +1,379 @@
+//! A configuration coupled with a history: the runnable model.
+
+use crate::algorithm::Algorithm;
+use crate::config::Configuration;
+use crate::error::ModelError;
+use crate::history::{History, OpId};
+use crate::machine::{Machine, Poised};
+use crate::schedule::{ProcId, Schedule};
+
+/// The observable effect of one scheduled step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepOutcome<V, O> {
+    /// The process invoked its next operation (a local action; no shared
+    /// memory was touched).
+    Invoked {
+        /// The new call's id.
+        op: OpId,
+    },
+    /// The process read `value` from register `reg`.
+    Read {
+        /// Register index.
+        reg: usize,
+        /// Value observed.
+        value: V,
+    },
+    /// The process wrote `value` to register `reg`.
+    Wrote {
+        /// Register index.
+        reg: usize,
+        /// Value written.
+        value: V,
+    },
+    /// The process's pending call returned `output` (a local action).
+    Completed {
+        /// The call's return value.
+        output: O,
+    },
+}
+
+impl<V, O> StepOutcome<V, O> {
+    /// Whether this step completed an operation.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, StepOutcome::Completed { .. })
+    }
+}
+
+/// The outcome type of [`System::step`] for algorithm `A`.
+pub type SystemStepOutcome<A> = StepOutcome<
+    <<A as Algorithm>::Machine as Machine>::Value,
+    <<A as Algorithm>::Machine as Machine>::Output,
+>;
+
+/// A runnable instance of the model: algorithm + configuration + history.
+///
+/// Scheduling semantics (matching Section 2 of the paper):
+///
+/// - scheduling an idle process with invocations remaining *invokes* its
+///   next `getTS()` — a local action that installs the call's machine;
+/// - scheduling a process poised on a read/write performs that shared
+///   memory step;
+/// - scheduling a process poised on [`Poised::Done`] records the response
+///   (a local action) and retires the machine.
+///
+/// Every scheduled step advances the global time by one.
+#[derive(Debug, Clone)]
+pub struct System<A: Algorithm> {
+    algorithm: A,
+    config: Configuration<A::Machine>,
+    /// Invocations started per process.
+    started: Vec<usize>,
+    /// Id of the operation currently pending per process.
+    pending_op: Vec<Option<OpId>>,
+    history: History<<A::Machine as Machine>::Output>,
+    time: u64,
+    /// Total shared-memory writes performed, per register.
+    write_counts: Vec<u64>,
+}
+
+impl<A: Algorithm> System<A> {
+    /// Creates a system in the initial configuration `C0`.
+    pub fn new(algorithm: A) -> Self {
+        let n = algorithm.processes();
+        let m = algorithm.registers();
+        let initial = algorithm.initial_value();
+        Self {
+            config: Configuration::initial(n, m, initial),
+            started: vec![0; n],
+            pending_op: vec![None; n],
+            history: History::new(),
+            time: 0,
+            write_counts: vec![0; m],
+            algorithm,
+        }
+    }
+
+    /// The algorithm driving this system.
+    pub fn algorithm(&self) -> &A {
+        &self.algorithm
+    }
+
+    /// The current configuration.
+    pub fn config(&self) -> &Configuration<A::Machine> {
+        &self.config
+    }
+
+    /// The history so far.
+    pub fn history(&self) -> &History<<A::Machine as Machine>::Output> {
+        &self.history
+    }
+
+    /// Global step counter.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Number of invocations process `pid` has started.
+    pub fn started(&self, pid: ProcId) -> usize {
+        self.started[pid]
+    }
+
+    /// Writes performed on each register so far.
+    pub fn write_counts(&self) -> &[u64] {
+        &self.write_counts
+    }
+
+    /// Registers that have been written at least once.
+    pub fn registers_written(&self) -> usize {
+        self.write_counts.iter().filter(|&&w| w > 0).count()
+    }
+
+    /// Whether `pid` has never invoked an operation — the paper's
+    /// `idle(C)` for the one-shot construction ("in its initial state").
+    pub fn never_invoked(&self, pid: ProcId) -> bool {
+        self.started[pid] == 0
+    }
+
+    /// Processes that have never invoked an operation.
+    pub fn idle_processes(&self) -> Vec<ProcId> {
+        (0..self.config.processes())
+            .filter(|&p| self.never_invoked(p))
+            .collect()
+    }
+
+    /// Whether process `pid` can be scheduled (has a pending call or
+    /// invocations remaining).
+    pub fn enabled(&self, pid: ProcId) -> bool {
+        if pid >= self.config.processes() {
+            return false;
+        }
+        if self.config.procs[pid].is_some() {
+            return true;
+        }
+        match self.algorithm.ops_per_process() {
+            Some(limit) => self.started[pid] < limit,
+            None => true,
+        }
+    }
+
+    /// All currently enabled processes.
+    pub fn enabled_processes(&self) -> Vec<ProcId> {
+        (0..self.config.processes())
+            .filter(|&p| self.enabled(p))
+            .collect()
+    }
+
+    /// Whether the whole system is quiescent (no pending calls).
+    ///
+    /// This matches the paper's quiescence: no process has started but
+    /// not finished a method call.
+    pub fn quiescent(&self) -> bool {
+        self.config.procs.iter().all(|m| m.is_none())
+    }
+
+    /// Performs one step by process `pid`.
+    ///
+    /// # Errors
+    ///
+    /// - [`ModelError::ProcOutOfRange`] if `pid >= n`;
+    /// - [`ModelError::NothingToDo`] if `pid` is idle with no invocations
+    ///   left;
+    /// - [`ModelError::RegisterOutOfRange`] if the machine addresses a
+    ///   register `>= m`.
+    pub fn step(&mut self, pid: ProcId) -> Result<SystemStepOutcome<A>, ModelError> {
+        let n = self.config.processes();
+        if pid >= n {
+            return Err(ModelError::ProcOutOfRange { pid, processes: n });
+        }
+        if self.config.procs[pid].is_none() {
+            if let Some(limit) = self.algorithm.ops_per_process() {
+                if self.started[pid] >= limit {
+                    return Err(ModelError::NothingToDo { pid });
+                }
+            }
+            self.time += 1;
+            let op = OpId {
+                pid,
+                op_index: self.started[pid],
+            };
+            self.started[pid] += 1;
+            self.pending_op[pid] = Some(op);
+            self.history.record_invoke(op, self.time);
+            self.config.procs[pid] = Some(self.algorithm.invoke(pid, op.op_index));
+            return Ok(StepOutcome::Invoked { op });
+        }
+
+        self.time += 1;
+        let machine = self.config.procs[pid]
+            .as_mut()
+            .expect("pending machine checked above");
+        match machine.poised() {
+            Poised::Read { reg } => {
+                if reg >= self.config.regs.len() {
+                    return Err(ModelError::RegisterOutOfRange {
+                        reg,
+                        registers: self.config.regs.len(),
+                    });
+                }
+                let value = self.config.regs[reg].clone();
+                machine.observe(Some(value.clone()));
+                Ok(StepOutcome::Read { reg, value })
+            }
+            Poised::Write { reg, value } => {
+                if reg >= self.config.regs.len() {
+                    return Err(ModelError::RegisterOutOfRange {
+                        reg,
+                        registers: self.config.regs.len(),
+                    });
+                }
+                machine.observe(None);
+                self.config.regs[reg] = value.clone();
+                self.write_counts[reg] += 1;
+                Ok(StepOutcome::Wrote { reg, value })
+            }
+            Poised::Done(output) => {
+                let op = self.pending_op[pid].expect("pending op recorded at invocation");
+                self.history.record_respond(op, self.time, output.clone());
+                self.config.procs[pid] = None;
+                self.pending_op[pid] = None;
+                Ok(StepOutcome::Completed { output })
+            }
+        }
+    }
+
+    /// Runs a whole schedule, stopping at the first error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`ModelError`] encountered.
+    pub fn run(&mut self, schedule: &Schedule) -> Result<(), ModelError> {
+        for &pid in schedule.steps() {
+            self.step(pid)?;
+        }
+        Ok(())
+    }
+
+    /// Runs `pid` until its current operation completes (invoking one if
+    /// idle). Returns the output.
+    ///
+    /// This is the solo-termination run of Section 2: machines are the
+    /// paper's fixed deterministic decision rule, so a solo run of a
+    /// correct algorithm terminates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`]s (e.g. no invocations remaining).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation does not complete within `budget` steps —
+    /// that would refute solo termination.
+    pub fn run_solo_to_completion(
+        &mut self,
+        pid: ProcId,
+        budget: usize,
+    ) -> Result<<A::Machine as Machine>::Output, ModelError> {
+        for _ in 0..budget {
+            if let StepOutcome::Completed { output } = self.step(pid)? {
+                return Ok(output);
+            }
+        }
+        panic!(
+            "process p{pid} did not terminate solo within {budget} steps — solo termination violated"
+        );
+    }
+
+    /// Checks the timestamp property over the history so far.
+    pub fn check_property(
+        &self,
+    ) -> Option<crate::history::PropertyViolation<<A::Machine as Machine>::Output>> {
+        crate::history::check_timestamp_property(&self.history, |a, b| {
+            self.algorithm.compare(a, b)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::CounterAlgorithm;
+
+    #[test]
+    fn fresh_system_is_quiescent_with_everyone_idle() {
+        let sys = System::new(CounterAlgorithm::new(3));
+        assert!(sys.quiescent());
+        assert_eq!(sys.idle_processes(), vec![0, 1, 2]);
+        assert_eq!(sys.enabled_processes(), vec![0, 1, 2]);
+        assert_eq!(sys.time(), 0);
+    }
+
+    #[test]
+    fn scheduling_idle_process_invokes_first() {
+        let mut sys = System::new(CounterAlgorithm::new(2));
+        let out = sys.step(0).unwrap();
+        assert!(matches!(out, StepOutcome::Invoked { .. }));
+        let out = sys.step(0).unwrap();
+        assert!(matches!(out, StepOutcome::Read { reg: 0, .. }));
+        assert_eq!(sys.started(0), 1);
+        assert!(!sys.never_invoked(0));
+        assert!(sys.never_invoked(1));
+    }
+
+    #[test]
+    fn solo_run_completes_and_is_correct() {
+        let mut sys = System::new(CounterAlgorithm::new(2));
+        let t0 = sys.run_solo_to_completion(0, 100).unwrap();
+        let t1 = sys.run_solo_to_completion(1, 100).unwrap();
+        assert!(t0 < t1, "sequential counters must increase: {t0} vs {t1}");
+        assert!(sys.check_property().is_none());
+        assert!(sys.quiescent());
+    }
+
+    #[test]
+    fn one_shot_limit_is_enforced() {
+        let mut sys = System::new(CounterAlgorithm::new(1));
+        sys.run_solo_to_completion(0, 100).unwrap();
+        let err = sys.step(0).unwrap_err();
+        assert_eq!(err, ModelError::NothingToDo { pid: 0 });
+    }
+
+    #[test]
+    fn out_of_range_process_errors() {
+        let mut sys = System::new(CounterAlgorithm::new(1));
+        assert!(matches!(
+            sys.step(5),
+            Err(ModelError::ProcOutOfRange { pid: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn write_counts_track_register_usage() {
+        let mut sys = System::new(CounterAlgorithm::new(2));
+        sys.run_solo_to_completion(0, 100).unwrap();
+        assert_eq!(sys.registers_written(), 1);
+        assert_eq!(sys.write_counts()[0], 1);
+    }
+
+    #[test]
+    fn schedule_run_interleaves() {
+        let mut sys = System::new(CounterAlgorithm::new(2));
+        // Each counter op: invoke, read, write, done = 4 scheduled steps.
+        let sched = Schedule::from(vec![0, 1, 0, 1, 0, 1, 0, 1]);
+        sys.run(&sched).unwrap();
+        assert!(sys.quiescent());
+        assert_eq!(sys.history().completed().len(), 2);
+        // Overlapping ops may legitimately return equal values; the
+        // property only constrains ordered pairs, of which there are none
+        // here.
+        assert!(sys.check_property().is_none());
+    }
+
+    #[test]
+    fn covering_is_visible_before_the_write_executes() {
+        let mut sys = System::new(CounterAlgorithm::new(2));
+        sys.step(0).unwrap(); // invoke
+        sys.step(0).unwrap(); // read
+        assert_eq!(sys.config().covers(0), Some(0));
+        assert_eq!(sys.config().signature(), vec![1]);
+    }
+}

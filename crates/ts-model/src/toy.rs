@@ -1,0 +1,210 @@
+//! Tiny algorithms for exercising the model itself.
+//!
+//! These are deliberately *not* from the paper: [`CounterAlgorithm`] is a
+//! naive read-increment-write "timestamp" over a single register. It is
+//! correct for up to three one-shot processes and **incorrect for four or
+//! more** (a stalled writer can roll the register back, letting a later
+//! call return a non-larger value), which makes it an ideal canary for
+//! the exhaustive explorer: the checker must pass n ≤ 3 and find a
+//! violation at n = 4.
+
+use crate::algorithm::Algorithm;
+use crate::machine::{Machine, Poised};
+use crate::schedule::ProcId;
+
+/// Phase of a [`CounterMachine`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Phase {
+    Start,
+    Write(u64),
+    Done(u64),
+}
+
+/// Step machine: read register, write `read + 1`, return `read + 1`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CounterMachine {
+    reg: usize,
+    phase: Phase,
+}
+
+impl CounterMachine {
+    /// Creates a machine operating on register `reg`.
+    pub fn new(reg: usize) -> Self {
+        Self {
+            reg,
+            phase: Phase::Start,
+        }
+    }
+}
+
+impl Machine for CounterMachine {
+    type Value = u64;
+    type Output = u64;
+
+    fn poised(&self) -> Poised<u64, u64> {
+        match &self.phase {
+            Phase::Start => Poised::Read { reg: self.reg },
+            Phase::Write(v) => Poised::Write {
+                reg: self.reg,
+                value: *v,
+            },
+            Phase::Done(v) => Poised::Done(*v),
+        }
+    }
+
+    fn observe(&mut self, observed: Option<u64>) {
+        self.phase = match (&self.phase, observed) {
+            (Phase::Start, Some(v)) => Phase::Write(v + 1),
+            (Phase::Write(v), None) => Phase::Done(*v),
+            (phase, obs) => panic!("invalid observe({obs:?}) in phase {phase:?}"),
+        };
+    }
+}
+
+/// One-shot "timestamp" from a single shared counter register.
+///
+/// `getTS()` reads the register, writes `read + 1`, and returns the
+/// written value; `compare` is `<`. See the module docs for why this is
+/// only correct for n ≤ 3.
+#[derive(Debug, Clone)]
+pub struct CounterAlgorithm {
+    processes: usize,
+}
+
+impl CounterAlgorithm {
+    /// Creates an instance for `processes` one-shot processes.
+    pub fn new(processes: usize) -> Self {
+        Self { processes }
+    }
+}
+
+impl Algorithm for CounterAlgorithm {
+    type Machine = CounterMachine;
+
+    fn processes(&self) -> usize {
+        self.processes
+    }
+
+    fn registers(&self) -> usize {
+        1
+    }
+
+    fn initial_value(&self) -> u64 {
+        0
+    }
+
+    fn invoke(&self, pid: ProcId, _op_index: usize) -> CounterMachine {
+        assert!(pid < self.processes, "pid {pid} out of range");
+        CounterMachine::new(0)
+    }
+
+    fn compare(&self, t1: &u64, t2: &u64) -> bool {
+        t1 < t2
+    }
+
+    fn ops_per_process(&self) -> Option<usize> {
+        Some(1)
+    }
+}
+
+/// A blatantly broken one-shot timestamp: every call returns `0`.
+///
+/// Any two ordered calls violate the property; used to verify that
+/// checkers and explorers detect violations at the shortest possible
+/// histories.
+#[derive(Debug, Clone)]
+pub struct ConstantAlgorithm {
+    processes: usize,
+}
+
+impl ConstantAlgorithm {
+    /// Creates an instance for `processes` one-shot processes.
+    pub fn new(processes: usize) -> Self {
+        Self { processes }
+    }
+}
+
+/// Machine for [`ConstantAlgorithm`]: immediately done with output 0.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ConstantMachine;
+
+impl Machine for ConstantMachine {
+    type Value = u64;
+    type Output = u64;
+
+    fn poised(&self) -> Poised<u64, u64> {
+        Poised::Done(0)
+    }
+
+    fn observe(&mut self, _observed: Option<u64>) {
+        panic!("ConstantMachine has no steps to advance past");
+    }
+}
+
+impl Algorithm for ConstantAlgorithm {
+    type Machine = ConstantMachine;
+
+    fn processes(&self) -> usize {
+        self.processes
+    }
+
+    fn registers(&self) -> usize {
+        1
+    }
+
+    fn initial_value(&self) -> u64 {
+        0
+    }
+
+    fn invoke(&self, _pid: ProcId, _op_index: usize) -> ConstantMachine {
+        ConstantMachine
+    }
+
+    fn compare(&self, t1: &u64, t2: &u64) -> bool {
+        t1 < t2
+    }
+
+    fn ops_per_process(&self) -> Option<usize> {
+        Some(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::System;
+
+    #[test]
+    fn counter_machine_lifecycle() {
+        let mut m = CounterMachine::new(0);
+        assert_eq!(m.poised(), Poised::Read { reg: 0 });
+        m.observe(Some(4));
+        assert_eq!(m.poised(), Poised::Write { reg: 0, value: 5 });
+        m.observe(None);
+        assert_eq!(m.poised(), Poised::Done(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid observe")]
+    fn counter_machine_rejects_mismatched_observation() {
+        let mut m = CounterMachine::new(0);
+        m.observe(None); // poised on a read, must receive Some
+    }
+
+    #[test]
+    fn constant_algorithm_violates_immediately() {
+        let mut sys = System::new(ConstantAlgorithm::new(2));
+        sys.run_solo_to_completion(0, 10).unwrap();
+        sys.run_solo_to_completion(1, 10).unwrap();
+        assert!(sys.check_property().is_some());
+    }
+
+    #[test]
+    fn counter_algorithm_sequential_runs_are_correct() {
+        let mut sys = System::new(CounterAlgorithm::new(3));
+        for p in 0..3 {
+            sys.run_solo_to_completion(p, 10).unwrap();
+        }
+        assert!(sys.check_property().is_none());
+    }
+}

@@ -1,0 +1,204 @@
+//! Fixed-capacity arrays of registers with whole-array collects.
+
+use std::fmt;
+
+use crate::error::CapacityError;
+use crate::meter::SpaceMeter;
+use crate::stamped::{Stamped, StampedRegister};
+
+/// A fixed array `R[0..m)` of stamped atomic registers with optional
+/// space metering.
+///
+/// This is the shared data structure of Algorithm 4: `m` multi-writer
+/// multi-reader registers, all initialized to the same value (the paper's
+/// `⊥`). The array exposes indexed `read`/`write` plus a `collect` (one
+/// read of each register in index order), the building block of the
+/// double-collect scan.
+///
+/// # Example
+///
+/// ```
+/// use ts_register::RegisterArray;
+///
+/// let array: RegisterArray<Option<u64>> = RegisterArray::new(3, None);
+/// array.write(1, Some(42)).unwrap();
+/// assert_eq!(array.read(1).unwrap(), Some(42));
+/// let view = array.collect();
+/// assert_eq!(view.len(), 3);
+/// ```
+pub struct RegisterArray<T> {
+    registers: Vec<StampedRegister<T>>,
+    meter: Option<SpaceMeter>,
+}
+
+impl<T: Clone + Send + Sync> RegisterArray<T> {
+    /// Creates an array of `capacity` registers, all holding `initial`.
+    pub fn new(capacity: usize, initial: T) -> Self {
+        let registers = (0..capacity)
+            .map(|_| StampedRegister::new(initial.clone()))
+            .collect();
+        Self {
+            registers,
+            meter: None,
+        }
+    }
+
+    /// Creates a metered array; all operations report to `meter`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `meter.capacity() != capacity`.
+    pub fn with_meter(capacity: usize, initial: T, meter: SpaceMeter) -> Self {
+        assert_eq!(
+            meter.capacity(),
+            capacity,
+            "meter capacity must match array capacity"
+        );
+        let mut array = Self::new(capacity, initial);
+        array.meter = Some(meter);
+        array
+    }
+
+    /// Number of registers in the array.
+    pub fn capacity(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Returns the meter attached to this array, if any.
+    pub fn meter(&self) -> Option<&SpaceMeter> {
+        self.meter.as_ref()
+    }
+
+    fn check(&self, index: usize) -> Result<(), CapacityError> {
+        if index < self.registers.len() {
+            Ok(())
+        } else {
+            Err(CapacityError {
+                index,
+                capacity: self.registers.len(),
+            })
+        }
+    }
+
+    /// Reads register `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityError`] if `index` is out of range.
+    pub fn read(&self, index: usize) -> Result<T, CapacityError> {
+        Ok(self.read_stamped(index)?.value)
+    }
+
+    /// Reads register `index` together with its write stamp.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityError`] if `index` is out of range.
+    pub fn read_stamped(&self, index: usize) -> Result<Stamped<T>, CapacityError> {
+        self.check(index)?;
+        if let Some(meter) = &self.meter {
+            meter.record_read(index);
+        }
+        Ok(self.registers[index].read_stamped())
+    }
+
+    /// Writes `value` to register `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityError`] if `index` is out of range.
+    pub fn write(&self, index: usize, value: T) -> Result<(), CapacityError> {
+        self.check(index)?;
+        if let Some(meter) = &self.meter {
+            meter.record_write(index);
+        }
+        self.registers[index].write(value);
+        Ok(())
+    }
+
+    /// Reads every register once, in index order, returning the observed
+    /// values with their stamps.
+    ///
+    /// A single collect is *not* a linearizable view of the whole array
+    /// (writes may interleave between the per-register reads); use the
+    /// double-collect scan from `ts-snapshot` when an atomic view is
+    /// required.
+    pub fn collect(&self) -> Vec<Stamped<T>> {
+        (0..self.capacity())
+            .map(|i| self.read_stamped(i).expect("index in range"))
+            .collect()
+    }
+}
+
+impl<T: Clone + Send + Sync + fmt::Debug> fmt::Debug for RegisterArray<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RegisterArray")
+            .field("capacity", &self.capacity())
+            .field("values", &self.collect())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_array_holds_initial_everywhere() {
+        let array: RegisterArray<u32> = RegisterArray::new(4, 7);
+        for i in 0..4 {
+            assert_eq!(array.read(i).unwrap(), 7);
+        }
+    }
+
+    #[test]
+    fn out_of_range_read_errors() {
+        let array: RegisterArray<u32> = RegisterArray::new(2, 0);
+        let err = array.read(2).unwrap_err();
+        assert_eq!(err.index, 2);
+        assert_eq!(err.capacity, 2);
+    }
+
+    #[test]
+    fn out_of_range_write_errors() {
+        let array: RegisterArray<u32> = RegisterArray::new(2, 0);
+        assert!(array.write(5, 1).is_err());
+    }
+
+    #[test]
+    fn collect_returns_all_values_in_order() {
+        let array: RegisterArray<u32> = RegisterArray::new(3, 0);
+        array.write(0, 10).unwrap();
+        array.write(2, 30).unwrap();
+        let view = array.collect();
+        let values: Vec<u32> = view.into_iter().map(|s| s.value).collect();
+        assert_eq!(values, vec![10, 0, 30]);
+    }
+
+    #[test]
+    fn metered_array_reports_operations() {
+        let meter = SpaceMeter::new(3);
+        let array = RegisterArray::with_meter(3, 0u32, meter.clone());
+        array.write(1, 5).unwrap();
+        let _ = array.collect();
+        let snap = meter.snapshot();
+        assert_eq!(snap.total_writes(), 1);
+        assert_eq!(snap.total_reads(), 3);
+        assert_eq!(snap.max_written_index(), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "meter capacity must match")]
+    fn mismatched_meter_capacity_panics() {
+        let meter = SpaceMeter::new(2);
+        let _ = RegisterArray::with_meter(3, 0u32, meter);
+    }
+
+    #[test]
+    fn zero_capacity_array_is_usable() {
+        let array: RegisterArray<u8> = RegisterArray::new(0, 0);
+        assert_eq!(array.capacity(), 0);
+        assert!(array.collect().is_empty());
+        assert!(array.read(0).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! Error types for the register substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Returned when an operation addresses a register beyond a fixed-capacity
+/// array.
+///
+/// The paper sizes Algorithm 4's register array as `m = ⌈2√M⌉` for a bound
+/// `M` on the number of `getTS` invocations; exceeding the bound must be a
+/// detectable error rather than silent corruption (the final register is a
+/// read-only sentinel that is never written).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CapacityError {
+    /// The register index that was addressed.
+    pub index: usize,
+    /// The number of registers in the array.
+    pub capacity: usize,
+}
+
+impl fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "register index {} out of capacity {}",
+            self.index, self.capacity
+        )
+    }
+}
+
+impl Error for CapacityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_index_and_capacity() {
+        let err = CapacityError {
+            index: 9,
+            capacity: 4,
+        };
+        assert_eq!(err.to_string(), "register index 9 out of capacity 4");
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn takes_err<E: Error>(_: E) {}
+        takes_err(CapacityError {
+            index: 0,
+            capacity: 0,
+        });
+    }
+}

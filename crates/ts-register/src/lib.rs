@@ -1,0 +1,45 @@
+//! Atomic multi-writer multi-reader register substrate.
+//!
+//! The algorithms of Helmi, Higham, Pacheco and Woelfel (PODC 2011) are
+//! expressed over *atomic registers*: shared cells supporting linearizable
+//! `read` and `write` of arbitrarily large values (the registers of
+//! Algorithm 4 hold sequences of getTS-ids). Hardware atomics only cover
+//! word-sized values, so this crate provides a wait-free, linearizable
+//! register of any `T: Clone` built from an atomic pointer swap with
+//! epoch-based memory reclamation.
+//!
+//! The crate also provides the measurement machinery the paper's results
+//! are *about*: [`SpaceMeter`] tracks which registers an execution reads
+//! and writes so that the space bounds of Theorems 1.1–1.3 can be checked
+//! against running code.
+//!
+//! # Example
+//!
+//! ```
+//! use ts_register::AtomicRegister;
+//!
+//! let reg = AtomicRegister::new(vec![1u64, 2, 3]);
+//! reg.write(vec![4, 5]);
+//! assert_eq!(reg.read(), vec![4, 5]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod array;
+mod atomic;
+mod error;
+mod meter;
+mod stamped;
+mod swap;
+mod traits;
+mod word;
+
+pub use array::RegisterArray;
+pub use atomic::AtomicRegister;
+pub use error::CapacityError;
+pub use meter::{MeterSnapshot, MeteredRegister, SpaceMeter};
+pub use stamped::{Stamp, Stamped, StampedRegister};
+pub use swap::SwapRegister;
+pub use traits::Register;
+pub use word::WordRegister;

@@ -1,0 +1,171 @@
+//! Historyless swap objects (Section 7 of the paper).
+//!
+//! A *historyless* object's state depends only on the last non-trivial
+//! operation applied to it; registers and swap ("fetch-and-store")
+//! objects are the canonical examples. The paper's one-shot lower bound
+//! (Theorem 1.2) holds verbatim when registers are replaced by any
+//! historyless objects, because the covering processes in its
+//! construction never take further steps after their block-writes; this
+//! type exists so that claim has a concrete object in the repository
+//! (and so downstream experiments can swap it in for registers).
+
+use std::fmt;
+use std::sync::atomic::Ordering;
+
+use crossbeam_epoch::{self as epoch, Atomic, Owned};
+
+use crate::traits::Register;
+
+/// A wait-free atomic swap object: `swap` stores a new value and
+/// returns the previous one; `read` is a plain register read.
+///
+/// # Example
+///
+/// ```
+/// use ts_register::SwapRegister;
+///
+/// let cell = SwapRegister::new(0u64);
+/// assert_eq!(cell.swap(7), 0);
+/// assert_eq!(cell.swap(9), 7);
+/// assert_eq!(cell.read(), 9);
+/// ```
+pub struct SwapRegister<T> {
+    cell: Atomic<T>,
+}
+
+impl<T: Clone + Send + Sync> SwapRegister<T> {
+    /// Creates a swap object holding `initial`.
+    pub fn new(initial: T) -> Self {
+        Self {
+            cell: Atomic::new(initial),
+        }
+    }
+
+    /// Returns a clone of the current value.
+    pub fn read(&self) -> T {
+        let guard = epoch::pin();
+        let shared = self.cell.load(Ordering::Acquire, &guard);
+        // SAFETY: never null; guard keeps the pointee alive.
+        unsafe { shared.deref().clone() }
+    }
+
+    /// Atomically replaces the value with `value`, returning the old
+    /// value — the historyless fetch-and-store primitive.
+    pub fn swap(&self, value: T) -> T {
+        let guard = epoch::pin();
+        let old = self.cell.swap(Owned::new(value), Ordering::AcqRel, &guard);
+        // SAFETY: `old` was a live cell; readers are protected by their
+        // own guards until they unpin.
+        let result = unsafe { old.deref().clone() };
+        unsafe {
+            guard.defer_destroy(old);
+        }
+        result
+    }
+
+    /// Plain write (a swap whose return value is discarded).
+    pub fn write(&self, value: T) {
+        let _ = self.swap(value);
+    }
+}
+
+impl<T: Clone + Send + Sync> Register<T> for SwapRegister<T> {
+    fn read(&self) -> T {
+        SwapRegister::read(self)
+    }
+
+    fn write(&self, value: T) {
+        SwapRegister::write(self, value)
+    }
+}
+
+impl<T: Clone + Send + Sync + Default> Default for SwapRegister<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: Clone + Send + Sync + fmt::Debug> fmt::Debug for SwapRegister<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("SwapRegister").field(&self.read()).finish()
+    }
+}
+
+impl<T> Drop for SwapRegister<T> {
+    fn drop(&mut self) {
+        let guard = epoch::pin();
+        let shared = self.cell.swap(epoch::Shared::null(), Ordering::AcqRel, &guard);
+        if !shared.is_null() {
+            // SAFETY: `&mut self` excludes concurrent access going
+            // forward; deferral protects historical readers.
+            unsafe {
+                guard.defer_destroy(shared);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn swap_returns_previous_value() {
+        let cell = SwapRegister::new(1u32);
+        assert_eq!(cell.swap(2), 1);
+        assert_eq!(cell.swap(3), 2);
+        assert_eq!(cell.read(), 3);
+    }
+
+    #[test]
+    fn register_trait_write_discards_old() {
+        let cell = SwapRegister::new(0u32);
+        Register::write(&cell, 5);
+        assert_eq!(Register::read(&cell), 5);
+    }
+
+    #[test]
+    fn default_uses_type_default() {
+        let cell: SwapRegister<u64> = SwapRegister::default();
+        assert_eq!(cell.read(), 0);
+    }
+
+    #[test]
+    fn concurrent_swaps_form_a_chain() {
+        // Every value enters the cell exactly once and leaves exactly
+        // once: collecting all swap-returns plus the final read must
+        // recover every inserted value plus the initial one.
+        let cell = Arc::new(SwapRegister::new(0u64));
+        let threads = 4;
+        let per_thread = 200;
+        let returned: Vec<u64> = crossbeam::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let cell = Arc::clone(&cell);
+                    s.spawn(move |_| {
+                        (0..per_thread)
+                            .map(|i| cell.swap(1 + (t * per_thread + i) as u64))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        })
+        .unwrap();
+        let mut all: HashSet<u64> = returned.into_iter().collect();
+        all.insert(cell.read());
+        let expected: HashSet<u64> = (0..=(threads * per_thread) as u64).collect();
+        assert_eq!(all, expected, "a swapped value was lost or duplicated");
+    }
+
+    #[test]
+    fn debug_renders_value() {
+        let cell = SwapRegister::new(9u8);
+        assert_eq!(format!("{cell:?}"), "SwapRegister(9)");
+    }
+}

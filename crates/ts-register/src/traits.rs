@@ -1,0 +1,50 @@
+//! The [`Register`] abstraction shared by all register flavours.
+
+/// A linearizable shared read/write register.
+///
+/// This is the base object of the paper's model (Section 2): an atomic
+/// multi-writer multi-reader register. Both operations must be wait-free:
+/// they complete in a bounded number of the caller's own steps regardless
+/// of the behaviour of other threads.
+///
+/// # Example
+///
+/// ```
+/// use ts_register::{AtomicRegister, Register};
+///
+/// fn bump(reg: &dyn Register<u64>) {
+///     let v = reg.read();
+///     reg.write(v + 1);
+/// }
+///
+/// let reg = AtomicRegister::new(0);
+/// bump(&reg);
+/// assert_eq!(reg.read(), 1);
+/// ```
+pub trait Register<T>: Send + Sync {
+    /// Returns the current value of the register.
+    fn read(&self) -> T;
+
+    /// Replaces the value of the register.
+    fn write(&self, value: T);
+}
+
+impl<T, R: Register<T> + ?Sized> Register<T> for &R {
+    fn read(&self) -> T {
+        (**self).read()
+    }
+
+    fn write(&self, value: T) {
+        (**self).write(value)
+    }
+}
+
+impl<T, R: Register<T> + ?Sized> Register<T> for std::sync::Arc<R> {
+    fn read(&self) -> T {
+        (**self).read()
+    }
+
+    fn write(&self, value: T) {
+        (**self).write(value)
+    }
+}

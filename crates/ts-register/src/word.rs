@@ -1,0 +1,96 @@
+//! Word-sized register backed directly by a hardware atomic.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::traits::Register;
+
+/// A register holding a `u64`, backed by [`AtomicU64`].
+///
+/// The simple one-shot algorithm of Section 5 (Algorithms 1–2) only stores
+/// values in `{0, 1, 2}` per register, so it does not need the
+/// pointer-based [`AtomicRegister`](crate::AtomicRegister); this type maps
+/// its registers straight onto hardware atomics with sequentially
+/// consistent ordering, preserving linearizability.
+///
+/// # Example
+///
+/// ```
+/// use ts_register::{Register, WordRegister};
+///
+/// let reg = WordRegister::new(0);
+/// reg.write(2);
+/// assert_eq!(reg.read(), 2);
+/// ```
+pub struct WordRegister {
+    cell: AtomicU64,
+}
+
+impl WordRegister {
+    /// Creates a word register holding `initial`.
+    pub fn new(initial: u64) -> Self {
+        Self {
+            cell: AtomicU64::new(initial),
+        }
+    }
+
+    /// Returns the current value.
+    pub fn read(&self) -> u64 {
+        self.cell.load(Ordering::SeqCst)
+    }
+
+    /// Replaces the current value.
+    pub fn write(&self, value: u64) {
+        self.cell.store(value, Ordering::SeqCst)
+    }
+}
+
+impl Register<u64> for WordRegister {
+    fn read(&self) -> u64 {
+        WordRegister::read(self)
+    }
+
+    fn write(&self, value: u64) {
+        WordRegister::write(self, value)
+    }
+}
+
+impl Default for WordRegister {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl fmt::Debug for WordRegister {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("WordRegister").field(&self.read()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_initial() {
+        assert_eq!(WordRegister::new(5).read(), 5);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(WordRegister::default().read(), 0);
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let r = WordRegister::new(0);
+        r.write(17);
+        assert_eq!(r.read(), 17);
+    }
+
+    #[test]
+    fn debug_shows_value() {
+        let r = WordRegister::new(9);
+        assert_eq!(format!("{r:?}"), "WordRegister(9)");
+    }
+}

@@ -1,0 +1,149 @@
+//! Property and stress tests for the register substrate.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use ts_register::{
+    AtomicRegister, Register, RegisterArray, SpaceMeter, StampedRegister, SwapRegister,
+    WordRegister,
+};
+
+proptest! {
+    /// Write-then-read returns the written value for every register
+    /// flavour (sequential linearizability floor).
+    #[test]
+    fn write_read_round_trip(values in proptest::collection::vec(any::<u64>(), 1..50)) {
+        let atomic = AtomicRegister::new(0u64);
+        let word = WordRegister::new(0);
+        let stamped = StampedRegister::new(0u64);
+        let swap = SwapRegister::new(0u64);
+        for &v in &values {
+            atomic.write(v);
+            prop_assert_eq!(atomic.read(), v);
+            word.write(v);
+            prop_assert_eq!(word.read(), v);
+            stamped.write(v);
+            prop_assert_eq!(StampedRegister::read(&stamped), v);
+            SwapRegister::write(&swap, v);
+            prop_assert_eq!(SwapRegister::read(&swap), v);
+        }
+    }
+
+    /// Stamps strictly increase along a register's own write history.
+    #[test]
+    fn stamps_increase_monotonically(values in proptest::collection::vec(any::<u8>(), 1..40)) {
+        let reg = StampedRegister::new(0u8);
+        let mut last = reg.read_stamped().stamp;
+        for &v in &values {
+            reg.write(v);
+            let s = reg.read_stamped().stamp;
+            prop_assert!(s > last);
+            last = s;
+        }
+    }
+
+    /// Sequential swaps return the exact previous-value chain.
+    #[test]
+    fn swap_chain_is_exact(values in proptest::collection::vec(any::<u64>(), 1..40)) {
+        let cell = SwapRegister::new(0u64);
+        let mut expected_prev = 0u64;
+        for &v in &values {
+            prop_assert_eq!(cell.swap(v), expected_prev);
+            expected_prev = v;
+        }
+    }
+
+    /// Meter snapshots add up: totals equal the sum of per-register
+    /// counts and `registers_written` matches the nonzero write cells.
+    #[test]
+    fn meter_arithmetic_is_consistent(
+        ops in proptest::collection::vec((0usize..8, any::<bool>()), 0..100)
+    ) {
+        let meter = SpaceMeter::new(8);
+        let array = RegisterArray::with_meter(8, 0u64, meter.clone());
+        for &(idx, is_write) in &ops {
+            if is_write {
+                array.write(idx, 1).unwrap();
+            } else {
+                let _ = array.read(idx).unwrap();
+            }
+        }
+        let snap = meter.snapshot();
+        prop_assert_eq!(
+            snap.total_writes(),
+            ops.iter().filter(|(_, w)| *w).count() as u64
+        );
+        prop_assert_eq!(
+            snap.total_reads(),
+            ops.iter().filter(|(_, w)| !*w).count() as u64
+        );
+        let written: std::collections::HashSet<usize> =
+            ops.iter().filter(|(_, w)| *w).map(|(i, _)| *i).collect();
+        prop_assert_eq!(snap.registers_written(), written.len());
+        prop_assert_eq!(snap.max_written_index(), written.iter().max().copied());
+    }
+}
+
+#[test]
+fn atomic_register_readers_see_prefix_closed_history() {
+    // A single writer writes 1..N in order; any reader sequence of
+    // observations must be non-decreasing (reads can't go back in time
+    // on a single-writer register).
+    let reg = Arc::new(AtomicRegister::new(0u64));
+    crossbeam::scope(|s| {
+        let w = Arc::clone(&reg);
+        s.spawn(move |_| {
+            for v in 1..=20_000u64 {
+                w.write(v);
+            }
+        });
+        for _ in 0..4 {
+            let r = Arc::clone(&reg);
+            s.spawn(move |_| {
+                let mut last = 0u64;
+                for _ in 0..5_000 {
+                    let v = r.read();
+                    assert!(v >= last, "read went backwards: {v} after {last}");
+                    last = v;
+                }
+            });
+        }
+    })
+    .unwrap();
+}
+
+#[test]
+fn stamped_register_stamps_never_repeat_across_threads() {
+    let reg = Arc::new(StampedRegister::new(0u64));
+    let observed: Vec<(u64, ts_register::Stamp)> = crossbeam::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let reg = Arc::clone(&reg);
+                s.spawn(move |_| {
+                    let mut seen = Vec::new();
+                    for i in 0..500u64 {
+                        reg.write(t as u64 * 1000 + i);
+                        let st = reg.read_stamped();
+                        seen.push((st.value, st.stamp));
+                    }
+                    seen
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    })
+    .unwrap();
+    // A stamp uniquely determines the value it was written with.
+    use std::collections::HashMap;
+    let mut stamp_to_value: HashMap<ts_register::Stamp, u64> = HashMap::new();
+    for (value, stamp) in observed {
+        if let Some(&prev) = stamp_to_value.get(&stamp) {
+            assert_eq!(prev, value, "one stamp, two values");
+        } else {
+            stamp_to_value.insert(stamp, value);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! The double-collect scan of Afek et al. (1993).
+
+use std::error::Error;
+use std::fmt;
+
+use ts_register::RegisterArray;
+
+use crate::view::View;
+
+/// Error returned by [`try_scan`] when the attempt budget is exhausted
+/// before two identical collects were observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanInterrupted {
+    /// Number of collects performed before giving up.
+    pub collects: usize,
+}
+
+impl fmt::Display for ScanInterrupted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "scan interrupted: no successful double collect within {} collects",
+            self.collects
+        )
+    }
+}
+
+impl Error for ScanInterrupted {}
+
+fn collect_view<T: Clone + Send + Sync>(array: &RegisterArray<T>) -> View<T> {
+    View::new(array.collect())
+}
+
+/// Repeatedly collects `array` until two consecutive collects observe the
+/// same writes, and returns that view.
+///
+/// The view is linearizable: it can be placed at any point between the
+/// two identical collects. The loop is obstruction-free in general and
+/// terminates whenever only finitely many writes interfere — which
+/// Algorithm 4 guarantees, since each `getTS` writes fewer than `m` times
+/// (Lemma 6.14).
+///
+/// # Example
+///
+/// ```
+/// use ts_register::RegisterArray;
+/// use ts_snapshot::double_collect_scan;
+///
+/// let array: RegisterArray<i32> = RegisterArray::new(2, -1);
+/// let view = double_collect_scan(&array);
+/// assert_eq!(view.values(), vec![-1, -1]);
+/// ```
+pub fn double_collect_scan<T: Clone + Send + Sync>(array: &RegisterArray<T>) -> View<T> {
+    let mut previous = collect_view(array);
+    loop {
+        let current = collect_view(array);
+        if current.same_writes(&previous) {
+            return current;
+        }
+        previous = current;
+    }
+}
+
+/// Like [`double_collect_scan`], but gives up after `max_collects`
+/// collects.
+///
+/// Useful when the bounded-interference argument does not apply (e.g.
+/// scanning an array written by an unbounded workload).
+///
+/// # Errors
+///
+/// Returns [`ScanInterrupted`] if no two consecutive collects agreed
+/// within the budget.
+///
+/// # Panics
+///
+/// Panics if `max_collects < 2` (a double collect needs two sweeps).
+pub fn try_scan<T: Clone + Send + Sync>(
+    array: &RegisterArray<T>,
+    max_collects: usize,
+) -> Result<View<T>, ScanInterrupted> {
+    assert!(max_collects >= 2, "a double collect needs at least 2 sweeps");
+    let mut previous = collect_view(array);
+    for done in 1..max_collects {
+        let current = collect_view(array);
+        if current.same_writes(&previous) {
+            return Ok(current);
+        }
+        previous = current;
+        let _ = done;
+    }
+    Err(ScanInterrupted {
+        collects: max_collects,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn quiescent_scan_returns_current_values() {
+        let array: RegisterArray<u64> = RegisterArray::new(3, 0);
+        array.write(0, 1).unwrap();
+        array.write(2, 3).unwrap();
+        let view = double_collect_scan(&array);
+        assert_eq!(view.values(), vec![1, 0, 3]);
+    }
+
+    #[test]
+    fn try_scan_succeeds_when_quiescent() {
+        let array: RegisterArray<u64> = RegisterArray::new(2, 0);
+        let view = try_scan(&array, 2).unwrap();
+        assert_eq!(view.values(), vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 sweeps")]
+    fn try_scan_rejects_budget_below_two() {
+        let array: RegisterArray<u64> = RegisterArray::new(1, 0);
+        let _ = try_scan(&array, 1);
+    }
+
+    #[test]
+    fn scan_never_returns_a_torn_view_under_concurrent_writes() {
+        // A writer maintains the invariant reg[0] == reg[1] at quiescent
+        // points by writing (k, k) pairs register-by-register; the scan
+        // must only ever return views where both were written by the same
+        // round (values equal) or a prefix thereof. Because each round
+        // writes register 0 then register 1 with the same value, any
+        // successful double collect sees either (k, k) or (k+1, k).
+        // The *linearizable* guarantee we check: the view's values were
+        // simultaneously present. With this write pattern that means
+        // view[0] >= view[1] and view[0] - view[1] <= 1.
+        let array = Arc::new(RegisterArray::new(2, 0u64));
+        let stop = Arc::new(AtomicBool::new(false));
+        crossbeam::scope(|s| {
+            let writer_array = Arc::clone(&array);
+            let writer_stop = Arc::clone(&stop);
+            s.spawn(move |_| {
+                let mut k = 1u64;
+                while !writer_stop.load(Ordering::Relaxed) {
+                    writer_array.write(0, k).unwrap();
+                    writer_array.write(1, k).unwrap();
+                    k += 1;
+                }
+            });
+            for _ in 0..200 {
+                let view = double_collect_scan(&array);
+                let v = view.values();
+                assert!(
+                    v[0] >= v[1] && v[0] - v[1] <= 1,
+                    "torn view: {v:?} cannot have been simultaneous"
+                );
+            }
+            stop.store(true, Ordering::Relaxed);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn interrupted_scan_reports_budget() {
+        // Heavy writer keeps flipping a register; with a tiny budget the
+        // scan may or may not fail, so drive it deterministically by
+        // writing between the collects is not possible from outside —
+        // instead just check the error type formatting.
+        let err = ScanInterrupted { collects: 7 };
+        assert!(err.to_string().contains("7 collects"));
+    }
+}

@@ -1,0 +1,295 @@
+//! Wait-free single-writer atomic snapshot (Afek et al. 1993).
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use ts_register::{Stamp, StampedRegister};
+
+/// One component cell: the writer's value plus the view embedded by the
+/// update that installed it.
+#[derive(Debug, Clone)]
+struct Cell<T> {
+    value: T,
+    /// View of all components embedded by the installing update; `None`
+    /// only for the initial cell (which no scan ever needs to borrow,
+    /// because an initial cell has never changed).
+    embedded: Option<Arc<Vec<T>>>,
+}
+
+/// A wait-free single-writer atomic snapshot object with `n` components.
+///
+/// Each component `i` is owned by one writer (obtain the writing
+/// capability with [`WaitFreeSnapshot::take_updater`]); any thread may
+/// [`scan`](WaitFreeSnapshot::scan). Scans are linearizable and wait-free:
+/// a scanner that observes some component change twice borrows the view
+/// embedded in that component's latest update, which is guaranteed to have
+/// been taken entirely within the scanner's interval.
+///
+/// This is the classic construction of Afek, Attiya, Dolev, Gafni,
+/// Merritt and Shavit; Algorithm 4 of the paper only needs the cheaper
+/// double-collect scan, but the full object is provided as an independent
+/// substrate (and is used by the test suite as a linearizable reference).
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use ts_snapshot::WaitFreeSnapshot;
+///
+/// let snap = Arc::new(WaitFreeSnapshot::new(2, 0u64));
+/// let updater = snap.take_updater(0).expect("component 0 unclaimed");
+/// updater.update(5);
+/// assert_eq!(snap.scan(), vec![5, 0]);
+/// ```
+pub struct WaitFreeSnapshot<T> {
+    components: Vec<StampedRegister<Cell<T>>>,
+    claimed: Vec<AtomicBool>,
+}
+
+impl<T: Clone + Send + Sync> WaitFreeSnapshot<T> {
+    /// Creates a snapshot object with `n` components, all `initial`.
+    pub fn new(n: usize, initial: T) -> Self {
+        Self {
+            components: (0..n)
+                .map(|_| {
+                    StampedRegister::new(Cell {
+                        value: initial.clone(),
+                        embedded: None,
+                    })
+                })
+                .collect(),
+            claimed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether the object has zero components.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Claims the exclusive writer capability for component `index`.
+    ///
+    /// Returns `None` if the component was already claimed or the index is
+    /// out of range. Single-writer discipline is what makes the borrowed
+    /// embedded view linearizable, so the capability can be taken only
+    /// once per component.
+    pub fn take_updater(self: &Arc<Self>, index: usize) -> Option<Updater<T>> {
+        if index >= self.components.len() {
+            return None;
+        }
+        let already = self.claimed[index].swap(true, Ordering::AcqRel);
+        if already {
+            None
+        } else {
+            Some(Updater {
+                snapshot: Arc::clone(self),
+                index,
+            })
+        }
+    }
+
+    fn collect(&self) -> Vec<(Stamp, Cell<T>)> {
+        self.components
+            .iter()
+            .map(|reg| {
+                let s = reg.read_stamped();
+                (s.stamp, s.value)
+            })
+            .collect()
+    }
+
+    /// Returns a linearizable view of all component values. Wait-free.
+    pub fn scan(&self) -> Vec<T> {
+        let n = self.components.len();
+        let mut changes = vec![0usize; n];
+        let mut previous = self.collect();
+        loop {
+            let current = self.collect();
+            let mut clean = true;
+            for j in 0..n {
+                if current[j].0 != previous[j].0 {
+                    clean = false;
+                    changes[j] += 1;
+                    if changes[j] >= 2 {
+                        // Component j changed twice during this scan; the
+                        // update that installed the second change ran its
+                        // embedded scan entirely within our interval.
+                        let view = current[j]
+                            .1
+                            .embedded
+                            .as_ref()
+                            .expect("a changed cell was installed by an update and carries a view");
+                        return view.as_ref().clone();
+                    }
+                }
+            }
+            if clean {
+                return current.into_iter().map(|(_, cell)| cell.value).collect();
+            }
+            previous = current;
+        }
+    }
+
+    fn update(&self, index: usize, value: T) {
+        // Embed a fresh scan so concurrent scanners can borrow it.
+        let view = Arc::new(self.scan());
+        self.components[index].write(Cell {
+            value,
+            embedded: Some(view),
+        });
+    }
+}
+
+impl<T: Clone + Send + Sync + fmt::Debug> fmt::Debug for WaitFreeSnapshot<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WaitFreeSnapshot")
+            .field("components", &self.scan())
+            .finish()
+    }
+}
+
+/// Exclusive writer capability for one component of a
+/// [`WaitFreeSnapshot`].
+///
+/// Obtained from [`WaitFreeSnapshot::take_updater`]; dropping the updater
+/// does *not* release the claim (the single-writer history must stay
+/// single-writer for the lifetime of the object).
+pub struct Updater<T> {
+    snapshot: Arc<WaitFreeSnapshot<T>>,
+    index: usize,
+}
+
+impl<T: Clone + Send + Sync> Updater<T> {
+    /// The component this updater writes.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Writes `value` to the owned component, embedding a fresh scan.
+    pub fn update(&self, value: T) {
+        self.snapshot.update(self.index, value);
+    }
+
+    /// Scans through the underlying snapshot object.
+    pub fn scan(&self) -> Vec<T> {
+        self.snapshot.scan()
+    }
+}
+
+impl<T> fmt::Debug for Updater<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Updater").field("index", &self.index).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_of_fresh_object_returns_initials() {
+        let snap = WaitFreeSnapshot::new(3, 7u64);
+        assert_eq!(snap.scan(), vec![7, 7, 7]);
+    }
+
+    #[test]
+    fn update_is_visible_to_scan() {
+        let snap = Arc::new(WaitFreeSnapshot::new(2, 0u64));
+        let upd = snap.take_updater(1).unwrap();
+        upd.update(42);
+        assert_eq!(snap.scan(), vec![0, 42]);
+    }
+
+    #[test]
+    fn updater_can_be_taken_once() {
+        let snap = Arc::new(WaitFreeSnapshot::new(1, 0u64));
+        assert!(snap.take_updater(0).is_some());
+        assert!(snap.take_updater(0).is_none());
+    }
+
+    #[test]
+    fn out_of_range_updater_is_none() {
+        let snap = Arc::new(WaitFreeSnapshot::new(1, 0u64));
+        assert!(snap.take_updater(5).is_none());
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let snap: WaitFreeSnapshot<u64> = WaitFreeSnapshot::new(0, 0);
+        assert!(snap.is_empty());
+        assert_eq!(snap.scan(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn concurrent_scans_see_monotone_component_histories() {
+        // Writer 0 writes 1,2,3,...; every scan must observe a value that
+        // never decreases across sequential scans by the same thread.
+        let snap = Arc::new(WaitFreeSnapshot::new(2, 0u64));
+        let upd = snap.take_updater(0).unwrap();
+        crossbeam::scope(|s| {
+            s.spawn(move |_| {
+                for k in 1..=2000u64 {
+                    upd.update(k);
+                }
+            });
+            for _ in 0..3 {
+                let snap = Arc::clone(&snap);
+                s.spawn(move |_| {
+                    let mut last = 0u64;
+                    for _ in 0..500 {
+                        let view = snap.scan();
+                        assert!(
+                            view[0] >= last,
+                            "scan went backwards: {} after {last}",
+                            view[0]
+                        );
+                        last = view[0];
+                    }
+                });
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn two_writers_two_components_scans_are_consistent() {
+        // Writers keep components equal to their own step counters; a
+        // scan (i, j) must be pairwise "close": each component is some
+        // prefix of its writer's history, and a later scan dominates an
+        // earlier one component-wise (monotone reads per scanner).
+        let snap = Arc::new(WaitFreeSnapshot::new(2, 0u64));
+        let u0 = snap.take_updater(0).unwrap();
+        let u1 = snap.take_updater(1).unwrap();
+        crossbeam::scope(|s| {
+            s.spawn(move |_| {
+                for k in 1..=1000u64 {
+                    u0.update(k);
+                }
+            });
+            s.spawn(move |_| {
+                for k in 1..=1000u64 {
+                    u1.update(k);
+                }
+            });
+            let snap = Arc::clone(&snap);
+            s.spawn(move |_| {
+                let mut prev = vec![0u64, 0];
+                for _ in 0..500 {
+                    let cur = snap.scan();
+                    assert!(
+                        cur[0] >= prev[0] && cur[1] >= prev[1],
+                        "non-monotone scans: {prev:?} then {cur:?}"
+                    );
+                    prev = cur;
+                }
+            });
+        })
+        .unwrap();
+    }
+}

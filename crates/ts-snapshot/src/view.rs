@@ -1,0 +1,124 @@
+//! Linearizable views of a register array.
+
+use ts_register::{Stamp, Stamped};
+
+/// A snapshot of all registers of an array, as returned by a successful
+/// double collect.
+///
+/// A `View` captures both the values and the [`Stamp`]s of the writes that
+/// installed them; stamp equality is what certifies that two collects saw
+/// the same state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct View<T> {
+    entries: Vec<Stamped<T>>,
+}
+
+impl<T> View<T> {
+    /// Wraps the entries of a collect into a view.
+    pub fn new(entries: Vec<Stamped<T>>) -> Self {
+        Self { entries }
+    }
+
+    /// Number of registers in the view.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the view covers zero registers.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The stamped entries, in register order.
+    pub fn entries(&self) -> &[Stamped<T>] {
+        &self.entries
+    }
+
+    /// The stamp of each register's current write.
+    pub fn stamps(&self) -> Vec<Stamp> {
+        self.entries.iter().map(|e| e.stamp).collect()
+    }
+
+    /// Whether `self` and `other` observed exactly the same writes.
+    ///
+    /// This is the double-collect success criterion: comparing stamps
+    /// (not values) makes the check immune to ABA rewrites.
+    pub fn same_writes(&self, other: &Self) -> bool {
+        self.entries.len() == other.entries.len()
+            && self
+                .entries
+                .iter()
+                .zip(&other.entries)
+                .all(|(a, b)| a.stamp == b.stamp)
+    }
+
+    /// Consumes the view, returning the entries.
+    pub fn into_entries(self) -> Vec<Stamped<T>> {
+        self.entries
+    }
+}
+
+impl<T: Clone> View<T> {
+    /// The values, in register order (stamps dropped).
+    pub fn values(&self) -> Vec<T> {
+        self.entries.iter().map(|e| e.value.clone()).collect()
+    }
+}
+
+impl<T> std::ops::Index<usize> for View<T> {
+    type Output = Stamped<T>;
+
+    fn index(&self, index: usize) -> &Self::Output {
+        &self.entries[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_register::StampedRegister;
+
+    fn stamped(v: u32) -> Stamped<u32> {
+        // Use a real register to obtain a fresh stamp.
+        let reg = StampedRegister::new(0u32);
+        reg.write(v);
+        reg.read_stamped()
+    }
+
+    #[test]
+    fn same_writes_is_reflexive() {
+        let view = View::new(vec![stamped(1), stamped(2)]);
+        assert!(view.same_writes(&view.clone()));
+    }
+
+    #[test]
+    fn same_values_different_stamps_are_different_writes() {
+        let a = View::new(vec![stamped(1)]);
+        let b = View::new(vec![stamped(1)]);
+        assert_eq!(a.values(), b.values());
+        assert!(!a.same_writes(&b));
+    }
+
+    #[test]
+    fn length_mismatch_is_not_same_writes() {
+        let a = View::new(vec![stamped(1)]);
+        let b = View::new(vec![stamped(1), stamped(2)]);
+        assert!(!a.same_writes(&b));
+    }
+
+    #[test]
+    fn indexing_and_values() {
+        let view = View::new(vec![stamped(5), stamped(6)]);
+        assert_eq!(view[1].value, 6);
+        assert_eq!(view.values(), vec![5, 6]);
+        assert_eq!(view.len(), 2);
+        assert!(!view.is_empty());
+    }
+
+    #[test]
+    fn empty_view() {
+        let view: View<u32> = View::new(vec![]);
+        assert!(view.is_empty());
+        assert_eq!(view.stamps(), vec![]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property and stress tests for the snapshot substrate.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use ts_register::RegisterArray;
+use ts_snapshot::{double_collect_scan, try_scan, View, WaitFreeSnapshot};
+
+proptest! {
+    /// A quiescent scan returns exactly the written values, for any
+    /// write pattern.
+    #[test]
+    fn quiescent_scan_is_exact(
+        m in 1usize..12,
+        writes in proptest::collection::vec((0usize..12, any::<u64>()), 0..40),
+    ) {
+        let array: RegisterArray<u64> = RegisterArray::new(m, 0);
+        let mut expected = vec![0u64; m];
+        for &(idx, v) in &writes {
+            let idx = idx % m;
+            array.write(idx, v).unwrap();
+            expected[idx] = v;
+        }
+        let view = double_collect_scan(&array);
+        prop_assert_eq!(view.values(), expected);
+        // try_scan agrees when quiescent.
+        let view2 = try_scan(&array, 2).unwrap();
+        prop_assert!(view.same_writes(&view2));
+    }
+
+    /// Views with equal stamp vectors are `same_writes`; any single
+    /// extra write breaks it.
+    #[test]
+    fn same_writes_tracks_stamps(m in 1usize..8, idx in 0usize..8) {
+        let array: RegisterArray<u64> = RegisterArray::new(m, 0);
+        let a = View::new(array.collect());
+        let b = View::new(array.collect());
+        prop_assert!(a.same_writes(&b));
+        array.write(idx % m, 7).unwrap();
+        let c = View::new(array.collect());
+        prop_assert!(!a.same_writes(&c));
+    }
+}
+
+#[test]
+fn snapshot_scans_are_monotone_per_scanner_under_heavy_updates() {
+    let n_components = 3;
+    let snap = Arc::new(WaitFreeSnapshot::new(n_components, 0u64));
+    let updaters: Vec<_> = (0..n_components)
+        .map(|i| snap.take_updater(i).unwrap())
+        .collect();
+    crossbeam::scope(|s| {
+        for upd in updaters {
+            s.spawn(move |_| {
+                for k in 1..=800u64 {
+                    upd.update(k);
+                }
+            });
+        }
+        for _ in 0..3 {
+            let snap = Arc::clone(&snap);
+            s.spawn(move |_| {
+                let mut prev = vec![0u64; n_components];
+                for _ in 0..400 {
+                    let cur = snap.scan();
+                    for (p, c) in prev.iter().zip(&cur) {
+                        assert!(c >= p, "scan regressed: {prev:?} then {cur:?}");
+                    }
+                    prev = cur;
+                }
+            });
+        }
+    })
+    .unwrap();
+}
+
+#[test]
+fn scan_view_is_a_consistent_cut_of_two_linked_registers() {
+    // Writer maintains r1 = f(r0) (here r1 = 2·r0) by writing r0 then
+    // r1; a linearizable view must satisfy r1 ∈ {2·r0, 2·(r0−1)}.
+    let array = Arc::new(RegisterArray::new(2, 0u64));
+    crossbeam::scope(|s| {
+        let w = Arc::clone(&array);
+        s.spawn(move |_| {
+            for k in 1..=5_000u64 {
+                w.write(0, k).unwrap();
+                w.write(1, 2 * k).unwrap();
+            }
+        });
+        for _ in 0..2 {
+            let a = Arc::clone(&array);
+            s.spawn(move |_| {
+                for _ in 0..500 {
+                    let v = double_collect_scan(&a).values();
+                    let (r0, r1) = (v[0], v[1]);
+                    assert!(
+                        r1 == 2 * r0 || (r0 > 0 && r1 == 2 * (r0 - 1)),
+                        "inconsistent cut: r0={r0}, r1={r1}"
+                    );
+                }
+            });
+        }
+    })
+    .unwrap();
+}

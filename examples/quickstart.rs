@@ -1,0 +1,55 @@
+//! Quickstart: take one-shot timestamps from many threads and order
+//! events with `compare`.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use timestamp_suite::ts_core::{BoundedTimestamp, OneShotTimestamp, Timestamp};
+
+fn main() {
+    let n = 16;
+    // Theorem 1.3: a one-shot timestamp object for n processes needs
+    // only ⌈2√n⌉ registers (8 for n = 16), not Θ(n).
+    let ts = Arc::new(BoundedTimestamp::one_shot(n));
+    println!(
+        "one-shot object for {n} processes using {} registers",
+        OneShotTimestamp::registers(&*ts)
+    );
+
+    // Round 1: half the threads take timestamps concurrently.
+    let round1 = take_round(&ts, 0..n / 2);
+    // Round 2 (strictly after round 1): the rest.
+    let round2 = take_round(&ts, n / 2..n);
+
+    println!("round 1 timestamps: {round1:?}");
+    println!("round 2 timestamps: {round2:?}");
+
+    // compare (Algorithm 3) must order every round-1 timestamp before
+    // every round-2 timestamp: round 1 happened before round 2.
+    for a in &round1 {
+        for b in &round2 {
+            assert!(Timestamp::compare(a, b), "{a} should precede {b}");
+            assert!(!Timestamp::compare(b, a));
+        }
+    }
+    println!("every round-1 timestamp compares before every round-2 timestamp ✓");
+}
+
+fn take_round(
+    ts: &Arc<BoundedTimestamp>,
+    pids: std::ops::Range<usize>,
+) -> Vec<Timestamp> {
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = pids
+            .map(|p| {
+                let ts = Arc::clone(ts);
+                s.spawn(move |_| ts.get_ts(p).expect("one timestamp per process"))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .unwrap()
+}

@@ -1,0 +1,81 @@
+//! Live space audit: watch each algorithm's register consumption as
+//! calls arrive, against the paper's bounds.
+//!
+//! ```sh
+//! cargo run --example space_audit
+//! ```
+
+use timestamp_suite::ts_core::{
+    BoundedTimestamp, CollectMax, GetTsId, GrowableTimestamp, LongLivedTimestamp,
+    OneShotTimestamp, SimpleOneShot,
+};
+use timestamp_suite::ts_lowerbound::bounds::{
+    bounded_upper_bound, longlived_lower_bound, oneshot_lower_bound,
+};
+
+fn main() {
+    let n = 64;
+
+    println!("--- simple one-shot (Section 5), n = {n} ---");
+    let simple = SimpleOneShot::new(n);
+    for p in 0..n {
+        simple.get_ts(p).unwrap();
+        if (p + 1) % 16 == 0 {
+            println!(
+                "  after {:>3} calls: {:>3} registers written (alloc {})",
+                p + 1,
+                simple.meter().snapshot().registers_written(),
+                simple.registers()
+            );
+        }
+    }
+
+    println!("--- Algorithm 4 one-shot (Section 6), n = {n} ---");
+    let alg4 = BoundedTimestamp::one_shot(n);
+    for p in 0..n {
+        alg4.get_ts(p).unwrap();
+        if (p + 1) % 16 == 0 {
+            let stats = alg4.phase_stats();
+            println!(
+                "  after {:>3} calls: {:>3} written / alloc {} (phases {}, inval writes {})",
+                p + 1,
+                stats.registers_written,
+                stats.m,
+                stats.phases,
+                stats.invalidation_writes
+            );
+        }
+    }
+    println!(
+        "  lower bound for any one-shot object: {:.1} registers",
+        oneshot_lower_bound(n)
+    );
+
+    println!("--- collect-max long-lived, n = {n} ---");
+    let ll = CollectMax::new(n);
+    for round in 0..3 {
+        for p in 0..n {
+            ll.get_ts(p).unwrap();
+        }
+        println!(
+            "  after round {}: {} registers written (lower bound for any long-lived object: {:.1})",
+            round + 1,
+            ll.meter().snapshot().registers_written(),
+            longlived_lower_bound(n)
+        );
+    }
+
+    println!("--- growable (Section 7), unbounded M ---");
+    let grow = GrowableTimestamp::new();
+    for target in [64u32, 256, 1024] {
+        while grow.calls() < target as u64 {
+            grow.get_ts_with_id(GetTsId::new(0, grow.calls() as u32));
+        }
+        println!(
+            "  after {:>4} calls: {:>3} registers touched (fixed-M would allocate {})",
+            target,
+            grow.registers_touched(),
+            bounded_upper_bound(target as usize)
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! `timestamp-suite` — umbrella crate for the `timestamp-space` workspace.
+//!
+//! This crate re-exports the public API of every workspace member so that
+//! the examples and integration tests in the repository root can exercise
+//! the whole system through a single dependency. Library users should
+//! depend on the individual crates instead:
+//!
+//! - [`ts_register`] — atomic multi-writer multi-reader register substrate
+//! - [`ts_snapshot`] — collect / scan / snapshot substrate
+//! - [`ts_model`] — formal execution model and mini model-checker
+//! - [`ts_core`] — the paper's timestamp algorithms
+//! - [`ts_lowerbound`] — covering-argument machinery and bound formulas
+//! - [`ts_clocks`] — the introduction's lineage: Lamport/vector/matrix clocks
+//! - [`ts_apps`] — consumers: FCFS locks, k-exclusion, renaming
+//!
+//! # Example
+//!
+//! ```
+//! use timestamp_suite::ts_core::{OneShotTimestamp, SimpleOneShot};
+//!
+//! let ts = SimpleOneShot::new(4);
+//! let a = ts.get_ts(0).unwrap();
+//! let b = ts.get_ts(1).unwrap();
+//! assert!(SimpleOneShot::compare(&a, &b) || SimpleOneShot::compare(&b, &a));
+//! ```
+
+pub use ts_apps;
+pub use ts_clocks;
+pub use ts_core;
+pub use ts_lowerbound;
+pub use ts_model;
+pub use ts_register;
+pub use ts_snapshot;

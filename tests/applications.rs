@@ -1,0 +1,120 @@
+//! End-to-end application tests: the paper's motivating consumers
+//! (mutual exclusion, k-exclusion, renaming) running on the timestamp
+//! objects, across crates.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use timestamp_suite::ts_apps::{FcfsLock, KExclusion, OrderPreservingRenaming};
+
+#[test]
+fn fcfs_lock_protects_a_counter() {
+    let n = 6;
+    let iters = 100;
+    let lock = Arc::new(FcfsLock::new(n));
+    // A plain (non-atomic via unsafe cell pattern would be UB) counter
+    // modeled as two atomics that must always agree when observed inside
+    // the critical section.
+    let a = Arc::new(AtomicUsize::new(0));
+    let b = Arc::new(AtomicUsize::new(0));
+    crossbeam::scope(|s| {
+        for pid in 0..n {
+            let lock = Arc::clone(&lock);
+            let a = Arc::clone(&a);
+            let b = Arc::clone(&b);
+            s.spawn(move |_| {
+                for _ in 0..iters {
+                    let g = lock.lock(pid);
+                    let va = a.load(Ordering::Relaxed);
+                    let vb = b.load(Ordering::Relaxed);
+                    assert_eq!(va, vb, "critical section raced");
+                    a.store(va + 1, Ordering::Relaxed);
+                    b.store(vb + 1, Ordering::Relaxed);
+                    drop(g);
+                }
+            });
+        }
+    })
+    .unwrap();
+    assert_eq!(a.load(Ordering::Relaxed), n * iters);
+}
+
+#[test]
+fn k_exclusion_throughput_exceeds_mutex() {
+    // With k = 3, three holders can be inside at once; we only assert
+    // the safety bound here (throughput is a bench concern).
+    let n = 6;
+    let k = 3;
+    let pool = Arc::new(KExclusion::new(n, k));
+    let inside = Arc::new(AtomicUsize::new(0));
+    let peak = Arc::new(AtomicUsize::new(0));
+    crossbeam::scope(|s| {
+        for pid in 0..n {
+            let pool = Arc::clone(&pool);
+            let inside = Arc::clone(&inside);
+            let peak = Arc::clone(&peak);
+            s.spawn(move |_| {
+                for _ in 0..100 {
+                    let g = pool.acquire(pid);
+                    let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    inside.fetch_sub(1, Ordering::SeqCst);
+                    drop(g);
+                }
+            });
+        }
+    })
+    .unwrap();
+    assert!(peak.load(Ordering::SeqCst) <= k);
+}
+
+#[test]
+fn renaming_round_trip_with_waves() {
+    let n = 18;
+    let renaming = Arc::new(OrderPreservingRenaming::new(n));
+    let wave = |lo: usize, hi: usize| -> Vec<u64> {
+        crossbeam::scope(|s| {
+            let hs: Vec<_> = (lo..hi)
+                .map(|p| {
+                    let r = Arc::clone(&renaming);
+                    s.spawn(move |_| r.acquire(p).unwrap())
+                })
+                .collect();
+            hs.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap()
+    };
+    let w1 = wave(0, 6);
+    let w2 = wave(6, 12);
+    let w3 = wave(12, 18);
+    // Distinctness across all waves.
+    let mut all: Vec<u64> = w1.iter().chain(&w2).chain(&w3).copied().collect();
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(all.len(), n, "name collision");
+    // Order preservation across waves.
+    for a in &w1 {
+        for b in &w2 {
+            assert!(a < b);
+        }
+    }
+    for b in &w2 {
+        for c in &w3 {
+            assert!(b < c);
+        }
+    }
+}
+
+#[test]
+fn lock_tickets_reflect_fcfs_order() {
+    // Sequential lockers get strictly increasing tickets — the
+    // timestamp property surfacing through the application layer.
+    let lock = FcfsLock::new(3);
+    let mut tickets = Vec::new();
+    for pid in [2usize, 0, 1] {
+        let g = lock.lock(pid);
+        tickets.push(lock.ticket_of(pid));
+        drop(g);
+    }
+    assert!(tickets[0] < tickets[1] && tickets[1] < tickets[2], "{tickets:?}");
+}

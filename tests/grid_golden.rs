@@ -1,0 +1,78 @@
+//! Golden tests pinning the grid rendering and the deterministic
+//! construction artifacts: if either the adversary or the renderer
+//! changes behaviour, these diffs surface it immediately.
+
+use timestamp_suite::ts_core::model::BoundedModel;
+use timestamp_suite::ts_lowerbound::grid::Grid;
+use timestamp_suite::ts_lowerbound::oneshot::OneShotConstruction;
+use timestamp_suite::ts_lowerbound::signature::OrderedSignature;
+
+/// Compares renderings ignoring trailing whitespace per line.
+fn assert_grid_eq(actual: &str, expected_lines: &[&str]) {
+    let actual_trimmed: Vec<&str> = actual.lines().map(str::trim_end).collect();
+    assert_eq!(actual_trimmed, expected_lines, "\n{actual}");
+}
+
+#[test]
+fn figure1_grid_for_n16_is_stable() {
+    let report = OneShotConstruction::run(BoundedModel::new(16));
+    assert_grid_eq(
+        &report.steps[0].grid,
+        &[
+            "  4 |*",
+            "  3 |#/",
+            "  2 |#./",
+            "  1 |#../",
+            "    +--------",
+            "     12345678",
+        ],
+    );
+}
+
+#[test]
+fn grid_rendering_of_a_hand_built_signature() {
+    let grid = Grid::new(OrderedSignature::from_signature(&[3, 2, 0, 0]), 5);
+    assert_grid_eq(
+        &grid.render(),
+        &[
+            "  4 |/",
+            "  3 |#/",
+            "  2 |##/",
+            "  1 |##./",
+            "    +----",
+            "     1234",
+        ],
+    );
+}
+
+#[test]
+fn construction_is_deterministic() {
+    let a = OneShotConstruction::run(BoundedModel::new(32));
+    let b = OneShotConstruction::run(BoundedModel::new(32));
+    assert_eq!(a.final_j, b.final_j);
+    assert_eq!(a.final_covered, b.final_covered);
+    assert_eq!(a.steps.len(), b.steps.len());
+    for (x, y) in a.steps.iter().zip(&b.steps) {
+        assert_eq!(x.grid, y.grid);
+        assert_eq!(x.signature, y.signature);
+    }
+}
+
+#[test]
+fn sequential_walkthrough_trace_is_stable() {
+    // The model trace of a two-call sequential run of Algorithm 4 pins
+    // the register access pattern of the pseudocode.
+    use timestamp_suite::ts_model::trace;
+    let alg = BoundedModel::new(2); // m = 3 registers
+    // p0 solo: invoke, read R1(⊥), two collects (3 reads each), write
+    // R1, done = 1 + 1 + 6 + 1 + 1 = 10 slots; then p1.
+    let schedule: Vec<usize> = std::iter::repeat_n(0, 10)
+        .chain(std::iter::repeat_n(1, 13))
+        .collect();
+    let rendered = trace::render(&alg, &schedule);
+    assert!(rendered.contains("p0 returns Timestamp { rnd: 1, turn: 0 }"), "{rendered}");
+    assert!(rendered.contains("p1 returns Timestamp { rnd: 2, turn: 0 }"), "{rendered}");
+    // The sentinel register R[3] is read but never written.
+    assert!(rendered.contains("reads  R[3]"), "{rendered}");
+    assert!(!rendered.contains("writes R[3]"), "{rendered}");
+}

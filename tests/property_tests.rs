@@ -1,0 +1,113 @@
+//! Property-based tests (proptest) over schedules, budgets and
+//! timestamp algebra.
+
+use proptest::prelude::*;
+
+use timestamp_suite::ts_core::model::{BoundedModel, CollectMaxModel, SimpleModel};
+use timestamp_suite::ts_core::{
+    BoundedTimestamp, GetTsId, OneShotTimestamp, SimpleOneShot, Timestamp,
+};
+use timestamp_suite::ts_lowerbound::bounds::bounded_upper_bound;
+use timestamp_suite::ts_lowerbound::signature::{as_3k_configuration, OrderedSignature};
+use timestamp_suite::ts_model::RandomScheduler;
+
+proptest! {
+    /// Algorithm 3's compare is a strict total order on distinct pairs.
+    #[test]
+    fn compare_is_a_strict_total_order(
+        a_rnd in 0u64..100, a_turn in 0u64..100,
+        b_rnd in 0u64..100, b_turn in 0u64..100,
+    ) {
+        let a = Timestamp::new(a_rnd, a_turn);
+        let b = Timestamp::new(b_rnd, b_turn);
+        // irreflexive
+        prop_assert!(!Timestamp::compare(&a, &a));
+        // asymmetric + total on distinct values
+        if a != b {
+            prop_assert!(Timestamp::compare(&a, &b) ^ Timestamp::compare(&b, &a));
+        } else {
+            prop_assert!(!Timestamp::compare(&a, &b) && !Timestamp::compare(&b, &a));
+        }
+    }
+
+    /// compare is transitive (sampled).
+    #[test]
+    fn compare_is_transitive(
+        vals in proptest::collection::vec((0u64..20, 0u64..20), 3)
+    ) {
+        let t: Vec<Timestamp> = vals.iter().map(|&(r, u)| Timestamp::new(r, u)).collect();
+        if Timestamp::compare(&t[0], &t[1]) && Timestamp::compare(&t[1], &t[2]) {
+            prop_assert!(Timestamp::compare(&t[0], &t[2]));
+        }
+    }
+
+    /// ⌈2√M⌉ is exact: m² ≥ 4M and (m−1)² < 4M.
+    #[test]
+    fn register_budget_is_exact_ceiling(m_calls in 1usize..1_000_000) {
+        let m = bounded_upper_bound(m_calls);
+        prop_assert!(m * m >= 4 * m_calls);
+        prop_assert!((m - 1) * (m - 1) < 4 * m_calls);
+    }
+
+    /// Random model schedules never violate the property, for every
+    /// algorithm (the model checker as a property).
+    #[test]
+    fn random_schedules_are_clean(seed in 0u64..10_000, n in 2usize..9) {
+        let r = RandomScheduler::new(seed).run(SimpleModel::new(n));
+        prop_assert!(r.violation.is_none(), "simple: {:?}", r.violation);
+        let r = RandomScheduler::new(seed).run(BoundedModel::new(n));
+        prop_assert!(r.violation.is_none(), "bounded: {:?}", r.violation);
+        let r = RandomScheduler::new(seed).ops_per_process(2).run(CollectMaxModel::new(n));
+        prop_assert!(r.violation.is_none(), "collectmax: {:?}", r.violation);
+    }
+
+    /// Ordered signatures are permutations: same multiset, sorted.
+    #[test]
+    fn ordered_signature_is_a_sorted_permutation(sig in proptest::collection::vec(0usize..5, 0..12)) {
+        let o = OrderedSignature::from_signature(&sig);
+        let mut sorted = sig.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        prop_assert_eq!(o.entries(), sorted.as_slice());
+        prop_assert_eq!(o.total(), sig.iter().sum::<usize>());
+    }
+
+    /// (3,k) detection agrees with its definition.
+    #[test]
+    fn three_k_detection_matches_definition(sig in proptest::collection::vec(0usize..6, 0..10)) {
+        let got = as_3k_configuration(&sig);
+        let expected = sig.iter().all(|&c| c <= 3).then(|| sig.iter().sum::<usize>());
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Sequential one-shot calls on the real objects always strictly
+    /// increase, for any interleaving of *which* processes call next.
+    #[test]
+    fn sequential_calls_increase_for_any_pid_order(perm in proptest::sample::subsequence((0..12usize).collect::<Vec<_>>(), 1..12)) {
+        let simple = SimpleOneShot::new(12);
+        let alg4 = BoundedTimestamp::one_shot(12);
+        let mut last_simple: Option<Timestamp> = None;
+        let mut last_alg4: Option<Timestamp> = None;
+        for &pid in &perm {
+            let s = simple.get_ts(pid).unwrap();
+            let b = alg4.get_ts(pid).unwrap();
+            if let Some(prev) = last_simple {
+                prop_assert!(Timestamp::compare(&prev, &s));
+            }
+            if let Some(prev) = last_alg4 {
+                prop_assert!(Timestamp::compare(&prev, &b));
+            }
+            last_simple = Some(s);
+            last_alg4 = Some(b);
+        }
+    }
+
+    /// The budgeted object admits exactly min(attempts, budget) calls.
+    #[test]
+    fn budget_admission_is_exact(budget in 1usize..60, attempts in 1usize..80) {
+        let ts = BoundedTimestamp::with_budget(budget);
+        let granted = (0..attempts)
+            .filter(|&k| ts.get_ts_with_id(GetTsId::new(0, k as u32)).is_ok())
+            .count();
+        prop_assert_eq!(granted, budget.min(attempts));
+    }
+}

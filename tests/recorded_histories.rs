@@ -1,0 +1,123 @@
+//! Exact happens-before checking of real concurrent executions via the
+//! `HistoryRecorder` (S12): random thread timing, no barriers — the
+//! recorder derives the true order from a global sequencer.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::{Rng, SeedableRng};
+use timestamp_suite::ts_core::{
+    BoundedTimestamp, CollectMax, GetTsId, GrowableTimestamp, HistoryRecorder,
+    LongLivedTimestamp, OneShotTimestamp, SimpleOneShot,
+};
+
+fn jitter(seed: u64) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    if rng.random_bool(0.5) {
+        std::thread::sleep(Duration::from_micros(rng.random_range(0..200)));
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+#[test]
+fn simple_oneshot_recorded_history_is_clean() {
+    let n = 24;
+    let ts = Arc::new(SimpleOneShot::new(n));
+    let rec = Arc::new(HistoryRecorder::new());
+    crossbeam::scope(|s| {
+        for p in 0..n {
+            let ts = Arc::clone(&ts);
+            let rec = Arc::clone(&rec);
+            s.spawn(move |_| {
+                jitter(p as u64);
+                rec.record(p, || ts.get_ts(p)).unwrap();
+            });
+        }
+    })
+    .unwrap();
+    let violations = rec.violations();
+    assert!(violations.is_empty(), "{violations:?}");
+    assert_eq!(rec.len(), n);
+}
+
+#[test]
+fn bounded_oneshot_recorded_history_is_clean() {
+    let n = 48;
+    let ts = Arc::new(BoundedTimestamp::one_shot(n));
+    let rec = Arc::new(HistoryRecorder::new());
+    crossbeam::scope(|s| {
+        for p in 0..n {
+            let ts = Arc::clone(&ts);
+            let rec = Arc::clone(&rec);
+            s.spawn(move |_| {
+                jitter(1000 + p as u64);
+                rec.record(p, || ts.get_ts(p)).unwrap();
+            });
+        }
+    })
+    .unwrap();
+    assert!(rec.violations().is_empty());
+}
+
+#[test]
+fn collect_max_recorded_long_lived_history_is_clean() {
+    let n = 8;
+    let ops = 20;
+    let ts = Arc::new(CollectMax::new(n));
+    let rec = Arc::new(HistoryRecorder::new());
+    crossbeam::scope(|s| {
+        for p in 0..n {
+            let ts = Arc::clone(&ts);
+            let rec = Arc::clone(&rec);
+            s.spawn(move |_| {
+                for k in 0..ops {
+                    jitter((p * ops + k) as u64);
+                    rec.record(p, || ts.get_ts(p)).unwrap();
+                }
+            });
+        }
+    })
+    .unwrap();
+    assert!(rec.violations().is_empty());
+    assert_eq!(rec.len(), n * ops);
+}
+
+#[test]
+fn growable_recorded_history_is_clean() {
+    let ts = Arc::new(GrowableTimestamp::new());
+    let rec = Arc::new(HistoryRecorder::new());
+    crossbeam::scope(|s| {
+        for t in 0..6u32 {
+            let ts = Arc::clone(&ts);
+            let rec = Arc::clone(&rec);
+            s.spawn(move |_| {
+                for k in 0..15u32 {
+                    jitter((t * 100 + k) as u64);
+                    rec.record_infallible(t as usize, || {
+                        ts.get_ts_with_id(GetTsId::new(t, k))
+                    });
+                }
+            });
+        }
+    })
+    .unwrap();
+    assert!(rec.violations().is_empty());
+    assert_eq!(rec.len(), 90);
+}
+
+#[test]
+fn recorder_catches_broken_objects_under_concurrency() {
+    use timestamp_suite::ts_core::BrokenStaleRead;
+    let n = 8;
+    let ts = Arc::new(BrokenStaleRead::new(n));
+    let rec = Arc::new(HistoryRecorder::new());
+    // Sequentialize to guarantee ordered pairs exist.
+    for p in 0..n {
+        rec.record(p, || ts.get_ts(p)).unwrap();
+    }
+    assert!(
+        !rec.violations().is_empty(),
+        "the stale-read object must be flagged"
+    );
+}
