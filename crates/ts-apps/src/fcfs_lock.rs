@@ -75,11 +75,7 @@ impl FcfsLock {
         );
         // Doorway: announce, take a ticket, publish it.
         self.choosing[pid].store(true, Ordering::SeqCst);
-        let ticket = self
-            .tickets
-            .get_ts(pid)
-            .expect("pid validated above")
-            .rnd; // scalar timestamps: rnd carries the value, ≥ 1
+        let ticket = self.tickets.get_ts(pid).expect("pid validated above").rnd; // scalar timestamps: rnd carries the value, ≥ 1
         self.active[pid].store(ticket, Ordering::SeqCst);
         self.choosing[pid].store(false, Ordering::SeqCst);
 
@@ -142,7 +138,9 @@ impl Drop for FcfsLockGuard<'_> {
 
 impl fmt::Debug for FcfsLockGuard<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("FcfsLockGuard").field("pid", &self.pid).finish()
+        f.debug_struct("FcfsLockGuard")
+            .field("pid", &self.pid)
+            .finish()
     }
 }
 
@@ -206,7 +204,11 @@ mod tests {
             }
         })
         .unwrap();
-        assert_eq!(max_seen.load(Ordering::SeqCst), 1, "mutual exclusion broken");
+        assert_eq!(
+            max_seen.load(Ordering::SeqCst),
+            1,
+            "mutual exclusion broken"
+        );
         assert_eq!(counter.load(Ordering::SeqCst), n * iters);
     }
 

@@ -136,10 +136,7 @@ mod tests {
     fn one_shot_discipline_enforced() {
         let renaming = OrderPreservingRenaming::new(2);
         renaming.acquire(0).unwrap();
-        assert_eq!(
-            renaming.acquire(0),
-            Err(GetTsError::AlreadyUsed { pid: 0 })
-        );
+        assert_eq!(renaming.acquire(0), Err(GetTsError::AlreadyUsed { pid: 0 }));
         assert!(matches!(
             renaming.acquire(7),
             Err(GetTsError::PidOutOfRange { .. })

@@ -25,9 +25,8 @@ fn bench_policies(c: &mut Criterion) {
                     || BoundedTimestamp::with_budget_and_policy(budget, policy),
                     |ts| {
                         for k in 0..budget {
-                            let _ = std::hint::black_box(
-                                ts.get_ts_with_id(GetTsId::new(0, k as u32)),
-                            );
+                            let _ =
+                                std::hint::black_box(ts.get_ts_with_id(GetTsId::new(0, k as u32)));
                         }
                     },
                     BatchSize::SmallInput,

@@ -8,8 +8,8 @@
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 
 use ts_core::{
-    BoundedTimestamp, CollectMax, GetTsId, GrowableTimestamp, LongLivedTimestamp,
-    OneShotTimestamp, SimpleOneShot,
+    BoundedTimestamp, CollectMax, GetTsId, GrowableTimestamp, LongLivedTimestamp, OneShotTimestamp,
+    SimpleOneShot,
 };
 
 fn bench_simple(c: &mut Criterion) {

@@ -13,11 +13,7 @@ fn main() {
     for n in [32usize, 64, 128] {
         println!("=== Figure 2 against Algorithm 4's model, n = {n} ===");
         let report = OneShotConstruction::run(BoundedModel::new(n));
-        let inductive: Vec<_> = report
-            .steps
-            .iter()
-            .filter(|s| s.case.is_some())
-            .collect();
+        let inductive: Vec<_> = report.steps.iter().filter(|s| s.case.is_some()).collect();
         if inductive.is_empty() {
             println!("(no inductive steps — construction ended at Figure 1)\n");
             continue;
@@ -35,7 +31,12 @@ fn main() {
                     &left,
                     &format!("before (l={}, j={})", before.l, before.j),
                     &right,
-                    &format!("after: {:?} (l={}, j={})", after.case.unwrap(), after.l, after.j),
+                    &format!(
+                        "after: {:?} (l={}, j={})",
+                        after.case.unwrap(),
+                        after.l,
+                        after.j
+                    ),
                 )
             );
         }

@@ -17,7 +17,9 @@ fn main() {
         "states = {}, pruned = {}, executions = {}",
         report.states, report.pruned, report.executions
     );
-    let violation = report.violation.expect("the n=4 counter is broken by design");
+    let violation = report
+        .violation
+        .expect("the n=4 counter is broken by design");
     println!(
         "raw counterexample: {} steps\n  {:?}",
         violation.schedule.len(),
@@ -26,11 +28,7 @@ fn main() {
 
     let minimal = shrink(&alg, &violation.schedule);
     assert!(reproduces(&alg, &minimal));
-    println!(
-        "shrunk to {} steps:\n  {:?}\n",
-        minimal.len(),
-        minimal
-    );
+    println!("shrunk to {} steps:\n  {:?}\n", minimal.len(), minimal);
     println!("trace of the minimal schedule:");
     print!("{}", trace::render(&alg, &minimal));
 }

@@ -37,7 +37,12 @@ fn main() {
     // ≤3 cap genuinely binds (collect-max registers are single-writer).
     let mut mwmr = Table::new(
         "E6b — (3,k) insertions against Algorithm 4 (MWMR registers)",
-        &["n", "reached k", "registers covered", "max per-register cover"],
+        &[
+            "n",
+            "reached k",
+            "registers covered",
+            "max per-register cover",
+        ],
     );
     for n in [8usize, 16, 32, 64] {
         let report = LongLivedConstruction::run_any(BoundedModel::new(n));

@@ -25,7 +25,10 @@ fn main() {
         while (calls as usize) < target {
             let t = ts.get_ts_with_id(GetTsId::new(0, calls));
             if let Some(prev) = last {
-                assert!(Timestamp::compare(&prev, &t), "monotonicity broke at {calls}");
+                assert!(
+                    Timestamp::compare(&prev, &t),
+                    "monotonicity broke at {calls}"
+                );
             }
             last = Some(t);
             calls += 1;

@@ -63,10 +63,7 @@ impl Table {
     pub fn emit(&self) {
         println!("{}", self.to_markdown());
         if std::env::var_os("TS_BENCH_JSON").is_some() {
-            println!(
-                "{}",
-                serde_json::to_string(self).expect("tables serialize")
-            );
+            println!("{}", serde_json::to_string(self).expect("tables serialize"));
         }
     }
 
@@ -78,7 +75,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
@@ -101,7 +102,10 @@ pub struct OneShotRun {
     pub ordered_ok: bool,
 }
 
-fn run_concurrent_oneshot<T: OneShotTimestamp>(ts: &T, n: usize) -> (Vec<Timestamp>, Vec<Timestamp>) {
+fn run_concurrent_oneshot<T: OneShotTimestamp>(
+    ts: &T,
+    n: usize,
+) -> (Vec<Timestamp>, Vec<Timestamp>) {
     // Two barrier-separated rounds establish real happens-before edges.
     let half = n / 2;
     let round = |lo: usize, hi: usize| -> Vec<Timestamp> {
@@ -274,8 +278,7 @@ mod tests {
         let back: Timestamp = serde_json::from_str(&json).unwrap();
         assert_eq!(back, t);
         let id = GetTsId::new(2, 5);
-        let back: GetTsId =
-            serde_json::from_str(&serde_json::to_string(&id).unwrap()).unwrap();
+        let back: GetTsId = serde_json::from_str(&serde_json::to_string(&id).unwrap()).unwrap();
         assert_eq!(back, id);
     }
 

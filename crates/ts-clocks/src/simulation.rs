@@ -54,10 +54,10 @@ pub fn run(n: usize, script: &[Action]) -> Vec<Event> {
     let mut events = Vec::new();
 
     let push_event = |pid: usize,
-                          causes: HashSet<usize>,
-                          lamport: LamportStamp,
-                          vector: VectorStamp,
-                          events: &mut Vec<Event>| {
+                      causes: HashSet<usize>,
+                      lamport: LamportStamp,
+                      vector: VectorStamp,
+                      events: &mut Vec<Event>| {
         let index = events.len();
         events.push(Event {
             index,

@@ -21,11 +21,7 @@ impl VectorStamp {
     /// component-wise and they differ.
     pub fn happens_before(&self, other: &VectorStamp) -> bool {
         assert_eq!(self.entries.len(), other.entries.len());
-        let le = self
-            .entries
-            .iter()
-            .zip(&other.entries)
-            .all(|(a, b)| a <= b);
+        let le = self.entries.iter().zip(&other.entries).all(|(a, b)| a <= b);
         le && self.entries != other.entries
     }
 

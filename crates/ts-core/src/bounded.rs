@@ -329,10 +329,7 @@ impl BoundedTimestamp {
                 .load(Ordering::Relaxed)
                 .min(self.budget as u64),
             phases: self.accounting.epoch.load(Ordering::Relaxed),
-            invalidation_writes: self
-                .accounting
-                .invalidation_writes
-                .load(Ordering::Relaxed),
+            invalidation_writes: self.accounting.invalidation_writes.load(Ordering::Relaxed),
             total_writes: self.accounting.total_writes.load(Ordering::Relaxed),
             scans: self.accounting.scans.load(Ordering::Relaxed),
             early_returns: self.accounting.early_returns.load(Ordering::Relaxed),
@@ -403,7 +400,9 @@ impl BoundedTimestamp {
             // Line 6: has the next phase opened?
             if !self.read(myrnd + 1).is_bot() {
                 // Line 12.
-                self.accounting.early_returns.fetch_add(1, Ordering::Relaxed);
+                self.accounting
+                    .early_returns
+                    .fetch_add(1, Ordering::Relaxed);
                 return Timestamp::new((myrnd + 1) as u64, 0);
             }
             // Lines 7–11: one read of R[j] serves both the validity test
@@ -451,11 +450,7 @@ impl BoundedTimestamp {
                 seq.push(last);
             }
             seq.push(id);
-            self.write(
-                myrnd + 1,
-                Slot::val(seq, (myrnd + 1) as u64),
-                true,
-            );
+            self.write(myrnd + 1, Slot::val(seq, (myrnd + 1) as u64), true);
         }
         // Line 16.
         Timestamp::new((myrnd + 1) as u64, 0)
@@ -464,10 +459,9 @@ impl BoundedTimestamp {
 
 impl OneShotTimestamp for BoundedTimestamp {
     fn get_ts(&self, pid: usize) -> Result<Timestamp, GetTsError> {
-        let used = self
-            .used
-            .as_ref()
-            .expect("get_ts(pid) requires a one-shot object; use get_ts_with_id on budgeted objects");
+        let used = self.used.as_ref().expect(
+            "get_ts(pid) requires a one-shot object; use get_ts_with_id on budgeted objects",
+        );
         if pid >= used.len() {
             return Err(GetTsError::PidOutOfRange {
                 pid,

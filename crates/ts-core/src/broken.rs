@@ -16,10 +16,7 @@ use crate::error::GetTsError;
 use crate::timestamp::Timestamp;
 use crate::traits::OneShotTimestamp;
 
-fn one_shot_guard(
-    used: &[AtomicBool],
-    pid: usize,
-) -> Result<(), GetTsError> {
+fn one_shot_guard(used: &[AtomicBool], pid: usize) -> Result<(), GetTsError> {
     if pid >= used.len() {
         return Err(GetTsError::PidOutOfRange {
             pid,

@@ -71,10 +71,7 @@ impl LongLivedTimestamp for CollectMax {
     fn get_ts(&self, pid: usize) -> Result<Timestamp, GetTsError> {
         let n = self.registers.len();
         if pid >= n {
-            return Err(GetTsError::PidOutOfRange {
-                pid,
-                processes: n,
-            });
+            return Err(GetTsError::PidOutOfRange { pid, processes: n });
         }
         let mut max = 0u64;
         for i in 0..n {

@@ -54,7 +54,10 @@ impl SegmentedRegisters {
 
     fn register(&self, index: usize) -> &StampedRegister<Slot> {
         let (segment, offset) = Self::locate(index);
-        assert!(segment < SEGMENTS, "register index {index} beyond growth limit");
+        assert!(
+            segment < SEGMENTS,
+            "register index {index} beyond growth limit"
+        );
         self.touched.fetch_max(index as u64 + 1, Ordering::Relaxed);
         let seg = self.segments[segment].get_or_init(|| {
             (0..1usize << segment)
@@ -129,9 +132,8 @@ impl GrowableTimestamp {
     /// Double-collect scan of `R[1..=hi]` (sufficient for line 15, which
     /// only consults the prefix).
     fn scan_prefix(&self, hi: usize) -> Vec<Stamped<Slot>> {
-        let collect = |_: &Self| -> Vec<Stamped<Slot>> {
-            (1..=hi).map(|j| self.read_stamped(j)).collect()
-        };
+        let collect =
+            |_: &Self| -> Vec<Stamped<Slot>> { (1..=hi).map(|j| self.read_stamped(j)).collect() };
         let mut previous = collect(self);
         loop {
             let current = collect(self);

@@ -349,8 +349,7 @@ mod tests {
         // with 2 processes the Never policy is still safe, which the
         // explorer confirms (the bug demo lives in the integration
         // tests).
-        let report =
-            Explorer::new(BoundedModel::with_policy(2, OverwritePolicy::Never), 1).run();
+        let report = Explorer::new(BoundedModel::with_policy(2, OverwritePolicy::Never), 1).run();
         assert!(report.violation.is_none());
     }
 
@@ -376,8 +375,7 @@ mod tests {
 
     #[test]
     fn multi_shot_exhaustive_two_processes_two_ops() {
-        let report =
-            Explorer::new(BoundedModel::with_ops(2, 2, OverwritePolicy::Paper), 2).run();
+        let report = Explorer::new(BoundedModel::with_ops(2, 2, OverwritePolicy::Paper), 2).run();
         assert!(report.violation.is_none(), "{:?}", report.violation);
         assert!(report.executions > 0);
     }

@@ -142,10 +142,7 @@ mod tests {
         for p in 0..8 {
             let t = ts.get_ts(p).unwrap();
             if let Some(prev) = last {
-                assert!(
-                    Timestamp::compare(&prev, &t),
-                    "p{p}: {prev} !< {t}"
-                );
+                assert!(Timestamp::compare(&prev, &t), "p{p}: {prev} !< {t}");
             }
             last = Some(t);
         }

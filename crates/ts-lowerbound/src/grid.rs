@@ -97,7 +97,12 @@ impl Grid {
 pub fn render_pair(left: &Grid, left_label: &str, right: &Grid, right_label: &str) -> String {
     let l_lines: Vec<String> = left.render().lines().map(String::from).collect();
     let r_lines: Vec<String> = right.render().lines().map(String::from).collect();
-    let l_width = l_lines.iter().map(String::len).max().unwrap_or(0).max(left_label.len());
+    let l_width = l_lines
+        .iter()
+        .map(String::len)
+        .max()
+        .unwrap_or(0)
+        .max(left_label.len());
     let rows = l_lines.len().max(r_lines.len());
     let mut out = format!("{left_label:<l_width$}   {right_label}\n");
     for i in 0..rows {

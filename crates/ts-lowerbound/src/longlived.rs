@@ -141,9 +141,7 @@ impl LongLivedConstruction {
                     return Some(reg);
                 }
             }
-            if let StepOutcome::Completed { .. } =
-                sys.step(pid).expect("inserted process steps")
-            {
+            if let StepOutcome::Completed { .. } = sys.step(pid).expect("inserted process steps") {
                 return None;
             }
         }
@@ -189,8 +187,9 @@ pub fn signature_recurrence<A: Algorithm + Clone>(
         // Quiesce: let every pending operation finish.
         for pid in 0..n {
             if sys.config().procs[pid].is_some() {
-                let _: <A::Machine as Machine>::Output =
-                    sys.run_solo_to_completion(pid, STEP_BUDGET).expect("finish");
+                let _: <A::Machine as Machine>::Output = sys
+                    .run_solo_to_completion(pid, STEP_BUDGET)
+                    .expect("finish");
             }
         }
         assert!(sys.quiescent());

@@ -94,7 +94,11 @@ impl fmt::Display for OneShotReport {
             self.n, self.grid_width
         )?;
         for s in &self.steps {
-            writeln!(f, "--- {} (l = {}, j = {}, case = {:?})", s.label, s.l, s.j, s.case)?;
+            writeln!(
+                f,
+                "--- {} (l = {}, j = {}, case = {:?})",
+                s.label, s.l, s.j, s.case
+            )?;
             writeln!(f, "{}", s.grid)?;
         }
         writeln!(
@@ -170,8 +174,7 @@ impl OneShotConstruction {
             let ordered = OrderedSignature::from_signature(&sig);
             if let Some(col) = ordered.diagonal_column(l) {
                 j = col;
-                protected =
-                    full_register_set(&sig, j, l.saturating_sub(j)).unwrap_or_default();
+                protected = full_register_set(&sig, j, l.saturating_sub(j)).unwrap_or_default();
                 break;
             }
         }
@@ -358,7 +361,11 @@ mod tests {
     fn grids_render_nonempty() {
         let report = OneShotConstruction::run(BoundedModel::new(8));
         for step in &report.steps {
-            assert!(step.grid.contains('+'), "missing baseline in {}", step.label);
+            assert!(
+                step.grid.contains('+'),
+                "missing baseline in {}",
+                step.label
+            );
         }
     }
 

@@ -86,8 +86,7 @@ pub fn r3(sig: &[usize]) -> Vec<usize> {
 /// (a witness for `(j, k)`-fullness), taking the most-covered registers
 /// first. `None` if no such set exists.
 pub fn full_register_set(sig: &[usize], j: usize, k: usize) -> Option<Vec<usize>> {
-    let mut indexed: Vec<(usize, usize)> =
-        sig.iter().copied().enumerate().collect();
+    let mut indexed: Vec<(usize, usize)> = sig.iter().copied().enumerate().collect();
     indexed.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
     let chosen: Vec<usize> = indexed
         .into_iter()

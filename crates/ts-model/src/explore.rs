@@ -177,7 +177,9 @@ impl<A: Algorithm + Clone> Ctx<A> {
         StateKey {
             procs: sys.config().procs.clone(),
             regs: sys.config().regs.clone(),
-            started: (0..sys.config().processes()).map(|p| sys.started(p)).collect(),
+            started: (0..sys.config().processes())
+                .map(|p| sys.started(p))
+                .collect(),
             completed,
             pending_predecessors,
         }

@@ -55,14 +55,14 @@ pub mod toy;
 pub mod trace;
 
 pub use adversary::{RandomRunReport, RandomScheduler};
-pub use pct::{PctRunReport, PctScheduler};
-pub use shrink::{reproduces, shrink};
 pub use algorithm::Algorithm;
 pub use config::Configuration;
 pub use error::ModelError;
 pub use explore::{ExploreReport, Explorer, Violation};
 pub use history::{check_timestamp_property, CompletedOp, Event, History, OpId, PropertyViolation};
 pub use machine::{Machine, Poised};
+pub use pct::{PctRunReport, PctScheduler};
 pub use schedule::{block_write_schedule, ProcId, Schedule};
+pub use shrink::{reproduces, shrink};
 pub use solo::{solo_run, SoloOutcome};
 pub use system::{StepOutcome, System, SystemStepOutcome};

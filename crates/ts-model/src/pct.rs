@@ -181,8 +181,12 @@ mod tests {
 
     #[test]
     fn pct_flags_constant_algorithm() {
-        let found = (0..50u64)
-            .any(|seed| PctScheduler::new(seed, 2).run(ConstantAlgorithm::new(3)).violation.is_some());
+        let found = (0..50u64).any(|seed| {
+            PctScheduler::new(seed, 2)
+                .run(ConstantAlgorithm::new(3))
+                .violation
+                .is_some()
+        });
         assert!(found);
     }
 }

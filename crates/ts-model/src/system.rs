@@ -287,9 +287,7 @@ impl<A: Algorithm> System<A> {
     pub fn check_property(
         &self,
     ) -> Option<crate::history::PropertyViolation<<A::Machine as Machine>::Output>> {
-        crate::history::check_timestamp_property(&self.history, |a, b| {
-            self.algorithm.compare(a, b)
-        })
+        crate::history::check_timestamp_property(&self.history, |a, b| self.algorithm.compare(a, b))
     }
 }
 

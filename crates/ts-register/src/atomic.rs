@@ -101,7 +101,9 @@ impl<T: Clone + Send + Sync + fmt::Debug> fmt::Debug for AtomicRegister<T> {
 impl<T> Drop for AtomicRegister<T> {
     fn drop(&mut self) {
         let guard = epoch::pin();
-        let shared = self.cell.swap(epoch::Shared::null(), Ordering::AcqRel, &guard);
+        let shared = self
+            .cell
+            .swap(epoch::Shared::null(), Ordering::AcqRel, &guard);
         if !shared.is_null() {
             // SAFETY: we hold `&mut self`, so no concurrent reader can
             // observe the old pointer after this swap; deferring keeps any

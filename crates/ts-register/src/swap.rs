@@ -94,7 +94,9 @@ impl<T: Clone + Send + Sync + fmt::Debug> fmt::Debug for SwapRegister<T> {
 impl<T> Drop for SwapRegister<T> {
     fn drop(&mut self) {
         let guard = epoch::pin();
-        let shared = self.cell.swap(epoch::Shared::null(), Ordering::AcqRel, &guard);
+        let shared = self
+            .cell
+            .swap(epoch::Shared::null(), Ordering::AcqRel, &guard);
         if !shared.is_null() {
             // SAFETY: `&mut self` excludes concurrent access going
             // forward; deferral protects historical readers.

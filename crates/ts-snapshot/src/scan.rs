@@ -79,7 +79,10 @@ pub fn try_scan<T: Clone + Send + Sync>(
     array: &RegisterArray<T>,
     max_collects: usize,
 ) -> Result<View<T>, ScanInterrupted> {
-    assert!(max_collects >= 2, "a double collect needs at least 2 sweeps");
+    assert!(
+        max_collects >= 2,
+        "a double collect needs at least 2 sweeps"
+    );
     let mut previous = collect_view(array);
     for done in 1..max_collects {
         let current = collect_view(array);

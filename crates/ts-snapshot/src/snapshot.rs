@@ -120,11 +120,10 @@ impl<T: Clone + Send + Sync> WaitFreeSnapshot<T> {
                         // Component j changed twice during this scan; the
                         // update that installed the second change ran its
                         // embedded scan entirely within our interval.
-                        let view = current[j]
-                            .1
-                            .embedded
-                            .as_ref()
-                            .expect("a changed cell was installed by an update and carries a view");
+                        let view =
+                            current[j].1.embedded.as_ref().expect(
+                                "a changed cell was installed by an update and carries a view",
+                            );
                         return view.as_ref().clone();
                     }
                 }
@@ -184,7 +183,9 @@ impl<T: Clone + Send + Sync> Updater<T> {
 
 impl<T> fmt::Debug for Updater<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Updater").field("index", &self.index).finish()
+        f.debug_struct("Updater")
+            .field("index", &self.index)
+            .finish()
     }
 }
 

@@ -65,13 +65,19 @@ fn main() {
 
     println!("--- service order ---");
     for c in &clients {
-        println!("ticket {:>8}  wave {}  client {}", c.ticket.rnd, c.wave, c.pid);
+        println!(
+            "ticket {:>8}  wave {}  client {}",
+            c.ticket.rnd, c.wave, c.pid
+        );
     }
 
     // FCFS check: waves must be served in order.
     let wave_order: Vec<usize> = clients.iter().map(|c| c.wave).collect();
     let mut sorted = wave_order.clone();
     sorted.sort_unstable();
-    assert_eq!(wave_order, sorted, "a later wave was served before an earlier one");
+    assert_eq!(
+        wave_order, sorted,
+        "a later wave was served before an earlier one"
+    );
     println!("first-come-first-served across waves ✓");
 }

@@ -38,10 +38,7 @@ fn main() {
     println!("every round-1 timestamp compares before every round-2 timestamp ✓");
 }
 
-fn take_round(
-    ts: &Arc<BoundedTimestamp>,
-    pids: std::ops::Range<usize>,
-) -> Vec<Timestamp> {
+fn take_round(ts: &Arc<BoundedTimestamp>, pids: std::ops::Range<usize>) -> Vec<Timestamp> {
     crossbeam::thread::scope(|s| {
         let handles: Vec<_> = pids
             .map(|p| {

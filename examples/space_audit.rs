@@ -6,8 +6,8 @@
 //! ```
 
 use timestamp_suite::ts_core::{
-    BoundedTimestamp, CollectMax, GetTsId, GrowableTimestamp, LongLivedTimestamp,
-    OneShotTimestamp, SimpleOneShot,
+    BoundedTimestamp, CollectMax, GetTsId, GrowableTimestamp, LongLivedTimestamp, OneShotTimestamp,
+    SimpleOneShot,
 };
 use timestamp_suite::ts_lowerbound::bounds::{
     bounded_upper_bound, longlived_lower_bound, oneshot_lower_bound,

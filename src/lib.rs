@@ -24,6 +24,9 @@
 //! assert!(SimpleOneShot::compare(&a, &b) || SimpleOneShot::compare(&b, &a));
 //! ```
 
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
 pub use ts_apps;
 pub use ts_clocks;
 pub use ts_core;

@@ -116,5 +116,8 @@ fn lock_tickets_reflect_fcfs_order() {
         tickets.push(lock.ticket_of(pid));
         drop(g);
     }
-    assert!(tickets[0] < tickets[1] && tickets[1] < tickets[2], "{tickets:?}");
+    assert!(
+        tickets[0] < tickets[1] && tickets[1] < tickets[2],
+        "{tickets:?}"
+    );
 }

@@ -5,8 +5,8 @@
 use std::sync::Arc;
 
 use timestamp_suite::ts_core::{
-    BoundedTimestamp, CollectMax, GetTsId, GrowableTimestamp, LongLivedTimestamp,
-    OneShotTimestamp, SimpleOneShot, Timestamp,
+    BoundedTimestamp, CollectMax, GetTsId, GrowableTimestamp, LongLivedTimestamp, OneShotTimestamp,
+    SimpleOneShot, Timestamp,
 };
 
 fn assert_rounds_ordered(rounds: &[Vec<Timestamp>]) {
@@ -104,11 +104,7 @@ fn budgeted_object_under_oversubscription() {
         hs.into_iter().map(|h| h.join().unwrap()).collect()
     })
     .unwrap();
-    let granted: usize = results
-        .iter()
-        .flatten()
-        .filter(|r| r.is_some())
-        .count();
+    let granted: usize = results.iter().flatten().filter(|r| r.is_some()).count();
     assert_eq!(granted, budget);
     // Per-thread sequences must strictly increase (same thread = real
     // happens-before).
@@ -139,7 +135,10 @@ fn collect_max_long_lived_heavy_rounds() {
         let min = *outs.iter().min().unwrap();
         let max = *outs.iter().max().unwrap();
         if let Some(pm) = prev_max {
-            assert!(Timestamp::compare(&pm, &min), "round {round}: {pm} !< {min}");
+            assert!(
+                Timestamp::compare(&pm, &min),
+                "round {round}: {pm} !< {min}"
+            );
         }
         prev_max = Some(max);
     }

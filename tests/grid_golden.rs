@@ -63,15 +63,22 @@ fn sequential_walkthrough_trace_is_stable() {
     // The model trace of a two-call sequential run of Algorithm 4 pins
     // the register access pattern of the pseudocode.
     use timestamp_suite::ts_model::trace;
-    let alg = BoundedModel::new(2); // m = 3 registers
+    // m = 3 registers
+    let alg = BoundedModel::new(2);
     // p0 solo: invoke, read R1(⊥), two collects (3 reads each), write
     // R1, done = 1 + 1 + 6 + 1 + 1 = 10 slots; then p1.
     let schedule: Vec<usize> = std::iter::repeat_n(0, 10)
         .chain(std::iter::repeat_n(1, 13))
         .collect();
     let rendered = trace::render(&alg, &schedule);
-    assert!(rendered.contains("p0 returns Timestamp { rnd: 1, turn: 0 }"), "{rendered}");
-    assert!(rendered.contains("p1 returns Timestamp { rnd: 2, turn: 0 }"), "{rendered}");
+    assert!(
+        rendered.contains("p0 returns Timestamp { rnd: 1, turn: 0 }"),
+        "{rendered}"
+    );
+    assert!(
+        rendered.contains("p1 returns Timestamp { rnd: 2, turn: 0 }"),
+        "{rendered}"
+    );
     // The sentinel register R[3] is read but never written.
     assert!(rendered.contains("reads  R[3]"), "{rendered}");
     assert!(!rendered.contains("writes R[3]"), "{rendered}");

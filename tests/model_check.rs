@@ -10,11 +10,7 @@ use timestamp_suite::ts_model::{Explorer, RandomScheduler};
 fn simple_model_exhaustive_up_to_four_processes() {
     for n in 2..=4 {
         let report = Explorer::new(SimpleModel::new(n), 1).run();
-        assert!(
-            report.violation.is_none(),
-            "n={n}: {:?}",
-            report.violation
-        );
+        assert!(report.violation.is_none(), "n={n}: {:?}", report.violation);
         assert!(report.executions > 0, "n={n}");
         assert!(!report.truncated, "n={n}");
     }
@@ -47,8 +43,7 @@ fn never_overwrite_policy_is_clean_for_three_processes_exhaustively() {
     // processes even the Never policy is exhaustively safe. (The bug
     // itself is demonstrated in tests/never_overwrite_bug.rs.)
     use timestamp_suite::ts_core::OverwritePolicy;
-    let report =
-        Explorer::new(BoundedModel::with_policy(3, OverwritePolicy::Never), 1).run();
+    let report = Explorer::new(BoundedModel::with_policy(3, OverwritePolicy::Never), 1).run();
     assert!(report.violation.is_none(), "{:?}", report.violation);
 }
 

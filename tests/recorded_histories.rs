@@ -7,8 +7,8 @@ use std::time::Duration;
 
 use rand::{Rng, SeedableRng};
 use timestamp_suite::ts_core::{
-    BoundedTimestamp, CollectMax, GetTsId, GrowableTimestamp, HistoryRecorder,
-    LongLivedTimestamp, OneShotTimestamp, SimpleOneShot,
+    BoundedTimestamp, CollectMax, GetTsId, GrowableTimestamp, HistoryRecorder, LongLivedTimestamp,
+    OneShotTimestamp, SimpleOneShot,
 };
 
 fn jitter(seed: u64) {
@@ -94,9 +94,7 @@ fn growable_recorded_history_is_clean() {
             s.spawn(move |_| {
                 for k in 0..15u32 {
                     jitter((t * 100 + k) as u64);
-                    rec.record_infallible(t as usize, || {
-                        ts.get_ts_with_id(GetTsId::new(t, k))
-                    });
+                    rec.record_infallible(t as usize, || ts.get_ts_with_id(GetTsId::new(t, k)));
                 }
             });
         }

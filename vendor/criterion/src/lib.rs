@@ -1,0 +1,306 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface of the workspace's benches —
+//! [`criterion_group!`] / [`criterion_main!`], [`Criterion`],
+//! benchmark groups with throughput/sample configuration, and
+//! [`Bencher::iter`] / [`Bencher::iter_batched`] — but with a drastically
+//! simplified measurement loop: each benchmark runs a fixed warm-up and a
+//! fixed number of timed samples, then prints the mean time per
+//! iteration (and throughput when configured). There is no statistical
+//! analysis, no HTML report, and no saved baselines.
+//!
+//! The point of the shim is that `cargo bench` runs every benchmark end
+//! to end and produces comparable wall-clock numbers in seconds, so
+//! regressions are still visible, and the bench code itself keeps
+//! compiling against the real criterion API for the day the workspace
+//! can take the dependency from crates.io.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration input handling for [`Bencher::iter_batched`].
+///
+/// The shim re-creates the setup value for every routine call regardless
+/// of variant, so the variants differ only in name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small input: criterion batches many per allocation.
+    SmallInput,
+    /// Large input: criterion uses one per allocation.
+    LargeInput,
+    /// Input per iteration.
+    PerIteration,
+}
+
+/// Throughput basis for reporting rates alongside times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The measurement state handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the sample's iterations.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over fresh `setup` outputs, excluding setup time.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    /// Sets how many timed samples to take (the shim also uses it as the
+    /// iteration count per sample).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim has no warm-up phase
+    /// beyond one untimed iteration.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's measurement time is
+    /// `sample_size` iterations.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput basis used when reporting the next benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher, input); // warm-up, untimed by the report
+        bencher.iters = self.sample_size.max(1);
+        routine(&mut bencher, input);
+        self.criterion
+            .report(&full, bencher.iters, bencher.elapsed, self.throughput);
+        self
+    }
+
+    /// Runs a benchmark with no extra input.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        self.bench_with_input(BenchmarkId::from_parameter(id), &(), |b, &()| routine(b))
+    }
+
+    /// Ends the group (report output is already flushed per bench).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted for API compatibility with `criterion_group!`'s expansion;
+    /// the shim reads no command-line arguments.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = name.into();
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        bencher.iters = 10;
+        routine(&mut bencher);
+        self.report(&name, bencher.iters, bencher.elapsed, None);
+        self
+    }
+
+    fn report(
+        &mut self,
+        name: &str,
+        iters: u64,
+        elapsed: Duration,
+        throughput: Option<Throughput>,
+    ) {
+        let per_iter = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 / (per_iter / 1e9);
+                println!("bench {name:<50} {per_iter:>14.1} ns/iter {rate:>14.0} elem/s");
+            }
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 / (per_iter / 1e9);
+                println!("bench {name:<50} {per_iter:>14.1} ns/iter {rate:>14.0} B/s");
+            }
+            None => println!("bench {name:<50} {per_iter:>14.1} ns/iter"),
+        }
+    }
+}
+
+/// Declares a group function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_their_benches() {
+        let mut criterion = Criterion::default();
+        let mut ran = 0u64;
+        {
+            let mut group = criterion.benchmark_group("g");
+            group.sample_size(5).throughput(Throughput::Elements(2));
+            group.bench_with_input(BenchmarkId::from_parameter(1), &3u64, |b, &x| {
+                b.iter(|| {
+                    ran += 1;
+                    x * 2
+                })
+            });
+            group.finish();
+        }
+        // one warm-up iteration + five timed samples
+        assert_eq!(ran, 6);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut criterion = Criterion::default();
+        let mut setups = 0u64;
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(4);
+        group.bench_with_input(BenchmarkId::new("b", 0), &(), |b, &()| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                },
+                |()| (),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 5);
+    }
+}

@@ -1,0 +1,348 @@
+//! Offline stand-in for `crossbeam-epoch`, providing the small API slice
+//! the register substrate uses: [`Atomic`], [`Owned`], [`Shared`],
+//! [`pin`] and [`Guard::defer_destroy`].
+//!
+//! # Reclamation scheme
+//!
+//! Real crossbeam-epoch tracks a global epoch with per-thread local
+//! epochs and reclaims garbage two epochs behind. This shim uses a much
+//! simpler scheme that is still sound: a global mutex guards a pin count
+//! and a deferred-destruction list, and the list is drained by whichever
+//! [`Guard`] drops the pin count to zero.
+//!
+//! Soundness argument: a pointer is passed to
+//! [`Guard::defer_destroy`] only after it has been unlinked from every
+//! [`Atomic`] (that is the caller's safety obligation, as in real
+//! crossbeam-epoch). A reader can therefore only hold the pointer if it
+//! loaded it *before* the unlink, which requires a guard that is still
+//! alive — so the global pin count cannot be zero while any reader holds
+//! the pointer. Draining happens atomically with the `pins == 0` check
+//! (both under the mutex), and threads that pin afterwards can only load
+//! the new value: the unlink (an `AcqRel` swap) happens-before the
+//! deferral, which happens-before the drain, which happens-before the
+//! later pin — all chained through the mutex.
+//!
+//! The cost is that every `pin`/`defer` takes a global lock, which is
+//! fine for a test substrate and keeps the unsafe surface tiny.
+
+#![warn(missing_docs)]
+
+use std::marker::PhantomData;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::Mutex;
+
+/// Type-erased deferred destruction of a heap cell: the cell pointer plus
+/// the monomorphized drop function for its type (a plain fn pointer, so no
+/// `'static` bound leaks onto `T`). The wrapper asserts `Send`, which is
+/// sound because the cell is unreachable (unlinked before deferral) and is
+/// dropped exactly once, by whichever thread drains the list.
+struct Garbage {
+    cell: *mut (),
+    drop_fn: unsafe fn(*mut ()),
+}
+
+impl Garbage {
+    /// # Safety
+    ///
+    /// `cell` must come from `Box::into_raw::<T>` and be dropped at most
+    /// once.
+    unsafe fn run(self) {
+        // SAFETY: forwarded from the constructor's contract.
+        unsafe { (self.drop_fn)(self.cell) }
+    }
+}
+
+/// The deferred drop routine for one concrete `T`.
+///
+/// # Safety
+///
+/// `cell` must be a live `Box<T>` allocation, dropped exactly once.
+unsafe fn drop_boxed<T>(cell: *mut ()) {
+    // SAFETY: forwarded from the caller's contract.
+    drop(unsafe { Box::from_raw(cell.cast::<T>()) });
+}
+
+// SAFETY: see the struct docs — the closure only frees an unlinked,
+// uniquely-owned allocation whose type the caller guaranteed may be
+// dropped from another thread (the `T: Send` bounds on the register types
+// built on top of this shim).
+unsafe impl Send for Garbage {}
+
+struct EpochState {
+    pins: usize,
+    garbage: Vec<Garbage>,
+}
+
+static EPOCH: Mutex<EpochState> = Mutex::new(EpochState {
+    pins: 0,
+    garbage: Vec::new(),
+});
+
+/// A guard that keeps deferred destructions from running while it (or any
+/// other guard, anywhere in the process) is alive.
+pub struct Guard {
+    // Guards are tied to the thread that created them in real
+    // crossbeam-epoch; keep the type !Send to match.
+    _not_send: PhantomData<*mut ()>,
+}
+
+/// Pins the current thread, returning a [`Guard`] that protects any
+/// pointer loaded from an [`Atomic`] while it is alive.
+pub fn pin() -> Guard {
+    EPOCH.lock().expect("epoch state poisoned").pins += 1;
+    Guard {
+        _not_send: PhantomData,
+    }
+}
+
+impl Guard {
+    /// Defers destruction of the cell behind `shared` until no guard is
+    /// alive anywhere in the process.
+    ///
+    /// # Safety
+    ///
+    /// As in crossbeam-epoch: `shared` must have been unlinked from every
+    /// `Atomic` (no new reader can acquire it), must not be deferred
+    /// twice, and its pointee must be safe to drop on another thread.
+    pub unsafe fn defer_destroy<T>(&self, shared: Shared<'_, T>) {
+        if shared.ptr.is_null() {
+            return;
+        }
+        let garbage = Garbage {
+            cell: shared.ptr.cast(),
+            drop_fn: drop_boxed::<T>,
+        };
+        EPOCH
+            .lock()
+            .expect("epoch state poisoned")
+            .garbage
+            .push(garbage);
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        let drained = {
+            let mut state = EPOCH.lock().expect("epoch state poisoned");
+            state.pins -= 1;
+            if state.pins == 0 {
+                std::mem::take(&mut state.garbage)
+            } else {
+                Vec::new()
+            }
+        };
+        // Run destructors outside the lock: a destructor may itself pin
+        // (e.g. dropping a value that contains another register).
+        for garbage in drained {
+            // SAFETY: each entry was pushed exactly once by
+            // `defer_destroy` from a `Box::into_raw` allocation, and the
+            // drain removed it from the list, so it runs exactly once.
+            unsafe { garbage.run() };
+        }
+    }
+}
+
+/// An owned heap cell, ready to be installed into an [`Atomic`].
+pub struct Owned<T> {
+    boxed: Box<T>,
+}
+
+impl<T> Owned<T> {
+    /// Heap-allocates `value`.
+    pub fn new(value: T) -> Self {
+        Self {
+            boxed: Box::new(value),
+        }
+    }
+}
+
+/// A pointer to a cell protected by the guard lifetime `'g`.
+pub struct Shared<'g, T> {
+    ptr: *mut T,
+    _marker: PhantomData<&'g T>,
+}
+
+impl<'g, T> Clone for Shared<'g, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'g, T> Copy for Shared<'g, T> {}
+
+impl<'g, T> Shared<'g, T> {
+    /// The null pointer.
+    pub fn null() -> Self {
+        Self {
+            ptr: ptr::null_mut(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Whether this pointer is null.
+    pub fn is_null(&self) -> bool {
+        self.ptr.is_null()
+    }
+
+    /// Dereferences the pointer for the guard's lifetime.
+    ///
+    /// # Safety
+    ///
+    /// The pointer must be non-null and still protected: it was loaded
+    /// from an [`Atomic`] under the guard `'g` borrows from.
+    pub unsafe fn deref(&self) -> &'g T {
+        // SAFETY: forwarded from the caller's contract.
+        unsafe { &*self.ptr }
+    }
+}
+
+/// Conversion of ownership into a raw pointer, for [`Atomic::swap`].
+pub trait Pointer<T> {
+    /// Consumes the handle, yielding the raw cell pointer.
+    fn into_ptr(self) -> *mut T;
+}
+
+impl<T> Pointer<T> for Owned<T> {
+    fn into_ptr(self) -> *mut T {
+        Box::into_raw(self.boxed)
+    }
+}
+
+impl<'g, T> Pointer<T> for Shared<'g, T> {
+    fn into_ptr(self) -> *mut T {
+        self.ptr
+    }
+}
+
+/// An atomic pointer to a heap cell, the building block of the register
+/// substrate.
+pub struct Atomic<T> {
+    ptr: AtomicPtr<T>,
+}
+
+impl<T> Atomic<T> {
+    /// Allocates a cell holding `value` and points at it.
+    pub fn new(value: T) -> Self {
+        Self {
+            ptr: AtomicPtr::new(Box::into_raw(Box::new(value))),
+        }
+    }
+
+    /// Loads the current pointer under `guard`.
+    pub fn load<'g>(&self, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+        Shared {
+            ptr: self.ptr.load(ord),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Swaps in `new`, returning the previous pointer under `guard`.
+    pub fn swap<'g, P: Pointer<T>>(
+        &self,
+        new: P,
+        ord: Ordering,
+        _guard: &'g Guard,
+    ) -> Shared<'g, T> {
+        Shared {
+            ptr: self.ptr.swap(new.into_ptr(), ord),
+            _marker: PhantomData,
+        }
+    }
+}
+
+// Like real crossbeam-epoch: dropping an `Atomic` does not free the cell
+// it points at (the owner is expected to have swapped it out and deferred
+// it). The register types in this workspace do exactly that in `Drop`.
+
+// SAFETY: `Atomic` is a shared handle to a `T` that concurrent threads
+// read (`&T` via `Shared::deref`) and replace; this mirrors the bounds of
+// `crossbeam_epoch::Atomic`.
+unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+// SAFETY: as above.
+unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn load_sees_initial_value() {
+        let cell = Atomic::new(41u64);
+        let guard = pin();
+        let shared = cell.load(Ordering::Acquire, &guard);
+        assert_eq!(unsafe { *shared.deref() }, 41);
+        // Clean up: unlink and defer so the test does not leak.
+        let old = cell.swap(Shared::null(), Ordering::AcqRel, &guard);
+        unsafe { guard.defer_destroy(old) };
+    }
+
+    #[test]
+    fn swap_returns_previous_cell() {
+        let cell = Atomic::new(1u64);
+        let guard = pin();
+        let old = cell.swap(Owned::new(2), Ordering::AcqRel, &guard);
+        assert_eq!(unsafe { *old.deref() }, 1);
+        unsafe { guard.defer_destroy(old) };
+        let now = cell.swap(Shared::null(), Ordering::AcqRel, &guard);
+        assert_eq!(unsafe { *now.deref() }, 2);
+        unsafe { guard.defer_destroy(now) };
+    }
+
+    #[test]
+    fn deferred_values_drop_after_last_guard() {
+        struct CountsDrops(Arc<AtomicUsize>);
+        impl Drop for CountsDrops {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = Atomic::new(CountsDrops(Arc::clone(&drops)));
+        {
+            let outer = pin();
+            {
+                let guard = pin();
+                let old = cell.swap(
+                    Owned::new(CountsDrops(Arc::clone(&drops))),
+                    Ordering::AcqRel,
+                    &guard,
+                );
+                unsafe { guard.defer_destroy(old) };
+            }
+            // `outer` still pinned: nothing may be dropped yet.
+            assert_eq!(drops.load(Ordering::Relaxed), 0);
+        }
+        // Last guard gone: the deferred cell is reclaimed.
+        assert_eq!(drops.load(Ordering::Relaxed), 1);
+
+        let guard = pin();
+        let last = cell.swap(Shared::null(), Ordering::AcqRel, &guard);
+        unsafe { guard.defer_destroy(last) };
+    }
+
+    #[test]
+    fn concurrent_swap_and_read_smoke() {
+        let cell = Arc::new(Atomic::new(0u64));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let cell = Arc::clone(&cell);
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        let guard = pin();
+                        let old = cell.swap(Owned::new(t * 1000 + i), Ordering::AcqRel, &guard);
+                        unsafe { guard.defer_destroy(old) };
+                        let seen = cell.load(Ordering::Acquire, &guard);
+                        let _ = unsafe { *seen.deref() };
+                    }
+                });
+            }
+        });
+        let guard = pin();
+        let last = cell.swap(Shared::null(), Ordering::AcqRel, &guard);
+        unsafe { guard.defer_destroy(last) };
+    }
+}

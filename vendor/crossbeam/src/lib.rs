@@ -1,0 +1,26 @@
+//! Offline stand-in for the `crossbeam` facade crate.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! few `crossbeam` APIs the test-suites use are reimplemented here on top
+//! of [`std::thread::scope`] (available since Rust 1.63). Only the scoped
+//! thread API is provided:
+//!
+//! - [`scope`] / [`thread::scope`] — spawn threads that may borrow from
+//!   the enclosing stack frame,
+//! - [`thread::Scope::spawn`] — whose closure receives `&Scope`, matching
+//!   crossbeam's signature (the real crossbeam passes the scope so spawned
+//!   threads can spawn siblings; that works here too),
+//! - [`thread::ScopedJoinHandle::join`].
+//!
+//! Semantic difference from real crossbeam: if a spawned thread panics and
+//! its handle is never joined, real crossbeam returns the panic payloads as
+//! the `Err` of `scope`, while this shim propagates the first such panic
+//! when the scope closes (via `std::thread::scope`). Every caller in this
+//! workspace immediately `unwrap()`s the scope result, so both behaviors
+//! abort the test identically.
+
+#![warn(missing_docs)]
+
+pub mod thread;
+
+pub use crate::thread::{scope, Scope, ScopedJoinHandle};

@@ -1,0 +1,128 @@
+//! Scoped threads, mirroring `crossbeam::thread`.
+
+use std::any::Any;
+
+/// A scope for spawning threads that may borrow non-`'static` data.
+///
+/// Created by [`scope`]; mirrors `crossbeam::thread::Scope` but wraps
+/// [`std::thread::Scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+/// A handle to a scoped thread, returned by [`Scope::spawn`].
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish and returns its result; `Err` holds
+    /// the panic payload if the thread panicked.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. As in crossbeam, the closure receives the
+    /// scope itself so it can spawn further sibling threads.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&scope)),
+        }
+    }
+}
+
+/// Creates a scope in which threads borrowing local data can be spawned;
+/// all unjoined threads are joined before `scope` returns.
+///
+/// # Example
+///
+/// ```
+/// let data = vec![1u64, 2, 3];
+/// let sum: u64 = crossbeam::scope(|s| {
+///     let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 2)).collect();
+///     handles.into_iter().map(|h| h.join().unwrap()).sum()
+/// })
+/// .unwrap();
+/// assert_eq!(sum, 12);
+/// ```
+///
+/// # Panics
+///
+/// Propagates a panic from the closure, or from any spawned thread whose
+/// handle was not explicitly joined (real crossbeam reports the latter
+/// through the returned `Result` instead; see the crate docs).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn spawned_threads_run_and_join() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..8 {
+                let c = &counter;
+                s.spawn(move |_| {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn join_returns_thread_result() {
+        let out: Vec<u64> = super::scope(|s| {
+            let handles: Vec<_> = (0..4u64).map(|x| s.spawn(move |_| x * x)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+        assert_eq!(out, vec![0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_passed_scope() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            let c = &counter;
+            s.spawn(move |s2| {
+                s2.spawn(move |_| {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn joined_panic_is_reported_via_err() {
+        super::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            assert!(h.join().is_err());
+        })
+        .unwrap();
+    }
+}

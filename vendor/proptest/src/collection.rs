@@ -1,0 +1,51 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::{SizeRange, Strategy};
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`vec()`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generates `Vec`s whose length lies in `size` and whose elements come
+/// from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::new_rng;
+
+    #[test]
+    fn exact_size_is_exact() {
+        let mut rng = new_rng(0);
+        for _ in 0..50 {
+            assert_eq!(vec(0u64..5, 3).generate(&mut rng).len(), 3);
+        }
+    }
+
+    #[test]
+    fn ranged_size_stays_in_range_and_varies() {
+        let mut rng = new_rng(1);
+        let s = vec(0u64..5, 0..40);
+        let lens: Vec<usize> = (0..100).map(|_| s.generate(&mut rng).len()).collect();
+        assert!(lens.iter().all(|&l| l < 40));
+        assert!(lens.iter().collect::<std::collections::HashSet<_>>().len() > 10);
+    }
+}

@@ -1,0 +1,58 @@
+//! Sampling strategies (`proptest::sample::subsequence`).
+
+use rand::seq::SliceRandom;
+
+use crate::strategy::{SizeRange, Strategy};
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`subsequence`].
+pub struct Subsequence<T: Clone> {
+    items: Vec<T>,
+    size: SizeRange,
+}
+
+/// Generates order-preserving subsequences of `items` whose length lies
+/// in `size`.
+///
+/// # Panics
+///
+/// Panics (matching real proptest) if the size range admits lengths
+/// larger than `items.len()`.
+pub fn subsequence<T: Clone>(items: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+    let size = size.into();
+    assert!(
+        size.hi <= items.len() + 1,
+        "subsequence size range exceeds the number of items"
+    );
+    Subsequence { items, size }
+}
+
+impl<T: Clone> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+        let len = self.size.sample(rng);
+        let mut indices: Vec<usize> = (0..self.items.len()).collect();
+        indices.shuffle(rng);
+        indices.truncate(len);
+        indices.sort_unstable();
+        indices.into_iter().map(|i| self.items[i].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::new_rng;
+
+    #[test]
+    fn subsequences_preserve_order_and_bounds() {
+        let mut rng = new_rng(0);
+        let s = subsequence((0..12usize).collect::<Vec<_>>(), 1..12);
+        for _ in 0..200 {
+            let sub = s.generate(&mut rng);
+            assert!((1..12).contains(&sub.len()));
+            assert!(sub.windows(2).all(|w| w[0] < w[1]), "not ordered: {sub:?}");
+        }
+    }
+}

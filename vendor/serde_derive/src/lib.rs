@@ -1,0 +1,242 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! `syn`/`quote` are unavailable in this container, so the derive input
+//! is parsed by hand from the raw [`TokenStream`] and the generated impl
+//! is assembled as source text (token streams implement `FromStr`).
+//!
+//! Supported shapes — everything this workspace derives on:
+//!
+//! - structs with named fields (field order preserved),
+//! - enums whose variants all carry no data (serialized as the variant
+//!   name string).
+//!
+//! Anything else (tuple structs, generics, data-carrying variants,
+//! `#[serde(...)]` attributes) produces a `compile_error!` naming the
+//! unsupported construct, rather than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Parsed {
+    name: String,
+    body: Body,
+}
+
+enum Body {
+    /// Named fields, in declaration order.
+    Struct(Vec<String>),
+    /// Unit variants, in declaration order.
+    Enum(Vec<String>),
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});").parse().unwrap()
+}
+
+/// Consumes a `#[...]` attribute if the iterator is positioned on `#`.
+fn skip_attributes(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        iter.next();
+        iter.next(); // the [...] group
+    }
+}
+
+/// Consumes `pub` / `pub(...)` if present.
+fn skip_visibility(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        skip_attributes(&mut iter);
+        skip_visibility(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            Some(other) => return Err(format!("unexpected token `{other}` in struct fields")),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => {
+                return Err(format!(
+                    "expected `:` after field `{name}` (tuple structs are unsupported)"
+                ))
+            }
+        }
+        fields.push(name);
+        // Consume the type up to a comma at angle-bracket depth zero.
+        let mut depth = 0i32;
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_unit_variants(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        skip_attributes(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            Some(other) => return Err(format!("unexpected token `{other}` in enum body")),
+        };
+        match iter.next() {
+            None => {
+                variants.push(name);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(name),
+            Some(other) => {
+                return Err(format!(
+                    "variant `{name}` carries data (`{other}`); only fieldless enums are supported"
+                ))
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_input(input: TokenStream) -> Result<Parsed, String> {
+    let mut iter = input.into_iter().peekable();
+    skip_attributes(&mut iter);
+    skip_visibility(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected a type name, got {other:?}")),
+    };
+    let body_group = match iter.next() {
+        Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => group,
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!(
+                "`{name}` is generic; the offline serde derive does not support generics"
+            ))
+        }
+        other => {
+            return Err(format!(
+                "expected a braced body for `{name}`, got {other:?}"
+            ))
+        }
+    };
+    let body = match kind.as_str() {
+        "struct" => Body::Struct(parse_named_fields(body_group.stream())?),
+        "enum" => Body::Enum(parse_unit_variants(body_group.stream())?),
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Parsed { name, body })
+}
+
+/// Derives the shim's `serde::Serialize` (render to a `serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(parsed) => parsed,
+        Err(message) => return compile_error(&message),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.body {
+        Body::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!("Self::{v} => ::serde::Value::Str(::std::string::String::from({v:?}))")
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derives the shim's `serde::Deserialize` (rebuild from a `serde::Value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(parsed) => parsed,
+        Err(message) => return compile_error(&message),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.body {
+        Body::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(match value.get({f:?}) {{\n\
+                             Some(v) => v,\n\
+                             None => return ::std::result::Result::Err(::serde::Error::missing_field({f:?})),\n\
+                         }})?"
+                    )
+                })
+                .collect();
+            format!("::std::result::Result::Ok(Self {{ {} }})", inits.join(", "))
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok(Self::{v})"))
+                .collect();
+            format!(
+                "match value {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {arms},\n\
+                         other => ::std::result::Result::Err(::serde::Error::custom(\n\
+                             ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                     }},\n\
+                     other => ::std::result::Result::Err(::serde::Error::custom(\n\
+                         ::std::format!(\"expected a {name} variant string, got {{other:?}}\"))),\n\
+                 }}",
+                arms = arms.join(",\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
