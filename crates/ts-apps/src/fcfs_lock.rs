@@ -12,10 +12,10 @@
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use ts_core::{CollectMax, LongLivedTimestamp};
+use ts_core::{CollectMax, LongLivedTimestamp, PackedBackend, RegisterBackend};
 
 /// First-come-first-served mutual exclusion lock for `n` registered
-/// processes.
+/// processes, generic over the ticket object's register backend.
 ///
 /// `lock(pid)` may be called repeatedly (the ticket object is
 /// long-lived), but by at most one thread per `pid` at a time.
@@ -32,23 +32,36 @@ use ts_core::{CollectMax, LongLivedTimestamp};
 /// } // released on drop
 /// let _guard = lock.lock(1);
 /// ```
-pub struct FcfsLock {
-    tickets: CollectMax,
+pub struct FcfsLock<B: RegisterBackend<u64> = PackedBackend> {
+    tickets: CollectMax<B>,
     choosing: Vec<AtomicBool>,
     /// Active ticket per process; 0 = not competing.
     active: Vec<AtomicU64>,
 }
 
-impl FcfsLock {
-    /// Creates a lock for `n` processes.
+impl FcfsLock<PackedBackend> {
+    /// Creates a lock for `n` processes over word-inlined ticket
+    /// registers (the default backend).
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
+        Self::with_backend(n)
+    }
+}
+
+impl<B: RegisterBackend<u64>> FcfsLock<B> {
+    /// Creates a lock for `n` processes whose ticket registers live on
+    /// the backend `B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn with_backend(n: usize) -> Self {
         assert!(n > 0, "need at least one process");
         Self {
-            tickets: CollectMax::new(n),
+            tickets: CollectMax::with_backend(n),
             choosing: (0..n).map(|_| AtomicBool::new(false)).collect(),
             active: (0..n).map(|_| AtomicU64::new(0)).collect(),
         }
@@ -66,7 +79,7 @@ impl FcfsLock {
     ///
     /// Panics if `pid` is out of range or already competing (each
     /// process may hold/request the lock once at a time).
-    pub fn lock(&self, pid: usize) -> FcfsLockGuard<'_> {
+    pub fn lock(&self, pid: usize) -> FcfsLockGuard<'_, B> {
         assert!(pid < self.active.len(), "pid {pid} out of range");
         assert_eq!(
             self.active[pid].load(Ordering::SeqCst),
@@ -109,7 +122,7 @@ impl FcfsLock {
     }
 }
 
-impl fmt::Debug for FcfsLock {
+impl<B: RegisterBackend<u64>> fmt::Debug for FcfsLock<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("FcfsLock")
             .field("processes", &self.active.len())
@@ -118,25 +131,25 @@ impl fmt::Debug for FcfsLock {
 }
 
 /// RAII guard: the critical section lasts until the guard drops.
-pub struct FcfsLockGuard<'a> {
-    lock: &'a FcfsLock,
+pub struct FcfsLockGuard<'a, B: RegisterBackend<u64> = PackedBackend> {
+    lock: &'a FcfsLock<B>,
     pid: usize,
 }
 
-impl FcfsLockGuard<'_> {
+impl<B: RegisterBackend<u64>> FcfsLockGuard<'_, B> {
     /// The process holding the lock.
     pub fn pid(&self) -> usize {
         self.pid
     }
 }
 
-impl Drop for FcfsLockGuard<'_> {
+impl<B: RegisterBackend<u64>> Drop for FcfsLockGuard<'_, B> {
     fn drop(&mut self) {
         self.lock.unlock(self.pid);
     }
 }
 
-impl fmt::Debug for FcfsLockGuard<'_> {
+impl<B: RegisterBackend<u64>> fmt::Debug for FcfsLockGuard<'_, B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("FcfsLockGuard")
             .field("pid", &self.pid)
@@ -224,5 +237,14 @@ mod tests {
         let _g1 = lock.lock(1);
         let t1 = lock.ticket_of(1);
         assert!(t0 < t1, "{t0} !< {t1}");
+    }
+
+    #[test]
+    fn epoch_backend_lock_round_trips() {
+        let lock = FcfsLock::<ts_core::EpochBackend>::with_backend(2);
+        let g = lock.lock(0);
+        assert_eq!(g.pid(), 0);
+        drop(g);
+        let _g = lock.lock(1);
     }
 }

@@ -9,9 +9,10 @@
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use ts_core::{CollectMax, LongLivedTimestamp};
+use ts_core::{CollectMax, LongLivedTimestamp, PackedBackend, RegisterBackend};
 
-/// k-exclusion admission for `n` registered processes.
+/// k-exclusion admission for `n` registered processes, generic over the
+/// ticket object's register backend.
 ///
 /// # Example
 ///
@@ -24,24 +25,37 @@ use ts_core::{CollectMax, LongLivedTimestamp};
 /// drop(a);
 /// drop(b);
 /// ```
-pub struct KExclusion {
-    tickets: CollectMax,
+pub struct KExclusion<B: RegisterBackend<u64> = PackedBackend> {
+    tickets: CollectMax<B>,
     choosing: Vec<AtomicBool>,
     active: Vec<AtomicU64>,
     k: usize,
 }
 
-impl KExclusion {
-    /// Creates a pool with `k` slots for `n` processes.
+impl KExclusion<PackedBackend> {
+    /// Creates a pool with `k` slots for `n` processes over word-inlined
+    /// ticket registers (the default backend).
     ///
     /// # Panics
     ///
     /// Panics if `n == 0` or `k == 0`.
     pub fn new(n: usize, k: usize) -> Self {
+        Self::with_backend(n, k)
+    }
+}
+
+impl<B: RegisterBackend<u64>> KExclusion<B> {
+    /// Creates a pool with `k` slots for `n` processes whose ticket
+    /// registers live on the backend `B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `k == 0`.
+    pub fn with_backend(n: usize, k: usize) -> Self {
         assert!(n > 0, "need at least one process");
         assert!(k > 0, "need at least one slot");
         Self {
-            tickets: CollectMax::new(n),
+            tickets: CollectMax::with_backend(n),
             choosing: (0..n).map(|_| AtomicBool::new(false)).collect(),
             active: (0..n).map(|_| AtomicU64::new(0)).collect(),
             k,
@@ -64,7 +78,7 @@ impl KExclusion {
     /// # Panics
     ///
     /// Panics if `pid` is out of range or already competing.
-    pub fn acquire(&self, pid: usize) -> KExclusionGuard<'_> {
+    pub fn acquire(&self, pid: usize) -> KExclusionGuard<'_, B> {
         assert!(pid < self.active.len(), "pid {pid} out of range");
         assert_eq!(
             self.active[pid].load(Ordering::SeqCst),
@@ -102,7 +116,7 @@ impl KExclusion {
     }
 }
 
-impl fmt::Debug for KExclusion {
+impl<B: RegisterBackend<u64>> fmt::Debug for KExclusion<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("KExclusion")
             .field("processes", &self.active.len())
@@ -112,25 +126,25 @@ impl fmt::Debug for KExclusion {
 }
 
 /// RAII guard for one k-exclusion slot.
-pub struct KExclusionGuard<'a> {
-    pool: &'a KExclusion,
+pub struct KExclusionGuard<'a, B: RegisterBackend<u64> = PackedBackend> {
+    pool: &'a KExclusion<B>,
     pid: usize,
 }
 
-impl KExclusionGuard<'_> {
+impl<B: RegisterBackend<u64>> KExclusionGuard<'_, B> {
     /// The process holding the slot.
     pub fn pid(&self) -> usize {
         self.pid
     }
 }
 
-impl Drop for KExclusionGuard<'_> {
+impl<B: RegisterBackend<u64>> Drop for KExclusionGuard<'_, B> {
     fn drop(&mut self) {
         self.pool.release(self.pid);
     }
 }
 
-impl fmt::Debug for KExclusionGuard<'_> {
+impl<B: RegisterBackend<u64>> fmt::Debug for KExclusionGuard<'_, B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("KExclusionGuard")
             .field("pid", &self.pid)
@@ -204,5 +218,15 @@ mod tests {
     #[should_panic(expected = "at least one slot")]
     fn zero_slots_rejected() {
         let _ = KExclusion::new(2, 0);
+    }
+
+    #[test]
+    fn epoch_backend_pool_admits_and_releases() {
+        let pool = KExclusion::<ts_core::EpochBackend>::with_backend(3, 2);
+        let a = pool.acquire(0);
+        let b = pool.acquire(1);
+        drop(a);
+        drop(b);
+        let _c = pool.acquire(2);
     }
 }

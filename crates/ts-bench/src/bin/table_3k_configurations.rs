@@ -62,7 +62,7 @@ fn main() {
 
     // Lemma 3.1's pigeonhole: signatures recur along long executions.
     let (first, second, sig) = signature_recurrence(CollectMaxModel::new(6), 3, 16);
-    println!(
+    ts_bench::note(format!(
         "Lemma 3.1 recurrence demo: covering cycles {first} and {second} share signature {sig:?}"
-    );
+    ));
 }

@@ -47,9 +47,9 @@ fn main() {
         }
     }
     table.emit();
-    println!(
+    ts_bench::note(
         "shape check: Always spends strictly more writes than Paper for the\n\
          same phases; Never writes least but is incorrect (see the\n\
-         never_overwrite_bug integration test for the deterministic failure)."
+         never_overwrite_bug integration test for the deterministic failure).",
     );
 }

@@ -43,8 +43,8 @@ fn main() {
         ]);
     }
     table.emit();
-    println!(
+    ts_bench::note(
         "shape check: space keeps tracking √M as M grows without any\n\
-         preconfigured bound; progress is non-blocking (paper, Section 7)."
+         preconfigured bound; progress is non-blocking (paper, Section 7).",
     );
 }

@@ -41,8 +41,8 @@ fn main() {
         ]);
     }
     table.emit();
-    println!(
+    ts_bench::note(format!(
         "shape check: alg4 allocation / simple allocation at n=1024: {:.2}x smaller",
         simple_upper_bound(1024) as f64 / bounded_upper_bound(1024) as f64
-    );
+    ));
 }

@@ -45,8 +45,8 @@ fn main() {
         }
     }
     table.emit();
-    println!(
+    ts_bench::note(
         "shape check: sequential phases grow ~√(2M) (each phase k serves k calls),\n\
-         well under the 2√M worst-case bound; concurrency pushes Φ toward the bound."
+         well under the 2√M worst-case bound; concurrency pushes Φ toward the bound.",
     );
 }

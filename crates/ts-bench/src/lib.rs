@@ -14,9 +14,14 @@
 //! | `table_3k_configurations` | E6 | Lemma 3.2 |
 //! | `table_growable` | E7 | Section 7 extension |
 //! | `table_ablation` | E9 | overwrite-policy ablation |
+//! | `bench_contention` | substrate scaling | epoch vs packed backends, 1..=N threads; writes `BENCH_baseline.json` |
 //!
 //! The `benches/` directory holds the criterion benches (E8): `getTS`
 //! latency, scan cost, thread contention and the ablation timing.
+//!
+//! Output contract: every table binary prints markdown normally and
+//! *only* JSON lines (one per table, prose suppressed) when
+//! `TS_BENCH_JSON` is set — see [`Table::emit`] and [`note`].
 
 #![warn(missing_docs)]
 
@@ -57,13 +62,18 @@ impl Table {
         self.rows.push(cells);
     }
 
-    /// Prints the table as markdown, plus a JSON line when the
-    /// `TS_BENCH_JSON` environment variable is set (for downstream
-    /// tooling).
+    /// Prints the table: markdown for humans, or one JSON line in
+    /// [`json_mode`].
+    ///
+    /// Every table binary goes through this method (and routes its
+    /// prose through [`note`]), so under `TS_BENCH_JSON` stdout is
+    /// *only* JSON lines — one object per table — with no markdown or
+    /// commentary interleaved for downstream tooling to skip.
     pub fn emit(&self) {
-        println!("{}", self.to_markdown());
-        if std::env::var_os("TS_BENCH_JSON").is_some() {
+        if json_mode() {
             println!("{}", serde_json::to_string(self).expect("tables serialize"));
+        } else {
+            println!("{}", self.to_markdown());
         }
     }
 
@@ -85,6 +95,20 @@ impl Table {
             let _ = writeln!(out, "| {} |", row.join(" | "));
         }
         out
+    }
+}
+
+/// Whether the `TS_BENCH_JSON` environment variable selects
+/// machine-readable output.
+pub fn json_mode() -> bool {
+    std::env::var_os("TS_BENCH_JSON").is_some()
+}
+
+/// Prints human-facing commentary (shape checks, captions) — suppressed
+/// in [`json_mode`] so table binaries emit pure JSON lines there.
+pub fn note(text: impl std::fmt::Display) {
+    if !json_mode() {
+        println!("{text}");
     }
 }
 

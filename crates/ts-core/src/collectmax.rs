@@ -7,17 +7,24 @@
 //! asymptotics and progress guarantee (see DESIGN.md §5): every process
 //! owns one single-writer register; `getTS()` collects all registers,
 //! picks `max + 1`, writes it to its own register and returns it.
+//!
+//! Register contents are bounded counters, so the object defaults to the
+//! word-inlined [`PackedBackend`] (one hardware atomic per register
+//! operation). The packed value budget is 32 bits — comfortably more
+//! than 4 × 10⁹ `getTS` calls; workloads beyond that should use
+//! [`EpochCollectMax`].
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use ts_register::{SpaceMeter, WordRegister};
+use ts_register::{BackendRegister, EpochBackend, PackedBackend, RegisterBackend, SpaceMeter};
 
 use crate::error::GetTsError;
 use crate::timestamp::Timestamp;
 use crate::traits::LongLivedTimestamp;
 
-/// Long-lived timestamp object over `n` single-writer registers.
+/// Long-lived timestamp object over `n` single-writer registers, generic
+/// over the register storage backend.
 ///
 /// Wait-free; timestamps are scalars ordered by `<`. If two concurrent
 /// calls return equal values the object is still correct: the timestamp
@@ -35,22 +42,40 @@ use crate::traits::LongLivedTimestamp;
 /// let b = ts.get_ts(0).unwrap(); // long-lived: same process again
 /// assert!(Timestamp::compare(&a, &b));
 /// ```
-pub struct CollectMax {
-    registers: Vec<WordRegister>,
+pub struct CollectMax<B: RegisterBackend<u64> = PackedBackend> {
+    registers: Vec<B::Reg>,
     meter: SpaceMeter,
     calls: AtomicU64,
 }
 
-impl CollectMax {
-    /// Creates an object for `processes` processes using `n` registers.
+/// [`CollectMax`] over epoch-reclaimed heap-cell registers — same
+/// algorithm, heavier substrate; supports counters beyond the packed
+/// 32-bit budget and anchors the `bench_contention` comparison.
+pub type EpochCollectMax = CollectMax<EpochBackend>;
+
+impl CollectMax<PackedBackend> {
+    /// Creates an object for `processes` processes using `n` word-inlined
+    /// registers (the default backend).
     ///
     /// # Panics
     ///
     /// Panics if `processes == 0`.
     pub fn new(processes: usize) -> Self {
+        Self::with_backend(processes)
+    }
+}
+
+impl<B: RegisterBackend<u64>> CollectMax<B> {
+    /// Creates an object for `processes` processes using `n` registers on
+    /// the backend `B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processes == 0`.
+    pub fn with_backend(processes: usize) -> Self {
         assert!(processes > 0, "need at least one process");
         Self {
-            registers: (0..processes).map(|_| WordRegister::new(0)).collect(),
+            registers: (0..processes).map(|_| B::Reg::with_initial(0)).collect(),
             meter: SpaceMeter::new(processes),
             calls: AtomicU64::new(0),
         }
@@ -67,7 +92,7 @@ impl CollectMax {
     }
 }
 
-impl LongLivedTimestamp for CollectMax {
+impl<B: RegisterBackend<u64>> LongLivedTimestamp for CollectMax<B> {
     fn get_ts(&self, pid: usize) -> Result<Timestamp, GetTsError> {
         let n = self.registers.len();
         if pid >= n {
@@ -76,11 +101,11 @@ impl LongLivedTimestamp for CollectMax {
         let mut max = 0u64;
         for i in 0..n {
             self.meter.record_read(i);
-            max = max.max(self.registers[i].read());
+            max = max.max(ts_register::Register::read(&self.registers[i]));
         }
         let t = max + 1;
         self.meter.record_write(pid);
-        self.registers[pid].write(t);
+        ts_register::Register::write(&self.registers[pid], t);
         self.calls.fetch_add(1, Ordering::Relaxed);
         Ok(Timestamp::scalar(t))
     }
@@ -94,7 +119,7 @@ impl LongLivedTimestamp for CollectMax {
     }
 }
 
-impl fmt::Debug for CollectMax {
+impl<B: RegisterBackend<u64>> fmt::Debug for CollectMax<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("CollectMax")
             .field("processes", &self.registers.len())
@@ -126,6 +151,18 @@ mod tests {
     }
 
     #[test]
+    fn epoch_backend_behaves_identically_sequentially() {
+        let ts = EpochCollectMax::with_backend(3);
+        let mut last = Timestamp::scalar(0);
+        for p in [0usize, 1, 2, 0, 1, 2] {
+            let t = ts.get_ts(p).unwrap();
+            assert!(Timestamp::compare(&last, &t));
+            last = t;
+        }
+        assert_eq!(ts.calls(), 6);
+    }
+
+    #[test]
     fn same_process_repeats_fine() {
         let ts = CollectMax::new(1);
         let a = ts.get_ts(0).unwrap();
@@ -150,29 +187,33 @@ mod tests {
 
     #[test]
     fn barrier_separated_rounds_are_ordered_across_threads() {
-        let n = 8;
-        let ts = Arc::new(CollectMax::new(n));
-        let mut round_maxima = Vec::new();
-        for _round in 0..4 {
-            let outs: Vec<Timestamp> = crossbeam::scope(|s| {
-                let handles: Vec<_> = (0..n)
-                    .map(|p| {
-                        let ts = Arc::clone(&ts);
-                        s.spawn(move |_| ts.get_ts(p).unwrap())
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
-            })
-            .unwrap();
-            let max = outs.iter().copied().max().unwrap();
-            let min = outs.iter().copied().min().unwrap();
-            if let Some(prev_max) = round_maxima.last() {
-                assert!(
-                    Timestamp::compare(prev_max, &min),
-                    "cross-round ordering broken: {prev_max} !< {min}"
-                );
+        fn run<B: RegisterBackend<u64>>() {
+            let n = 8;
+            let ts = Arc::new(CollectMax::<B>::with_backend(n));
+            let mut round_maxima = Vec::new();
+            for _round in 0..4 {
+                let outs: Vec<Timestamp> = crossbeam::scope(|s| {
+                    let handles: Vec<_> = (0..n)
+                        .map(|p| {
+                            let ts = Arc::clone(&ts);
+                            s.spawn(move |_| ts.get_ts(p).unwrap())
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                })
+                .unwrap();
+                let max = outs.iter().copied().max().unwrap();
+                let min = outs.iter().copied().min().unwrap();
+                if let Some(prev_max) = round_maxima.last() {
+                    assert!(
+                        Timestamp::compare(prev_max, &min),
+                        "cross-round ordering broken: {prev_max} !< {min}"
+                    );
+                }
+                round_maxima.push(max);
             }
-            round_maxima.push(max);
         }
+        run::<PackedBackend>();
+        run::<EpochBackend>();
     }
 }

@@ -52,11 +52,15 @@ mod traits;
 
 pub use bounded::{BoundedTimestamp, OverwritePolicy, PhaseStats};
 pub use broken::{BrokenConstant, BrokenStaleRead};
-pub use collectmax::CollectMax;
+pub use collectmax::{CollectMax, EpochCollectMax};
 pub use error::{GetTsError, UsedError};
 pub use growable::GrowableTimestamp;
 pub use ids::GetTsId;
 pub use recorder::{HistoryRecorder, RecordedCall, RecordedViolation};
-pub use simple::SimpleOneShot;
+pub use simple::{EpochSimpleOneShot, SimpleOneShot};
 pub use timestamp::Timestamp;
 pub use traits::{LongLivedTimestamp, OneShotTimestamp};
+
+// Re-exported so downstream constructors can name backends without a
+// direct `ts-register` dependency.
+pub use ts_register::{EpochBackend, PackedBackend, RegisterBackend};

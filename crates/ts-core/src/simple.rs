@@ -10,17 +10,24 @@
 //! steps `0 → 1 → 2` (a process writes 2 only after observing its
 //! partner's 1), so register values — and therefore sums — never
 //! decrease, and a later `getTS` additionally counts its own increment.
+//!
+//! Because every register value fits two bits, the object defaults to
+//! the word-inlined [`PackedBackend`]: each register operation is a
+//! single hardware atomic, with no heap traffic and no epoch pinning.
+//! The epoch-backed variant ([`EpochSimpleOneShot`]) exists for
+//! apples-to-apples substrate comparisons in `bench_contention`.
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use ts_register::{SpaceMeter, WordRegister};
+use ts_register::{BackendRegister, EpochBackend, PackedBackend, RegisterBackend, SpaceMeter};
 
 use crate::error::GetTsError;
 use crate::timestamp::Timestamp;
 use crate::traits::OneShotTimestamp;
 
-/// One-shot timestamp object using `⌈n/2⌉` registers (Algorithms 1–2).
+/// One-shot timestamp object using `⌈n/2⌉` registers (Algorithms 1–2),
+/// generic over the register storage backend.
 ///
 /// # Example
 ///
@@ -33,25 +40,42 @@ use crate::traits::OneShotTimestamp;
 /// let b = ts.get_ts(1).unwrap();
 /// assert!(Timestamp::compare(&a, &b));
 /// ```
-pub struct SimpleOneShot {
-    registers: Vec<WordRegister>,
+pub struct SimpleOneShot<B: RegisterBackend<u64> = PackedBackend> {
+    registers: Vec<B::Reg>,
     used: Vec<AtomicBool>,
     meter: SpaceMeter,
     processes: usize,
 }
 
-impl SimpleOneShot {
+/// [`SimpleOneShot`] over epoch-reclaimed heap-cell registers — same
+/// algorithm, heavier substrate; used to quantify the packed backend's
+/// advantage.
+pub type EpochSimpleOneShot = SimpleOneShot<EpochBackend>;
+
+impl SimpleOneShot<PackedBackend> {
     /// Creates an object for `processes` processes using `⌈n/2⌉`
-    /// registers.
+    /// word-inlined registers (the default backend).
     ///
     /// # Panics
     ///
     /// Panics if `processes == 0`.
     pub fn new(processes: usize) -> Self {
+        Self::with_backend(processes)
+    }
+}
+
+impl<B: RegisterBackend<u64>> SimpleOneShot<B> {
+    /// Creates an object for `processes` processes using `⌈n/2⌉`
+    /// registers on the backend `B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processes == 0`.
+    pub fn with_backend(processes: usize) -> Self {
         assert!(processes > 0, "need at least one process");
         let m = processes.div_ceil(2);
         Self {
-            registers: (0..m).map(|_| WordRegister::new(0)).collect(),
+            registers: (0..m).map(|_| B::Reg::with_initial(0)).collect(),
             used: (0..processes).map(|_| AtomicBool::new(false)).collect(),
             meter: SpaceMeter::new(m),
             processes,
@@ -65,16 +89,16 @@ impl SimpleOneShot {
 
     fn read(&self, i: usize) -> u64 {
         self.meter.record_read(i);
-        self.registers[i].read()
+        ts_register::Register::read(&self.registers[i])
     }
 
     fn write(&self, i: usize, v: u64) {
         self.meter.record_write(i);
-        self.registers[i].write(v);
+        ts_register::Register::write(&self.registers[i], v);
     }
 }
 
-impl OneShotTimestamp for SimpleOneShot {
+impl<B: RegisterBackend<u64>> OneShotTimestamp for SimpleOneShot<B> {
     /// Algorithm 2: walk all registers, incrementing one's own; return
     /// the sum of observed values as a scalar timestamp.
     fn get_ts(&self, pid: usize) -> Result<Timestamp, GetTsError> {
@@ -113,7 +137,7 @@ impl OneShotTimestamp for SimpleOneShot {
     }
 }
 
-impl fmt::Debug for SimpleOneShot {
+impl<B: RegisterBackend<u64>> fmt::Debug for SimpleOneShot<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SimpleOneShot")
             .field("processes", &self.processes)
@@ -149,6 +173,20 @@ mod tests {
     }
 
     #[test]
+    fn epoch_backend_behaves_identically_sequentially() {
+        let ts = EpochSimpleOneShot::with_backend(8);
+        assert_eq!(ts.registers(), 4);
+        let mut last = None;
+        for p in 0..8 {
+            let t = ts.get_ts(p).unwrap();
+            if let Some(prev) = last {
+                assert!(Timestamp::compare(&prev, &t), "p{p}: {prev} !< {t}");
+            }
+            last = Some(t);
+        }
+    }
+
+    #[test]
     fn second_call_is_rejected() {
         let ts = SimpleOneShot::new(2);
         ts.get_ts(0).unwrap();
@@ -171,7 +209,7 @@ mod tests {
             ts.get_ts(p).unwrap();
         }
         for i in 0..ts.registers() {
-            let v = ts.registers[i].read();
+            let v = ts.read(i);
             assert!(v <= 2, "register {i} = {v}");
         }
     }
@@ -190,35 +228,40 @@ mod tests {
     fn concurrent_rounds_respect_happens_before() {
         // Round 1: half the processes take timestamps concurrently.
         // Round 2 (strictly after): the rest. Every round-2 timestamp
-        // must compare above every round-1 timestamp.
-        let n = 16;
-        let ts = Arc::new(SimpleOneShot::new(n));
-        let round1: Vec<Timestamp> = crossbeam::scope(|s| {
-            let handles: Vec<_> = (0..n / 2)
-                .map(|p| {
-                    let ts = Arc::clone(&ts);
-                    s.spawn(move |_| ts.get_ts(p).unwrap())
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-        .unwrap();
-        let round2: Vec<Timestamp> = crossbeam::scope(|s| {
-            let handles: Vec<_> = (n / 2..n)
-                .map(|p| {
-                    let ts = Arc::clone(&ts);
-                    s.spawn(move |_| ts.get_ts(p).unwrap())
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-        .unwrap();
-        for a in &round1 {
-            for b in &round2 {
-                assert!(Timestamp::compare(a, b), "{a} !< {b}");
-                assert!(!Timestamp::compare(b, a), "{b} < {a}");
+        // must compare above every round-1 timestamp. Run on both
+        // backends: the packed default and the epoch substrate.
+        fn run<B: RegisterBackend<u64>>() {
+            let n = 16;
+            let ts = Arc::new(SimpleOneShot::<B>::with_backend(n));
+            let round1: Vec<Timestamp> = crossbeam::scope(|s| {
+                let handles: Vec<_> = (0..n / 2)
+                    .map(|p| {
+                        let ts = Arc::clone(&ts);
+                        s.spawn(move |_| ts.get_ts(p).unwrap())
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .unwrap();
+            let round2: Vec<Timestamp> = crossbeam::scope(|s| {
+                let handles: Vec<_> = (n / 2..n)
+                    .map(|p| {
+                        let ts = Arc::clone(&ts);
+                        s.spawn(move |_| ts.get_ts(p).unwrap())
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .unwrap();
+            for a in &round1 {
+                for b in &round2 {
+                    assert!(Timestamp::compare(a, b), "{a} !< {b}");
+                    assert!(!Timestamp::compare(b, a), "{b} < {a}");
+                }
             }
         }
+        run::<PackedBackend>();
+        run::<EpochBackend>();
     }
 
     #[test]

@@ -1,13 +1,17 @@
 //! Fixed-capacity arrays of registers with whole-array collects.
 
 use std::fmt;
+use std::marker::PhantomData;
 
+use crate::backend::{BackendRegister, EpochBackend, PackedBackend, RegisterBackend};
 use crate::error::CapacityError;
 use crate::meter::SpaceMeter;
-use crate::stamped::{Stamped, StampedRegister};
+use crate::packed::Packable;
+use crate::stamped::Stamped;
+use crate::traits::Register;
 
 /// A fixed array `R[0..m)` of stamped atomic registers with optional
-/// space metering.
+/// space metering, generic over the storage [`RegisterBackend`].
 ///
 /// This is the shared data structure of Algorithm 4: `m` multi-writer
 /// multi-reader registers, all initialized to the same value (the paper's
@@ -15,46 +19,90 @@ use crate::stamped::{Stamped, StampedRegister};
 /// read of each register in index order), the building block of the
 /// double-collect scan.
 ///
+/// The default backend is [`EpochBackend`] (values of any size); arrays
+/// of small [`Packable`] values can opt into the word-inlined
+/// [`PackedBackend`] via [`RegisterArray::new_packed`] (or the
+/// [`PackedRegisterArray`] alias), trading away unbounded contents for
+/// allocation-free, pin-free operations.
+///
 /// # Example
 ///
 /// ```
-/// use ts_register::RegisterArray;
+/// use ts_register::{PackedRegisterArray, RegisterArray};
 ///
 /// let array: RegisterArray<Option<u64>> = RegisterArray::new(3, None);
 /// array.write(1, Some(42)).unwrap();
 /// assert_eq!(array.read(1).unwrap(), Some(42));
 /// let view = array.collect();
 /// assert_eq!(view.len(), 3);
+///
+/// // Same API, word-inlined storage:
+/// let packed: PackedRegisterArray<u32> = RegisterArray::new_packed(3, 0);
+/// packed.write(2, 7).unwrap();
+/// assert_eq!(packed.read(2).unwrap(), 7);
 /// ```
-pub struct RegisterArray<T> {
-    registers: Vec<StampedRegister<T>>,
+pub struct RegisterArray<T, B: RegisterBackend<T> = EpochBackend> {
+    registers: Vec<B::Reg>,
     meter: Option<SpaceMeter>,
+    _value: PhantomData<fn(T) -> T>,
 }
 
-impl<T: Clone + Send + Sync> RegisterArray<T> {
-    /// Creates an array of `capacity` registers, all holding `initial`.
+/// A [`RegisterArray`] of word-inlined [`PackedBackend`] registers.
+pub type PackedRegisterArray<T> = RegisterArray<T, PackedBackend>;
+
+impl<T: Clone + Send + Sync + 'static> RegisterArray<T, EpochBackend> {
+    /// Creates an epoch-backed array of `capacity` registers, all
+    /// holding `initial`.
     pub fn new(capacity: usize, initial: T) -> Self {
-        let registers = (0..capacity)
-            .map(|_| StampedRegister::new(initial.clone()))
-            .collect();
-        Self {
-            registers,
-            meter: None,
-        }
+        Self::with_backend(capacity, initial)
     }
 
-    /// Creates a metered array; all operations report to `meter`.
+    /// Creates a metered epoch-backed array; all operations report to
+    /// `meter`.
     ///
     /// # Panics
     ///
     /// Panics if `meter.capacity() != capacity`.
     pub fn with_meter(capacity: usize, initial: T, meter: SpaceMeter) -> Self {
+        Self::with_backend_and_meter(capacity, initial, meter)
+    }
+}
+
+impl<T: Packable> RegisterArray<T, PackedBackend> {
+    /// Creates a packed array of `capacity` registers, all holding
+    /// `initial`.
+    pub fn new_packed(capacity: usize, initial: T) -> Self {
+        Self::with_backend(capacity, initial)
+    }
+}
+
+impl<T: Clone + Send + Sync, B: RegisterBackend<T>> RegisterArray<T, B> {
+    /// Creates an array of `capacity` registers, all holding `initial`,
+    /// on the backend `B`.
+    pub fn with_backend(capacity: usize, initial: T) -> Self {
+        let registers = (0..capacity)
+            .map(|_| B::Reg::with_initial(initial.clone()))
+            .collect();
+        Self {
+            registers,
+            meter: None,
+            _value: PhantomData,
+        }
+    }
+
+    /// Creates a metered array on the backend `B`; all operations report
+    /// to `meter`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `meter.capacity() != capacity`.
+    pub fn with_backend_and_meter(capacity: usize, initial: T, meter: SpaceMeter) -> Self {
         assert_eq!(
             meter.capacity(),
             capacity,
             "meter capacity must match array capacity"
         );
-        let mut array = Self::new(capacity, initial);
+        let mut array = Self::with_backend(capacity, initial);
         array.meter = Some(meter);
         array
     }
@@ -130,7 +178,11 @@ impl<T: Clone + Send + Sync> RegisterArray<T> {
     }
 }
 
-impl<T: Clone + Send + Sync + fmt::Debug> fmt::Debug for RegisterArray<T> {
+impl<T, B> fmt::Debug for RegisterArray<T, B>
+where
+    T: Clone + Send + Sync + fmt::Debug,
+    B: RegisterBackend<T>,
+{
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("RegisterArray")
             .field("capacity", &self.capacity())
@@ -152,6 +204,14 @@ mod tests {
     }
 
     #[test]
+    fn packed_array_holds_initial_everywhere() {
+        let array: PackedRegisterArray<u32> = RegisterArray::new_packed(4, 7);
+        for i in 0..4 {
+            assert_eq!(array.read(i).unwrap(), 7);
+        }
+    }
+
+    #[test]
     fn out_of_range_read_errors() {
         let array: RegisterArray<u32> = RegisterArray::new(2, 0);
         let err = array.read(2).unwrap_err();
@@ -166,13 +226,29 @@ mod tests {
     }
 
     #[test]
-    fn collect_returns_all_values_in_order() {
-        let array: RegisterArray<u32> = RegisterArray::new(3, 0);
-        array.write(0, 10).unwrap();
-        array.write(2, 30).unwrap();
-        let view = array.collect();
-        let values: Vec<u32> = view.into_iter().map(|s| s.value).collect();
-        assert_eq!(values, vec![10, 0, 30]);
+    fn collect_returns_all_values_in_order_on_both_backends() {
+        fn run<B: RegisterBackend<u32>>(array: RegisterArray<u32, B>) {
+            array.write(0, 10).unwrap();
+            array.write(2, 30).unwrap();
+            let view = array.collect();
+            let values: Vec<u32> = view.into_iter().map(|s| s.value).collect();
+            assert_eq!(values, vec![10, 0, 30]);
+        }
+        run(RegisterArray::<u32>::new(3, 0));
+        run(RegisterArray::<u32, PackedBackend>::with_backend(3, 0));
+    }
+
+    #[test]
+    fn stamps_detect_rewrites_on_both_backends() {
+        fn run<B: RegisterBackend<u32>>(array: RegisterArray<u32, B>) {
+            let before = array.read_stamped(0).unwrap();
+            array.write(0, before.value).unwrap();
+            let after = array.read_stamped(0).unwrap();
+            assert_eq!(before.value, after.value);
+            assert_ne!(before.stamp, after.stamp, "ABA rewrite went undetected");
+        }
+        run(RegisterArray::<u32>::new(1, 5));
+        run(RegisterArray::<u32, PackedBackend>::with_backend(1, 5));
     }
 
     #[test]
@@ -185,6 +261,18 @@ mod tests {
         assert_eq!(snap.total_writes(), 1);
         assert_eq!(snap.total_reads(), 3);
         assert_eq!(snap.max_written_index(), Some(1));
+    }
+
+    #[test]
+    fn metered_packed_array_reports_operations() {
+        let meter = SpaceMeter::new(2);
+        let array: PackedRegisterArray<u8> =
+            RegisterArray::with_backend_and_meter(2, 0, meter.clone());
+        array.write(0, 1).unwrap();
+        let _ = array.read(1).unwrap();
+        let snap = meter.snapshot();
+        assert_eq!(snap.total_writes(), 1);
+        assert_eq!(snap.total_reads(), 1);
     }
 
     #[test]

@@ -13,6 +13,24 @@
 //! and writes so that the space bounds of Theorems 1.1–1.3 can be checked
 //! against running code.
 //!
+//! # Register backends
+//!
+//! How a register stores its value is pluggable via [`RegisterBackend`]:
+//!
+//! | Backend | Register type | Values | Cost per op |
+//! |---|---|---|---|
+//! | [`EpochBackend`] (default) | [`StampedRegister`] | any `T: Clone` | heap cell per write, epoch pin per op |
+//! | [`PackedBackend`] | [`PackedRegister`] | [`Packable`] (≤ 32 bits) | one hardware atomic, nothing else |
+//!
+//! Pick `PackedBackend` whenever the register's contents fit a word for
+//! the object's whole lifetime (the simple one-shot algorithm's
+//! `{0, 1, 2}` slots, collect-max counters): it bypasses allocation and
+//! reclamation entirely, which is worth an order of magnitude under
+//! contention (see `bench_contention` in `ts-bench`). Keep
+//! `EpochBackend` for unbounded contents such as Algorithm 4's
+//! `⟨seq, rnd⟩` sequences. [`RegisterArray`] and the `ts-snapshot` scan
+//! are generic over the choice; `ts-core` constructors expose it.
+//!
 //! # Example
 //!
 //! ```
@@ -28,17 +46,21 @@
 
 mod array;
 mod atomic;
+mod backend;
 mod error;
 mod meter;
+mod packed;
 mod stamped;
 mod swap;
 mod traits;
 mod word;
 
-pub use array::RegisterArray;
+pub use array::{PackedRegisterArray, RegisterArray};
 pub use atomic::AtomicRegister;
+pub use backend::{BackendRegister, EpochBackend, PackedBackend, RegisterBackend};
 pub use error::CapacityError;
 pub use meter::{MeterSnapshot, MeteredRegister, SpaceMeter};
+pub use packed::{Packable, PackedRegister};
 pub use stamped::{Stamp, Stamped, StampedRegister};
 pub use swap::SwapRegister;
 pub use traits::Register;

@@ -1,0 +1,371 @@
+//! Inline bit-packed registers over a single hardware word.
+//!
+//! The epoch-based [`AtomicRegister`](crate::AtomicRegister) supports
+//! values of any size by storing them behind an atomic pointer — at the
+//! cost of a heap allocation per write and an epoch pin per operation.
+//! Algorithms whose register contents fit in (part of) a machine word —
+//! the `{0, 1, 2}` slots of the simple one-shot algorithm, collect-max
+//! counters — do not need any of that: [`PackedRegister`] stores the
+//! value *inline* in an `AtomicU64`, together with a per-register write
+//! stamp, so reads and writes are single hardware atomics with no
+//! allocation, no pinning, and no reclamation.
+//!
+//! No seqlock is needed either: because value and stamp share one word,
+//! a single `load` yields a consistent (value, stamp) pair.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::stamped::{Stamp, Stamped};
+use crate::traits::Register;
+
+/// A value that can be packed into the low bits of a machine word.
+///
+/// Implementations must be faithful: `unpack(pack(v)) == v` for every
+/// valid `v`, and `pack` must use only the low [`BITS`](Packable::BITS)
+/// bits. `BITS` is capped at 32 so that every packed register keeps at
+/// least 32 bits of write stamp (see [`PackedRegister`] for why).
+///
+/// An implementation may support only a sub-range of its type and panic
+/// in `pack` outside it — the provided `u64` impl packs values up to
+/// `u32::MAX` and panics beyond, because timestamp counters never get
+/// near that while a full-range `u64` would leave no stamp bits. Values
+/// that genuinely need the full range belong in the epoch backend.
+pub trait Packable: Copy + Send + Sync + 'static {
+    /// Number of low bits `pack` may use (1..=32).
+    const BITS: u32;
+
+    /// Packs the value into the low [`BITS`](Packable::BITS) bits.
+    fn pack(self) -> u64;
+
+    /// Inverse of [`pack`](Packable::pack).
+    fn unpack(bits: u64) -> Self;
+}
+
+impl Packable for bool {
+    const BITS: u32 = 1;
+
+    fn pack(self) -> u64 {
+        self as u64
+    }
+
+    fn unpack(bits: u64) -> Self {
+        bits != 0
+    }
+}
+
+impl Packable for u8 {
+    const BITS: u32 = 8;
+
+    fn pack(self) -> u64 {
+        self as u64
+    }
+
+    fn unpack(bits: u64) -> Self {
+        bits as u8
+    }
+}
+
+impl Packable for u16 {
+    const BITS: u32 = 16;
+
+    fn pack(self) -> u64 {
+        self as u64
+    }
+
+    fn unpack(bits: u64) -> Self {
+        bits as u16
+    }
+}
+
+impl Packable for u32 {
+    const BITS: u32 = 32;
+
+    fn pack(self) -> u64 {
+        self as u64
+    }
+
+    fn unpack(bits: u64) -> Self {
+        bits as u32
+    }
+}
+
+impl Packable for u64 {
+    const BITS: u32 = 32;
+
+    /// # Panics
+    ///
+    /// Panics if the value exceeds `u32::MAX`: the packed backend is for
+    /// small slot contents (timestamp counters, phase numbers); values
+    /// needing the full 64-bit range must use the epoch backend.
+    fn pack(self) -> u64 {
+        assert!(
+            self <= u64::from(u32::MAX),
+            "value {self} does not fit the packed register's 32-bit range; \
+             use the epoch backend for full-range u64 contents"
+        );
+        self
+    }
+
+    fn unpack(bits: u64) -> Self {
+        bits
+    }
+}
+
+/// A register storing a small value inline in one `AtomicU64`,
+/// generalizing [`WordRegister`](crate::WordRegister) to any
+/// [`Packable`] type and adding per-register write stamps.
+///
+/// # Layout and stamps
+///
+/// The word is `[stamp : 64 − BITS][value : BITS]`. Each write draws a
+/// fresh stamp from a per-register counter (a wait-free `fetch_add`) and
+/// installs `(stamp, value)` with a single store, so a read — a single
+/// load — always observes a consistent pair. Stamps make the register
+/// usable under the double-collect scan: two reads of the *same
+/// register* returning equal stamps are guaranteed to have observed the
+/// same write.
+///
+/// Two caveats relative to [`StampedRegister`](crate::StampedRegister):
+///
+/// - stamps are unique **per register**, not globally (each register has
+///   its own counter). The scan only ever compares stamps of the same
+///   register, so this is sufficient for exact change detection;
+/// - the stamp field has `64 − BITS ≥ 32` bits and wraps after `2^32`
+///   or more writes *to one register*. A scan would then be fooled only
+///   if a register were written an exact multiple of `2^32` times
+///   between two consecutive collects, which no real schedule does.
+///
+/// Unlike concurrent writes to a [`StampedRegister`](crate::StampedRegister), the stamp draw and
+/// the store are two steps, so stamps may be installed out of numeric
+/// order; stamps are identifiers, not a total order.
+///
+/// # Example
+///
+/// ```
+/// use ts_register::{PackedRegister, Register};
+///
+/// let reg: PackedRegister<u64> = PackedRegister::new(0);
+/// reg.write(2);
+/// assert_eq!(reg.read(), 2);
+/// ```
+pub struct PackedRegister<T: Packable> {
+    cell: AtomicU64,
+    next_stamp: AtomicU64,
+    _marker: PhantomData<T>,
+}
+
+impl<T: Packable> PackedRegister<T> {
+    /// Compile-time check that the value leaves at least 32 stamp bits.
+    const LAYOUT_OK: () = assert!(
+        T::BITS >= 1 && T::BITS <= 32,
+        "Packable::BITS must be in 1..=32 so the register keeps >= 32 stamp bits"
+    );
+
+    const STAMP_MASK: u64 = (1u64 << (64 - T::BITS)) - 1;
+    const VALUE_MASK: u64 = if T::BITS == 64 {
+        u64::MAX
+    } else {
+        (1u64 << T::BITS) - 1
+    };
+
+    /// Creates a packed register holding `initial` with
+    /// [`Stamp::INITIAL`].
+    pub fn new(initial: T) -> Self {
+        // Force the layout check at monomorphization time.
+        let () = Self::LAYOUT_OK;
+        Self {
+            cell: AtomicU64::new(initial.pack()),
+            next_stamp: AtomicU64::new(0),
+            _marker: PhantomData,
+        }
+    }
+
+    fn decode(word: u64) -> Stamped<T> {
+        Stamped {
+            value: T::unpack(word & Self::VALUE_MASK),
+            stamp: Stamp::from_raw(word >> T::BITS),
+        }
+    }
+
+    /// Returns the current value.
+    ///
+    /// `Acquire` pairs with the `Release` in [`write`](Self::write): a
+    /// reader that observes a write also observes everything the writer
+    /// did before it — the same pairs
+    /// [`WordRegister`](crate::WordRegister) uses.
+    pub fn read(&self) -> T {
+        T::unpack(self.cell.load(Ordering::Acquire) & Self::VALUE_MASK)
+    }
+
+    /// Returns the current value together with its write stamp, from one
+    /// atomic load.
+    pub fn read_stamped(&self) -> Stamped<T> {
+        Self::decode(self.cell.load(Ordering::Acquire))
+    }
+
+    /// Returns just the stamp of the current value.
+    pub fn stamp(&self) -> Stamp {
+        self.read_stamped().stamp
+    }
+
+    /// Applies `f` to the current value.
+    ///
+    /// Provided for signature parity with
+    /// [`AtomicRegister::read_with`](crate::AtomicRegister::read_with);
+    /// since packed values are `Copy`, the value is unpacked into a
+    /// local first (there is no heap cell to borrow).
+    pub fn read_with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        f(&self.read())
+    }
+
+    /// Replaces the current value under a fresh per-register stamp.
+    ///
+    /// Wait-free: one `fetch_add` (stamp draw) plus one `Release` store.
+    pub fn write(&self, value: T) {
+        let mut stamp = self.next_stamp.fetch_add(1, Ordering::Relaxed) + 1;
+        // Stamp 0 is reserved for the initial value; skip it on wrap.
+        while stamp & Self::STAMP_MASK == 0 {
+            stamp = self.next_stamp.fetch_add(1, Ordering::Relaxed) + 1;
+        }
+        let word = ((stamp & Self::STAMP_MASK) << T::BITS) | value.pack();
+        self.cell.store(word, Ordering::Release);
+    }
+}
+
+impl<T: Packable> Register<T> for PackedRegister<T> {
+    fn read(&self) -> T {
+        PackedRegister::read(self)
+    }
+
+    fn write(&self, value: T) {
+        PackedRegister::write(self, value)
+    }
+}
+
+impl<T: Packable + Default> Default for PackedRegister<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: Packable + fmt::Debug> fmt::Debug for PackedRegister<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("PackedRegister").field(&self.read()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn round_trips_all_impls() {
+        assert!(PackedRegister::new(true).read());
+        assert_eq!(PackedRegister::new(200u8).read(), 200);
+        assert_eq!(PackedRegister::new(60_000u16).read(), 60_000);
+        assert_eq!(PackedRegister::new(u32::MAX).read(), u32::MAX);
+        assert_eq!(
+            PackedRegister::new(u64::from(u32::MAX)).read(),
+            u64::from(u32::MAX)
+        );
+    }
+
+    #[test]
+    fn initial_value_has_initial_stamp() {
+        let reg: PackedRegister<u8> = PackedRegister::new(3);
+        let s = reg.read_stamped();
+        assert_eq!(s.value, 3);
+        assert_eq!(s.stamp, Stamp::INITIAL);
+    }
+
+    #[test]
+    fn rewriting_same_value_changes_stamp() {
+        let reg: PackedRegister<u64> = PackedRegister::new(1);
+        reg.write(1);
+        let a = reg.read_stamped();
+        reg.write(1);
+        let b = reg.read_stamped();
+        assert_eq!(a.value, b.value);
+        assert_ne!(a.stamp, b.stamp);
+    }
+
+    #[test]
+    #[should_panic(expected = "32-bit range")]
+    fn oversized_u64_is_rejected() {
+        let reg: PackedRegister<u64> = PackedRegister::new(0);
+        reg.write(u64::from(u32::MAX) + 1);
+    }
+
+    #[test]
+    fn read_with_sees_current_value() {
+        let reg: PackedRegister<u32> = PackedRegister::new(7);
+        assert_eq!(reg.read_with(|v| v + 1), 8);
+    }
+
+    #[test]
+    fn debug_and_default() {
+        let reg: PackedRegister<u16> = PackedRegister::default();
+        assert_eq!(format!("{reg:?}"), "PackedRegister(0)");
+    }
+
+    #[test]
+    fn concurrent_readers_see_consistent_pairs() {
+        // Stamp INITIAL only ever accompanies the initial value: any
+        // (value, stamp) pair read must be internally consistent because
+        // both live in one word.
+        let reg: Arc<PackedRegister<u32>> = Arc::new(PackedRegister::new(0));
+        crossbeam::scope(|s| {
+            let writer = Arc::clone(&reg);
+            s.spawn(move |_| {
+                for i in 1..=20_000u32 {
+                    writer.write(i);
+                }
+            });
+            for _ in 0..3 {
+                let reader = Arc::clone(&reg);
+                s.spawn(move |_| {
+                    for _ in 0..20_000 {
+                        let s = reader.read_stamped();
+                        if s.stamp == Stamp::INITIAL {
+                            assert_eq!(s.value, 0, "non-initial value under initial stamp");
+                        } else {
+                            assert!(s.value >= 1);
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn single_writer_readers_observe_monotone_values() {
+        let reg: Arc<PackedRegister<u64>> = Arc::new(PackedRegister::new(0));
+        crossbeam::scope(|s| {
+            let writer = Arc::clone(&reg);
+            s.spawn(move |_| {
+                for i in 1..=20_000u64 {
+                    writer.write(i);
+                }
+            });
+            for _ in 0..2 {
+                let reader = Arc::clone(&reg);
+                s.spawn(move |_| {
+                    let mut last = 0u64;
+                    for _ in 0..20_000 {
+                        let v = reader.read();
+                        assert!(
+                            v >= last,
+                            "packed register went backwards: {v} after {last}"
+                        );
+                        last = v;
+                    }
+                });
+            }
+        })
+        .unwrap();
+    }
+}

@@ -12,11 +12,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use crate::atomic::AtomicRegister;
 use crate::traits::Register;
 
-/// Globally unique identifier for a single write operation.
+/// Identifier for a single write operation to a register.
 ///
-/// Stamps are allocated from a process-wide counter; two distinct writes
-/// (to any registers) never share a stamp. Stamp `0` is reserved for the
-/// initial value of every register.
+/// The uniqueness scope depends on who minted the stamp:
+/// [`StampedRegister`] draws from a process-wide counter, so two
+/// distinct writes *to any registers* never share a stamp;
+/// [`PackedRegister`](crate::PackedRegister) draws from a per-register
+/// counter, so stamps are unique only *within one register* (the
+/// double-collect scan never compares stamps across registers, which is
+/// why that suffices — see
+/// [`BackendRegister`](crate::BackendRegister)). Stamp `0` is reserved
+/// for the initial value of every register in both schemes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Stamp(u64);
 
@@ -27,6 +33,12 @@ impl Stamp {
     /// Returns the raw counter value (useful for logging).
     pub fn as_u64(self) -> u64 {
         self.0
+    }
+
+    /// Builds a stamp from a raw counter value (used by the packed
+    /// backend, whose stamps live inside the register word).
+    pub(crate) fn from_raw(raw: u64) -> Self {
+        Stamp(raw)
     }
 }
 
@@ -106,6 +118,12 @@ impl<T: Clone + Send + Sync> StampedRegister<T> {
     /// Returns the current value, discarding the stamp.
     pub fn read(&self) -> T {
         self.inner.read_with(|s| s.value.clone())
+    }
+
+    /// Applies `f` to the current value without cloning it out — the
+    /// zero-copy variant of [`StampedRegister::read`].
+    pub fn read_with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        self.inner.read_with(|s| f(&s.value))
     }
 
     /// Writes `value` under a fresh, globally unique stamp.

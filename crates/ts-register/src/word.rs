@@ -10,8 +10,36 @@ use crate::traits::Register;
 /// The simple one-shot algorithm of Section 5 (Algorithms 1–2) only stores
 /// values in `{0, 1, 2}` per register, so it does not need the
 /// pointer-based [`AtomicRegister`](crate::AtomicRegister); this type maps
-/// its registers straight onto hardware atomics with sequentially
-/// consistent ordering, preserving linearizability.
+/// its registers straight onto hardware atomics. The packed
+/// generalization (any [`Packable`](crate::Packable) value plus a write
+/// stamp in one word) is [`PackedRegister`](crate::PackedRegister).
+///
+/// # Memory ordering
+///
+/// Operations use the `Acquire`/`Release` pair, not `SeqCst`. This is
+/// enough for every correctness argument the suite builds on word
+/// registers:
+///
+/// - **Single-register linearizability** comes from per-location
+///   coherence, which every atomic ordering (even `Relaxed`) provides:
+///   all writes to one `AtomicU64` form a single modification order,
+///   and a thread's reads of it never go backwards along that order.
+///   Lemma 5.1's "register values never decrease" argument needs exactly
+///   this.
+/// - **Cross-register happens-before** is what the algorithms add on
+///   top: a `getTS` that observes another's increment must also observe
+///   everything that process did earlier (e.g. its writes to
+///   lower-indexed registers). The `Release` on
+///   [`write`](WordRegister::write) publishes the writer's prior
+///   operations; the `Acquire` on [`read`](WordRegister::read) makes a
+///   read that observes the write synchronize with it, establishing that
+///   edge.
+///
+/// What `SeqCst` would add — one total order over operations on
+/// *different* registers that no thread's happens-before path certifies
+/// (IRIW-style agreement) — is used by none of the proofs: the timestamp
+/// property only constrains operation pairs ordered by real time, and
+/// any such pair is ordered through the synchronizing reads above.
 ///
 /// # Example
 ///
@@ -35,13 +63,22 @@ impl WordRegister {
     }
 
     /// Returns the current value.
+    ///
+    /// `Acquire`: a read that observes a [`write`](WordRegister::write)
+    /// synchronizes with it, so everything the writer did before the
+    /// write is visible to this reader — the happens-before edge the
+    /// algorithms' "later calls see earlier increments" arguments use.
     pub fn read(&self) -> u64 {
-        self.cell.load(Ordering::SeqCst)
+        self.cell.load(Ordering::Acquire)
     }
 
     /// Replaces the current value.
+    ///
+    /// `Release`: pairs with the `Acquire` in
+    /// [`read`](WordRegister::read), publishing this thread's prior
+    /// reads and writes to any reader that observes the new value.
     pub fn write(&self, value: u64) {
-        self.cell.store(value, Ordering::SeqCst)
+        self.cell.store(value, Ordering::Release)
     }
 }
 

@@ -4,8 +4,8 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 use ts_register::{
-    AtomicRegister, Register, RegisterArray, SpaceMeter, StampedRegister, SwapRegister,
-    WordRegister,
+    AtomicRegister, PackedRegister, Register, RegisterArray, SpaceMeter, StampedRegister,
+    SwapRegister, WordRegister,
 };
 
 proptest! {
@@ -81,6 +81,104 @@ proptest! {
             ops.iter().filter(|(_, w)| *w).map(|(i, _)| *i).collect();
         prop_assert_eq!(snap.registers_written(), written.len());
         prop_assert_eq!(snap.max_written_index(), written.iter().max().copied());
+    }
+}
+
+proptest! {
+    /// Zero-copy reads under concurrency, epoch backend: `read_with`
+    /// closures interleaved with writes must never observe a torn value
+    /// (the two halves of the stored pair always agree) nor a stale
+    /// value past a known linearization point (after the writer thread
+    /// is joined, a read must return its last write).
+    #[test]
+    fn read_with_is_untorn_and_not_stale_epoch_backend(
+        writers in 1usize..4,
+        reader_ops in 1usize..400,
+        rounds in 1u64..40,
+    ) {
+        let reg = Arc::new(AtomicRegister::new((0u64, 0u64)));
+        crossbeam::scope(|s| {
+            for w in 0..writers {
+                let reg = Arc::clone(&reg);
+                s.spawn(move |_| {
+                    for i in 1..=rounds {
+                        let v = w as u64 * 1_000_000 + i;
+                        reg.write((v, v));
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let reg = Arc::clone(&reg);
+                s.spawn(move |_| {
+                    for _ in 0..reader_ops {
+                        // The closure borrows the cell in place; a torn
+                        // pair here would mean the epoch scheme let a
+                        // writer mutate or free the cell under us.
+                        reg.read_with(|&(a, b)| {
+                            assert_eq!(a, b, "torn zero-copy read: ({a}, {b})");
+                        });
+                    }
+                });
+            }
+        })
+        .unwrap();
+        // Writer joins are linearization points: the register now holds
+        // some writer's final write, and `read_with` must see it.
+        let (a, b) = reg.read_with(|&pair| pair);
+        prop_assert_eq!(a, b);
+        prop_assert!(
+            a % 1_000_000 == rounds || (a == 0 && rounds == 0),
+            "stale value past linearization: {} after {} rounds", a, rounds
+        );
+    }
+
+    /// Zero-copy reads under concurrency, packed backend: a single
+    /// writer's values are observed monotonically by every `read_with`
+    /// reader (per-location coherence), and the final read equals the
+    /// last write once the writer is joined.
+    #[test]
+    fn read_with_is_monotone_and_not_stale_packed_backend(
+        reader_ops in 1usize..400,
+        rounds in 1u64..2_000,
+    ) {
+        let reg: Arc<PackedRegister<u64>> = Arc::new(PackedRegister::new(0));
+        crossbeam::scope(|s| {
+            {
+                let reg = Arc::clone(&reg);
+                s.spawn(move |_| {
+                    for i in 1..=rounds {
+                        reg.write(i);
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let reg = Arc::clone(&reg);
+                s.spawn(move |_| {
+                    let mut last = 0u64;
+                    for _ in 0..reader_ops {
+                        let v = reg.read_with(|&v| v);
+                        assert!(v >= last, "packed read_with went backwards: {v} after {last}");
+                        last = v;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        prop_assert_eq!(reg.read_with(|&v| v), rounds);
+    }
+
+    /// Interleaving `read_with` with same-thread writes observes every
+    /// write immediately (program order), on both backends.
+    #[test]
+    fn read_with_sees_own_writes(values in proptest::collection::vec(0u64..u32::MAX as u64, 1..60)) {
+        let epoch = AtomicRegister::new(0u64);
+        let packed: PackedRegister<u64> = PackedRegister::new(0);
+        for &v in &values {
+            epoch.write(v);
+            prop_assert_eq!(epoch.read_with(|&x| x), v);
+            packed.write(v);
+            prop_assert_eq!(packed.read_with(|&x| x), v);
+        }
     }
 }
 

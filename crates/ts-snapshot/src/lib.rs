@@ -12,7 +12,8 @@
 //! This crate provides:
 //!
 //! - [`double_collect_scan`] / [`try_scan`] — the scan used by Algorithm 4,
-//!   operating on a [`ts_register::RegisterArray`];
+//!   operating on a [`ts_register::RegisterArray`] of either register
+//!   backend (epoch heap cells or word-inlined packed registers);
 //! - [`WaitFreeSnapshot`] — the full single-writer atomic snapshot object
 //!   of Afek et al., wait-free unconditionally thanks to embedded views.
 //!

@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use ts_register::RegisterArray;
+use ts_register::{RegisterArray, RegisterBackend};
 
 use crate::view::View;
 
@@ -27,7 +27,11 @@ impl fmt::Display for ScanInterrupted {
 
 impl Error for ScanInterrupted {}
 
-fn collect_view<T: Clone + Send + Sync>(array: &RegisterArray<T>) -> View<T> {
+fn collect_view<T, B>(array: &RegisterArray<T, B>) -> View<T>
+where
+    T: Clone + Send + Sync,
+    B: RegisterBackend<T>,
+{
     View::new(array.collect())
 }
 
@@ -40,6 +44,10 @@ fn collect_view<T: Clone + Send + Sync>(array: &RegisterArray<T>) -> View<T> {
 /// Algorithm 4 guarantees, since each `getTS` writes fewer than `m` times
 /// (Lemma 6.14).
 ///
+/// Generic over the array's [`RegisterBackend`]: change detection uses
+/// per-register stamps, which both the epoch and the packed backend
+/// provide (the scan never compares stamps across registers).
+///
 /// # Example
 ///
 /// ```
@@ -50,7 +58,11 @@ fn collect_view<T: Clone + Send + Sync>(array: &RegisterArray<T>) -> View<T> {
 /// let view = double_collect_scan(&array);
 /// assert_eq!(view.values(), vec![-1, -1]);
 /// ```
-pub fn double_collect_scan<T: Clone + Send + Sync>(array: &RegisterArray<T>) -> View<T> {
+pub fn double_collect_scan<T, B>(array: &RegisterArray<T, B>) -> View<T>
+where
+    T: Clone + Send + Sync,
+    B: RegisterBackend<T>,
+{
     let mut previous = collect_view(array);
     loop {
         let current = collect_view(array);
@@ -75,10 +87,14 @@ pub fn double_collect_scan<T: Clone + Send + Sync>(array: &RegisterArray<T>) -> 
 /// # Panics
 ///
 /// Panics if `max_collects < 2` (a double collect needs two sweeps).
-pub fn try_scan<T: Clone + Send + Sync>(
-    array: &RegisterArray<T>,
+pub fn try_scan<T, B>(
+    array: &RegisterArray<T, B>,
     max_collects: usize,
-) -> Result<View<T>, ScanInterrupted> {
+) -> Result<View<T>, ScanInterrupted>
+where
+    T: Clone + Send + Sync,
+    B: RegisterBackend<T>,
+{
     assert!(
         max_collects >= 2,
         "a double collect needs at least 2 sweeps"
@@ -156,6 +172,36 @@ mod tests {
                 assert!(
                     v[0] >= v[1] && v[0] - v[1] <= 1,
                     "torn view: {v:?} cannot have been simultaneous"
+                );
+            }
+            stop.store(true, Ordering::Relaxed);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn packed_scan_never_returns_a_torn_view_under_concurrent_writes() {
+        // Same invariant as above, on the word-inlined backend: the
+        // packed per-register stamps must make the double collect exact.
+        let array = Arc::new(ts_register::PackedRegisterArray::<u32>::new_packed(2, 0));
+        let stop = Arc::new(AtomicBool::new(false));
+        crossbeam::scope(|s| {
+            let writer_array = Arc::clone(&array);
+            let writer_stop = Arc::clone(&stop);
+            s.spawn(move |_| {
+                let mut k = 1u32;
+                while !writer_stop.load(Ordering::Relaxed) {
+                    writer_array.write(0, k).unwrap();
+                    writer_array.write(1, k).unwrap();
+                    k += 1;
+                }
+            });
+            for _ in 0..200 {
+                let view = double_collect_scan(&array);
+                let v = view.values();
+                assert!(
+                    v[0] >= v[1] && v[0] - v[1] <= 1,
+                    "torn packed view: {v:?} cannot have been simultaneous"
                 );
             }
             stop.store(true, Ordering::Relaxed);

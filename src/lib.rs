@@ -16,12 +16,12 @@
 //! # Example
 //!
 //! ```
-//! use timestamp_suite::ts_core::{OneShotTimestamp, SimpleOneShot};
+//! use timestamp_suite::ts_core::{OneShotTimestamp, SimpleOneShot, Timestamp};
 //!
 //! let ts = SimpleOneShot::new(4);
 //! let a = ts.get_ts(0).unwrap();
 //! let b = ts.get_ts(1).unwrap();
-//! assert!(SimpleOneShot::compare(&a, &b) || SimpleOneShot::compare(&b, &a));
+//! assert!(Timestamp::compare(&a, &b) || Timestamp::compare(&b, &a));
 //! ```
 
 #![warn(missing_docs)]

@@ -1,42 +1,109 @@
 //! Offline stand-in for `crossbeam-epoch`, providing the small API slice
 //! the register substrate uses: [`Atomic`], [`Owned`], [`Shared`],
-//! [`pin`] and [`Guard::defer_destroy`].
+//! [`pin`], [`Guard::defer_destroy`] and [`flush`].
 //!
 //! # Reclamation scheme
 //!
-//! Real crossbeam-epoch tracks a global epoch with per-thread local
-//! epochs and reclaims garbage two epochs behind. This shim uses a much
-//! simpler scheme that is still sound: a global mutex guards a pin count
-//! and a deferred-destruction list, and the list is drained by whichever
-//! [`Guard`] drops the pin count to zero.
+//! This is a real lock-free epoch scheme, mirroring the design of the
+//! upstream crate (which in turn follows Fraser's epochs): there is no
+//! lock anywhere on the `pin`/`defer_destroy`/unpin paths.
 //!
-//! Soundness argument: a pointer is passed to
-//! [`Guard::defer_destroy`] only after it has been unlinked from every
-//! [`Atomic`] (that is the caller's safety obligation, as in real
-//! crossbeam-epoch). A reader can therefore only hold the pointer if it
-//! loaded it *before* the unlink, which requires a guard that is still
-//! alive — so the global pin count cannot be zero while any reader holds
-//! the pointer. Draining happens atomically with the `pins == 0` check
-//! (both under the mutex), and threads that pin afterwards can only load
-//! the new value: the unlink (an `AcqRel` swap) happens-before the
-//! deferral, which happens-before the drain, which happens-before the
-//! later pin — all chained through the mutex.
+//! - **Global epoch.** A single monotonically increasing counter
+//!   `GLOBAL_EPOCH`. It only ever advances by one, via compare-exchange.
+//! - **Participants.** Each thread owns a `Participant` record holding
+//!   its *local epoch announcement* — a word encoding `(epoch, pinned)`.
+//!   Records live in a global, prepend-only, lock-free linked list (the
+//!   registry). Records are never freed; when a thread exits its record
+//!   is marked inactive and may be re-claimed by a later thread, so the
+//!   registry length is bounded by the peak number of live threads.
+//! - **Pinning.** [`pin`] announces `(global_epoch, pinned)` in the
+//!   thread's record and issues a `SeqCst` fence *before* any pointer is
+//!   loaded from an [`Atomic`]. Nested pins are free (a per-thread guard
+//!   count).
+//! - **Garbage bags.** [`Guard::defer_destroy`] pushes the retired cell
+//!   into a bag owned by the deferring thread — no shared state is
+//!   touched at all. When a bag fills up it is *sealed* with the current
+//!   global epoch and queued locally.
+//! - **Advancing & reclaiming.** Periodically (every
+//!   `PINS_BETWEEN_ADVANCE` pins, on every bag seal, and on [`flush`])
+//!   a thread tries to advance the global epoch: it scans the registry
+//!   and advances `G → G+1` only if every *pinned* participant has
+//!   announced exactly `G`. A sealed bag with tag `e` is reclaimed —
+//!   by its owning thread only — once the global epoch satisfies
+//!   `G − e ≥ 2` ("two epochs behind").
+//! - **Orphans.** A thread that exits with unreclaimed bags pushes them
+//!   onto a global Treiber stack of orphan bags. Any thread's periodic
+//!   collection detaches the whole stack with one atomic `swap`
+//!   (so nodes are owned exclusively and there is no ABA hazard), frees
+//!   the expired bags and re-pushes the rest.
 //!
-//! The cost is that every `pin`/`defer` takes a global lock, which is
-//! fine for a test substrate and keeps the unsafe surface tiny.
+//! # Why two epochs behind is safe
+//!
+//! The epoch invariant: **while a participant stays pinned with
+//! announcement `e`, the global epoch cannot pass `e + 1`** — advancing
+//! from `e + 1` to `e + 2` requires every pinned participant to have
+//! announced `e + 1`, and ours says `e`.
+//!
+//! Now take a bag sealed with tag `e` and a reader `R` that still holds
+//! a pointer `p` from that bag. `p` was passed to `defer_destroy` only
+//! after being unlinked from every `Atomic` (the caller's obligation),
+//! and the seal read the global epoch *after* the unlink, so the global
+//! epoch at unlink time was at most `e`. `R` can only have loaded `p`
+//! *before* the unlink (for a single location, an atomic load cannot
+//! return a value that was already replaced), hence while the global
+//! epoch was at most `e`, hence `R`'s pin — which precedes its loads —
+//! announced some epoch `≤ e`. By the invariant, the global epoch cannot
+//! reach `e + 2` until `R` unpins. Contrapositive: once `G − e ≥ 2`,
+//! no guard that could have observed `p` is still alive, so dropping the
+//! cell is safe. Threads that pin after the unlink can only load the
+//! replacement value, again by per-location coherence.
+//!
+//! The fences make this real-time argument sound on weak memory: the
+//! `SeqCst` fence in `pin` (after the announcement, before any load)
+//! pairs with the `SeqCst` fence at the start of `try_advance` (before
+//! the registry scan) exactly as in upstream crossbeam-epoch — either
+//! the advancer sees the announcement and refuses to advance, or the
+//! pinning thread's subsequent loads see every store that preceded the
+//! advancer's fence, including the unlink.
+//!
+//! # Deviations from real crossbeam-epoch
+//!
+//! - Garbage is reclaimed only by the thread that deferred it (plus the
+//!   orphan path at thread exit); upstream also migrates full bags to a
+//!   shared injector queue so other threads can help. Consequence: up to
+//!   one unsealed bag (< `BAG_SEAL_THRESHOLD` items) per idle thread
+//!   can linger until that thread pins again, exits, or calls [`flush`].
+//! - `Guard::repin`, `unprotected`, `Collector`/`LocalHandle` handles,
+//!   and tagged pointers are not provided — the register substrate does
+//!   not use them.
+//! - Epoch words are plain `usize` counters (upstream wraps at a few
+//!   bits); they never wrap in practice, and the expiry test treats a
+//!   bag tagged ahead of the collector's epoch snapshot — possible for
+//!   orphan bags sealed concurrently by another thread — as not yet
+//!   reclaimable.
 
 #![warn(missing_docs)]
 
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
 use std::marker::PhantomData;
+use std::mem;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+
+/// Number of garbage items a thread accumulates before sealing the bag
+/// (tagging it with the current global epoch) and attempting a
+/// reclamation pass.
+const BAG_SEAL_THRESHOLD: usize = 64;
+
+/// How many pins a thread performs between epoch-advance attempts.
+const PINS_BETWEEN_ADVANCE: usize = 64;
 
 /// Type-erased deferred destruction of a heap cell: the cell pointer plus
 /// the monomorphized drop function for its type (a plain fn pointer, so no
 /// `'static` bound leaks onto `T`). The wrapper asserts `Send`, which is
 /// sound because the cell is unreachable (unlinked before deferral) and is
-/// dropped exactly once, by whichever thread drains the list.
+/// dropped exactly once, by whichever thread ends up owning its bag.
 struct Garbage {
     cell: *mut (),
     drop_fn: unsafe fn(*mut ()),
@@ -63,42 +130,394 @@ unsafe fn drop_boxed<T>(cell: *mut ()) {
     drop(unsafe { Box::from_raw(cell.cast::<T>()) });
 }
 
-// SAFETY: see the struct docs — the closure only frees an unlinked,
-// uniquely-owned allocation whose type the caller guaranteed may be
-// dropped from another thread (the `T: Send` bounds on the register types
-// built on top of this shim).
+// SAFETY: the garbage only frees an unlinked, uniquely-owned allocation
+// whose type the caller guaranteed may be dropped from another thread (the
+// `T: Send` bounds on the register types built on top of this crate).
 unsafe impl Send for Garbage {}
 
-struct EpochState {
-    pins: usize,
+/// A bag of garbage sealed at a known global epoch: reclaimable once the
+/// global epoch is two or more ahead of `epoch`.
+struct SealedBag {
+    epoch: usize,
     garbage: Vec<Garbage>,
 }
 
-static EPOCH: Mutex<EpochState> = Mutex::new(EpochState {
-    pins: 0,
-    garbage: Vec::new(),
-});
+impl SealedBag {
+    /// Whether the bag may be reclaimed under the epoch snapshot
+    /// `global`.
+    ///
+    /// `checked_sub`, not `wrapping_sub`: an *orphan* bag can carry a
+    /// tag newer than the caller's snapshot (another thread sealed it
+    /// after we loaded `GLOBAL_EPOCH`), and a wrapping subtraction would
+    /// underflow and classify it expired — a premature free. A tag ahead
+    /// of the snapshot is never expired. Any snapshot of the monotone
+    /// epoch counter is a lower bound on the true epoch, so `true` here
+    /// is always safe; the counter itself cannot realistically wrap a
+    /// `usize` within a process lifetime.
+    fn is_expired(&self, global: usize) -> bool {
+        global.checked_sub(self.epoch).is_some_and(|gap| gap >= 2)
+    }
+}
 
-/// A guard that keeps deferred destructions from running while it (or any
-/// other guard, anywhere in the process) is alive.
+/// The owner-only half of a participant record. Only the thread that
+/// currently holds the record's `active` claim may touch this (plus the
+/// claim handover at thread exit / re-claim, which is ordered by the
+/// release/acquire pair on `active`).
+struct OwnerData {
+    /// Nested-pin depth of the owning thread.
+    guard_count: usize,
+    /// Pins since the last advance attempt (drives periodic collection).
+    pins: usize,
+    /// Set when the thread-local handle was dropped while guards were
+    /// still alive; the last guard then releases the record.
+    retired: bool,
+    /// Garbage deferred since the last seal.
+    current: Vec<Garbage>,
+    /// Sealed bags, oldest first (seal tags are non-decreasing).
+    sealed: VecDeque<SealedBag>,
+}
+
+/// One registry entry. `state`, `active` and `next` are shared; `owner`
+/// belongs to the claiming thread.
+struct Participant {
+    /// Local epoch announcement: `(epoch << 1) | pinned`.
+    state: AtomicUsize,
+    /// Whether a live thread currently owns this record.
+    active: AtomicBool,
+    /// Next record in the prepend-only registry list.
+    next: AtomicPtr<Participant>,
+    owner: UnsafeCell<OwnerData>,
+}
+
+// SAFETY: the shared fields are atomics; `owner` is only accessed by the
+// thread holding the `active` claim, with handover ordered by the
+// release store / acquire CAS on `active`.
+unsafe impl Sync for Participant {}
+// SAFETY: records are only ever moved into the registry once, at
+// creation, before being shared.
+unsafe impl Send for Participant {}
+
+impl Participant {
+    fn new() -> Self {
+        Self {
+            state: AtomicUsize::new(0),
+            // Created pre-claimed by the allocating thread.
+            active: AtomicBool::new(true),
+            next: AtomicPtr::new(ptr::null_mut()),
+            owner: UnsafeCell::new(OwnerData {
+                guard_count: 0,
+                pins: 0,
+                retired: false,
+                current: Vec::new(),
+                sealed: VecDeque::new(),
+            }),
+        }
+    }
+}
+
+/// One orphaned bag from an exited thread, a node of the Treiber stack.
+struct OrphanNode {
+    bag: SealedBag,
+    next: *mut OrphanNode,
+}
+
+/// The global epoch counter.
+static GLOBAL_EPOCH: AtomicUsize = AtomicUsize::new(0);
+
+/// Head of the prepend-only participant registry.
+static REGISTRY: AtomicPtr<Participant> = AtomicPtr::new(ptr::null_mut());
+
+/// Head of the orphan-bag stack (bags from exited threads).
+static ORPHANS: AtomicPtr<OrphanNode> = AtomicPtr::new(ptr::null_mut());
+
+/// Claims a participant record for the calling thread: re-uses an
+/// inactive record if one exists, otherwise allocates and registers a
+/// fresh one. Lock-free.
+fn acquire_participant() -> *const Participant {
+    let mut cur = REGISTRY.load(Ordering::Acquire);
+    while !cur.is_null() {
+        // SAFETY: registry nodes are never freed.
+        let p = unsafe { &*cur };
+        if !p.active.load(Ordering::Relaxed)
+            && p.active
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+        {
+            // SAFETY: the acquire CAS on `active` made us the exclusive
+            // owner; the previous owner's release store ordered its final
+            // owner-data writes before our reads.
+            let owner = unsafe { &mut *p.owner.get() };
+            owner.retired = false;
+            debug_assert_eq!(owner.guard_count, 0);
+            return cur;
+        }
+        cur = p.next.load(Ordering::Acquire);
+    }
+    let node = Box::into_raw(Box::new(Participant::new()));
+    loop {
+        let head = REGISTRY.load(Ordering::Relaxed);
+        // SAFETY: `node` is not yet shared.
+        unsafe { (*node).next.store(head, Ordering::Relaxed) };
+        if REGISTRY
+            .compare_exchange(head, node, Ordering::Release, Ordering::Relaxed)
+            .is_ok()
+        {
+            return node;
+        }
+    }
+}
+
+/// Releases the calling thread's claim on `p`: seals and orphans all
+/// remaining garbage, then marks the record inactive for re-use.
+///
+/// # Safety
+///
+/// Must be called by the owning thread, with no live guards on `p`.
+unsafe fn release_participant(p: *const Participant) {
+    // SAFETY: registry nodes are never freed; we are the owner.
+    let part = unsafe { &*p };
+    {
+        // SAFETY: owner access by the owning thread.
+        let owner = unsafe { &mut *part.owner.get() };
+        debug_assert_eq!(owner.guard_count, 0);
+        seal_current(owner);
+        while let Some(bag) = owner.sealed.pop_front() {
+            push_orphan(bag);
+        }
+        owner.pins = 0;
+        owner.retired = false;
+    }
+    part.state.store(0, Ordering::Relaxed);
+    part.active.store(false, Ordering::Release);
+}
+
+/// Seals the unsealed bag, tagging it with the current global epoch.
+/// The tag is read *after* every unlink whose garbage the bag contains,
+/// so it is an upper bound on the epoch at which any of those cells was
+/// still reachable.
+fn seal_current(owner: &mut OwnerData) {
+    if owner.current.is_empty() {
+        return;
+    }
+    // Matches upstream `Global::push_bag`: a full fence before reading
+    // the epoch tag, so the tag cannot be ordered before the unlinks.
+    fence(Ordering::SeqCst);
+    let epoch = GLOBAL_EPOCH.load(Ordering::Relaxed);
+    let garbage = mem::take(&mut owner.current);
+    owner.sealed.push_back(SealedBag { epoch, garbage });
+}
+
+/// Tries to advance the global epoch by one; returns the current global
+/// epoch afterwards. The advance succeeds only if every pinned
+/// participant has announced exactly the current epoch.
+fn try_advance() -> usize {
+    let global = GLOBAL_EPOCH.load(Ordering::Relaxed);
+    // Pairs with the fence in `pin`: if a pin's announcement is not
+    // visible to the scan below, the pinning thread's subsequent loads
+    // are guaranteed to see every store that preceded this fence.
+    fence(Ordering::SeqCst);
+    let mut cur = REGISTRY.load(Ordering::Acquire);
+    while !cur.is_null() {
+        // SAFETY: registry nodes are never freed.
+        let p = unsafe { &*cur };
+        let state = p.state.load(Ordering::Relaxed);
+        if state & 1 == 1 && state >> 1 != global {
+            // Someone is pinned in a different (older) epoch.
+            return global;
+        }
+        cur = p.next.load(Ordering::Acquire);
+    }
+    fence(Ordering::Acquire);
+    match GLOBAL_EPOCH.compare_exchange(
+        global,
+        global.wrapping_add(1),
+        Ordering::Release,
+        Ordering::Relaxed,
+    ) {
+        Ok(_) => global.wrapping_add(1),
+        Err(now) => now,
+    }
+}
+
+/// Pushes one sealed bag onto the global orphan stack. Lock-free.
+fn push_orphan(bag: SealedBag) {
+    let node = Box::into_raw(Box::new(OrphanNode {
+        bag,
+        next: ptr::null_mut(),
+    }));
+    loop {
+        let head = ORPHANS.load(Ordering::Relaxed);
+        // SAFETY: `node` is not yet shared.
+        unsafe { (*node).next = head };
+        if ORPHANS
+            .compare_exchange(head, node, Ordering::Release, Ordering::Relaxed)
+            .is_ok()
+        {
+            return;
+        }
+    }
+}
+
+/// Detaches the whole orphan stack with one `swap` (exclusive ownership,
+/// no ABA), frees the expired bags and re-pushes the rest.
+fn collect_orphans(global: usize) {
+    if ORPHANS.load(Ordering::Relaxed).is_null() {
+        return;
+    }
+    let mut cur = ORPHANS.swap(ptr::null_mut(), Ordering::AcqRel);
+    let mut expired = Vec::new();
+    while !cur.is_null() {
+        // SAFETY: the swap gave us exclusive ownership of the chain.
+        let node = unsafe { Box::from_raw(cur) };
+        cur = node.next;
+        if node.bag.is_expired(global) {
+            expired.push(node.bag);
+        } else {
+            push_orphan(node.bag);
+        }
+    }
+    for bag in expired {
+        for garbage in bag.garbage {
+            // SAFETY: each item was pushed exactly once by
+            // `defer_destroy`; exclusive ownership of the detached chain
+            // means it runs exactly once.
+            unsafe { garbage.run() };
+        }
+    }
+}
+
+/// One reclamation pass by the owner of `p`: advance if possible, then
+/// free the owner's expired bags plus any expired orphans.
+///
+/// # Safety
+///
+/// Must be called by the thread owning `p`, with no outstanding `&mut`
+/// borrow of `p`'s owner data (destructors run here may re-enter
+/// `pin`/`defer_destroy` on the same participant).
+unsafe fn advance_and_collect(p: *const Participant) {
+    let global = try_advance();
+    let expired: Vec<SealedBag> = {
+        // SAFETY: owner access by the owning thread; the borrow ends
+        // before any destructor runs.
+        let owner = unsafe { &mut *(*p).owner.get() };
+        let mut out = Vec::new();
+        while owner.sealed.front().is_some_and(|b| b.is_expired(global)) {
+            out.push(owner.sealed.pop_front().expect("front checked above"));
+        }
+        out
+    };
+    for bag in expired {
+        for garbage in bag.garbage {
+            // SAFETY: pushed exactly once, popped exactly once.
+            unsafe { garbage.run() };
+        }
+    }
+    collect_orphans(global);
+}
+
+std::thread_local! {
+    /// The calling thread's claim on a participant record.
+    static HANDLE: Handle = Handle {
+        participant: acquire_participant(),
+    };
+}
+
+struct Handle {
+    participant: *const Participant,
+}
+
+impl Drop for Handle {
+    fn drop(&mut self) {
+        // SAFETY: we own the record; nodes are never freed.
+        let part = unsafe { &*self.participant };
+        // SAFETY: owner access by the owning thread.
+        let owner = unsafe { &mut *part.owner.get() };
+        if owner.guard_count > 0 {
+            // A guard outlives the thread-local handle (possible during
+            // thread teardown): the last guard releases the record.
+            owner.retired = true;
+        } else {
+            // SAFETY: owning thread, no live guards.
+            unsafe { release_participant(self.participant) };
+        }
+    }
+}
+
+/// A guard keeping the current thread pinned: any pointer loaded from an
+/// [`Atomic`] while the guard is alive stays valid until the guard (and
+/// every older guard on this thread) is dropped.
 pub struct Guard {
-    // Guards are tied to the thread that created them in real
-    // crossbeam-epoch; keep the type !Send to match.
+    participant: *const Participant,
+    /// Participant claimed for this guard alone (thread-local storage was
+    /// already destroyed); released when the guard drops.
+    ephemeral: bool,
+    // Guards are tied to the thread that created them; keep the type
+    // !Send, as in real crossbeam-epoch.
     _not_send: PhantomData<*mut ()>,
 }
 
 /// Pins the current thread, returning a [`Guard`] that protects any
 /// pointer loaded from an [`Atomic`] while it is alive.
+///
+/// Lock-free: announces the global epoch in this thread's participant
+/// record and issues one fence. Nested pins only bump a local counter.
 pub fn pin() -> Guard {
-    EPOCH.lock().expect("epoch state poisoned").pins += 1;
+    let (participant, ephemeral) = match HANDLE.try_with(|h| h.participant) {
+        Ok(p) => (p, false),
+        // Thread-local storage already destroyed (a register is being
+        // dropped inside another TLS destructor): claim a record for the
+        // lifetime of this guard only.
+        Err(_) => (acquire_participant(), true),
+    };
+    // SAFETY: `participant` is owned by this thread (via the TLS handle
+    // or the ephemeral claim above).
+    unsafe { pin_participant(participant) };
     Guard {
+        participant,
+        ephemeral,
         _not_send: PhantomData,
     }
 }
 
+/// # Safety
+///
+/// `p` must be owned by the calling thread.
+unsafe fn pin_participant(p: *const Participant) {
+    let part = unsafe { &*p };
+    let should_collect = {
+        // SAFETY: owner access by the owning thread; borrow ends before
+        // `advance_and_collect` (which may run re-entrant destructors).
+        let owner = unsafe { &mut *part.owner.get() };
+        owner.guard_count += 1;
+        if owner.guard_count == 1 {
+            // Announce (global_epoch, pinned). The SeqCst fence orders
+            // the announcement before every subsequent `Atomic` load:
+            // an epoch advancer either sees the announcement (and keeps
+            // the epoch back) or its fence precedes ours (and our loads
+            // see everything up to its scan, including any unlinks whose
+            // garbage it may free).
+            let epoch = GLOBAL_EPOCH.load(Ordering::Relaxed);
+            part.state.store((epoch << 1) | 1, Ordering::Relaxed);
+            fence(Ordering::SeqCst);
+            owner.pins = owner.pins.wrapping_add(1);
+            owner.pins % PINS_BETWEEN_ADVANCE == 0
+        } else {
+            false
+        }
+    };
+    if should_collect {
+        // SAFETY: owning thread, no outstanding owner borrow.
+        unsafe { advance_and_collect(p) };
+    }
+}
+
 impl Guard {
-    /// Defers destruction of the cell behind `shared` until no guard is
-    /// alive anywhere in the process.
+    /// Defers destruction of the cell behind `shared` until no guard that
+    /// may have observed it is alive.
+    ///
+    /// Lock-free: pushes into a bag owned by this thread; every
+    /// `BAG_SEAL_THRESHOLD` items the bag is sealed with the current
+    /// global epoch and a reclamation pass runs.
     ///
     /// # Safety
     ///
@@ -113,32 +532,79 @@ impl Guard {
             cell: shared.ptr.cast(),
             drop_fn: drop_boxed::<T>,
         };
-        EPOCH
-            .lock()
-            .expect("epoch state poisoned")
-            .garbage
-            .push(garbage);
+        // SAFETY: guards are !Send, so `self.participant` is owned by
+        // the calling thread.
+        let part = unsafe { &*self.participant };
+        let should_collect = {
+            // SAFETY: owner access by the owning thread; borrow ends
+            // before `advance_and_collect`.
+            let owner = unsafe { &mut *part.owner.get() };
+            owner.current.push(garbage);
+            if owner.current.len() >= BAG_SEAL_THRESHOLD {
+                seal_current(owner);
+                true
+            } else {
+                false
+            }
+        };
+        if should_collect {
+            // SAFETY: owning thread, no outstanding owner borrow.
+            unsafe { advance_and_collect(self.participant) };
+        }
     }
 }
 
 impl Drop for Guard {
     fn drop(&mut self) {
-        let drained = {
-            let mut state = EPOCH.lock().expect("epoch state poisoned");
-            state.pins -= 1;
-            if state.pins == 0 {
-                std::mem::take(&mut state.garbage)
+        // SAFETY: guards are !Send; the participant is ours.
+        let part = unsafe { &*self.participant };
+        let release = {
+            // SAFETY: owner access by the owning thread.
+            let owner = unsafe { &mut *part.owner.get() };
+            owner.guard_count -= 1;
+            if owner.guard_count == 0 {
+                // Un-announce. Release ordering keeps this thread's
+                // loads/stores from being ordered after the unpin, as in
+                // upstream crossbeam-epoch.
+                part.state.store(0, Ordering::Release);
+                self.ephemeral || owner.retired
             } else {
-                Vec::new()
+                false
             }
         };
-        // Run destructors outside the lock: a destructor may itself pin
-        // (e.g. dropping a value that contains another register).
-        for garbage in drained {
-            // SAFETY: each entry was pushed exactly once by
-            // `defer_destroy` from a `Box::into_raw` allocation, and the
-            // drain removed it from the list, so it runs exactly once.
-            unsafe { garbage.run() };
+        if release {
+            // SAFETY: owning thread, guard count is zero.
+            unsafe { release_participant(self.participant) };
+        }
+    }
+}
+
+/// Seals the calling thread's garbage bag, attempts to advance the global
+/// epoch, and reclaims everything that is already two epochs behind
+/// (this thread's bags plus orphans from exited threads).
+///
+/// Reclamation is otherwise amortized (every `PINS_BETWEEN_ADVANCE`
+/// pins / `BAG_SEAL_THRESHOLD` deferrals), so a quiescent thread can
+/// hold a small amount of garbage indefinitely; `flush` is the
+/// deterministic drain, used by drop-leak tests. One call advances the
+/// epoch by at most one, so draining everything takes up to three calls
+/// (seal at `G`, advance to `G+1`, then `G+2` where the bag expires) —
+/// more if other threads hold pins.
+pub fn flush() {
+    match HANDLE.try_with(|h| h.participant) {
+        Ok(p) => {
+            {
+                // SAFETY: owner access by the owning thread; borrow ends
+                // before `advance_and_collect`.
+                let owner = unsafe { &mut *(*p).owner.get() };
+                seal_current(owner);
+            }
+            // SAFETY: owning thread, no outstanding owner borrow.
+            unsafe { advance_and_collect(p) };
+        }
+        Err(_) => {
+            let global = try_advance();
+            collect_orphans(global);
         }
     }
 }
@@ -268,6 +734,26 @@ mod tests {
     use std::sync::atomic::AtomicUsize;
     use std::sync::Arc;
 
+    /// Payload that counts its drops.
+    struct CountsDrops(Arc<AtomicUsize>);
+    impl Drop for CountsDrops {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Flushes until `drops` reaches `expected` (other tests in this
+    /// binary may hold transient pins, stalling the epoch).
+    fn flush_until(drops: &AtomicUsize, expected: usize) {
+        for _ in 0..10_000 {
+            flush();
+            if drops.load(Ordering::Relaxed) >= expected {
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+
     #[test]
     fn load_sees_initial_value() {
         let cell = Atomic::new(41u64);
@@ -292,36 +778,133 @@ mod tests {
     }
 
     #[test]
-    fn deferred_values_drop_after_last_guard() {
-        struct CountsDrops(Arc<AtomicUsize>);
-        impl Drop for CountsDrops {
-            fn drop(&mut self) {
-                self.0.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-
+    fn deferred_value_drops_after_unpin_and_flush() {
         let drops = Arc::new(AtomicUsize::new(0));
         let cell = Atomic::new(CountsDrops(Arc::clone(&drops)));
         {
-            let outer = pin();
-            {
-                let guard = pin();
-                let old = cell.swap(
-                    Owned::new(CountsDrops(Arc::clone(&drops))),
-                    Ordering::AcqRel,
-                    &guard,
-                );
-                unsafe { guard.defer_destroy(old) };
-            }
-            // `outer` still pinned: nothing may be dropped yet.
+            let guard = pin();
+            let old = cell.swap(
+                Owned::new(CountsDrops(Arc::clone(&drops))),
+                Ordering::AcqRel,
+                &guard,
+            );
+            unsafe { guard.defer_destroy(old) };
+            // Still pinned in the deferral epoch: the epoch cannot pass
+            // announce+1, so the two-epoch rule keeps the cell alive.
             assert_eq!(drops.load(Ordering::Relaxed), 0);
         }
-        // Last guard gone: the deferred cell is reclaimed.
+        flush_until(&drops, 1);
         assert_eq!(drops.load(Ordering::Relaxed), 1);
 
         let guard = pin();
         let last = cell.swap(Shared::null(), Ordering::AcqRel, &guard);
         unsafe { guard.defer_destroy(last) };
+        drop(guard);
+        flush_until(&drops, 2);
+        assert_eq!(drops.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn nested_pins_share_one_announcement() {
+        let outer = pin();
+        let cell = Atomic::new(7u64);
+        let shared = cell.load(Ordering::Acquire, &outer);
+        {
+            // An inner pin only bumps the guard count; dropping it must
+            // not un-announce while `outer` is alive.
+            let _inner = pin();
+        }
+        assert_eq!(unsafe { *shared.deref() }, 7);
+        let old = cell.swap(Shared::null(), Ordering::AcqRel, &outer);
+        unsafe { outer.defer_destroy(old) };
+    }
+
+    #[test]
+    fn bag_ahead_of_epoch_snapshot_is_not_expired() {
+        // Regression: an orphan bag sealed at a newer epoch than the
+        // collector's stale snapshot must NOT be classified expired (a
+        // wrapping subtraction would underflow and free it prematurely).
+        let bag = SealedBag {
+            epoch: 10,
+            garbage: Vec::new(),
+        };
+        assert!(!bag.is_expired(8), "tag ahead of snapshot freed");
+        assert!(!bag.is_expired(9), "tag ahead of snapshot freed");
+        assert!(!bag.is_expired(10), "same epoch freed");
+        assert!(!bag.is_expired(11), "one epoch behind freed");
+        assert!(bag.is_expired(12), "two epochs behind must expire");
+        assert!(bag.is_expired(13));
+    }
+
+    #[test]
+    fn epoch_advances_when_no_one_is_pinned() {
+        let before = GLOBAL_EPOCH.load(Ordering::Relaxed);
+        // Each flush advances at most once; other tests' pins may block
+        // some attempts, so try a few times.
+        for _ in 0..64 {
+            flush();
+        }
+        let after = GLOBAL_EPOCH.load(Ordering::Relaxed);
+        assert!(
+            after.wrapping_sub(before) >= 1,
+            "epoch never advanced: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn a_pinned_thread_blocks_the_epoch_at_most_one_ahead() {
+        let guard = pin();
+        // SAFETY (test): read our own announcement back.
+        let announced = {
+            let p = HANDLE.with(|h| h.participant);
+            unsafe { (*p).state.load(Ordering::Relaxed) >> 1 }
+        };
+        for _ in 0..64 {
+            flush();
+        }
+        let global = GLOBAL_EPOCH.load(Ordering::Relaxed);
+        assert!(
+            global.wrapping_sub(announced) <= 1,
+            "epoch ran away from a pinned participant: announced {announced}, global {global}"
+        );
+        drop(guard);
+    }
+
+    #[test]
+    fn exited_threads_garbage_is_adopted() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = Arc::new(Atomic::new(CountsDrops(Arc::clone(&drops))));
+        let n = 4;
+        let per_thread = 100;
+        std::thread::scope(|s| {
+            for _ in 0..n {
+                let cell = Arc::clone(&cell);
+                let drops = Arc::clone(&drops);
+                s.spawn(move || {
+                    for _ in 0..per_thread {
+                        let guard = pin();
+                        let old = cell.swap(
+                            Owned::new(CountsDrops(Arc::clone(&drops))),
+                            Ordering::AcqRel,
+                            &guard,
+                        );
+                        unsafe { guard.defer_destroy(old) };
+                    }
+                });
+            }
+        });
+        // Writers have exited; their unreclaimed bags were orphaned.
+        // Everything except the final resident value must drop.
+        let retired = n * per_thread;
+        flush_until(&drops, retired);
+        assert_eq!(drops.load(Ordering::Relaxed), retired);
+
+        let guard = pin();
+        let last = cell.swap(Shared::null(), Ordering::AcqRel, &guard);
+        unsafe { guard.defer_destroy(last) };
+        drop(guard);
+        flush_until(&drops, retired + 1);
+        assert_eq!(drops.load(Ordering::Relaxed), retired + 1);
     }
 
     #[test]
@@ -344,5 +927,42 @@ mod tests {
         let guard = pin();
         let last = cell.swap(Shared::null(), Ordering::AcqRel, &guard);
         unsafe { guard.defer_destroy(last) };
+    }
+
+    #[test]
+    fn participant_records_are_reused_across_threads() {
+        // Spawn many short-lived threads; the registry must not grow
+        // unboundedly because exited records are re-claimed.
+        let count_registry = || {
+            let mut n = 0usize;
+            let mut cur = REGISTRY.load(Ordering::Acquire);
+            while !cur.is_null() {
+                n += 1;
+                cur = unsafe { (*cur).next.load(Ordering::Acquire) };
+            }
+            n
+        };
+        for _ in 0..8 {
+            std::thread::spawn(|| {
+                let _guard = pin();
+            })
+            .join()
+            .unwrap();
+        }
+        let mid = count_registry();
+        for _ in 0..32 {
+            std::thread::spawn(|| {
+                let _guard = pin();
+            })
+            .join()
+            .unwrap();
+        }
+        let after = count_registry();
+        // Sequential spawn/join: all 32 later threads can re-use records
+        // (other concurrently running test threads may add a few).
+        assert!(
+            after <= mid + 8,
+            "registry grew from {mid} to {after} despite sequential reuse"
+        );
     }
 }
