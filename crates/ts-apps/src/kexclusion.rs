@@ -72,6 +72,17 @@ impl<B: RegisterBackend<u64>> KExclusion<B> {
         self.active.len()
     }
 
+    /// Read-only pass over the announcement array: how many processes
+    /// currently hold a ticket (competing or inside the resource).
+    /// Exposed for observability workloads and tests; the value is a
+    /// momentary snapshot.
+    pub fn competing(&self) -> usize {
+        self.active
+            .iter()
+            .filter(|a| a.load(Ordering::SeqCst) != 0)
+            .count()
+    }
+
     /// Acquires a slot as process `pid` (spins until fewer than `k`
     /// smaller-priority competitors remain).
     ///

@@ -1,0 +1,171 @@
+//! [`WorkloadTarget`] adapters for the lock consumers, so the workload
+//! scenario engine can drive them next to the raw timestamp objects.
+//!
+//! The op mapping for locks:
+//!
+//! - `GetTs` — one full acquire/release cycle. The doorway takes a
+//!   ticket from the long-lived timestamp object, so this is the
+//!   "timestamp in anger" path; the worker also asserts that tickets
+//!   from its own non-overlapping cycles strictly increase (the FCFS
+//!   consequence of the timestamp property).
+//! - `Scan` — a read-only pass over the announcement array
+//!   ([`FcfsLock::ticket_of`] / [`KExclusion::competing`]).
+//! - `Compare` — the local comparison of the worker's last two tickets.
+
+use std::hint::black_box;
+
+use ts_core::workload::{OpHistory, WorkloadOp, WorkloadTarget, WorkloadWorker};
+use ts_core::RegisterBackend;
+
+use crate::fcfs_lock::FcfsLock;
+use crate::kexclusion::KExclusion;
+
+struct FcfsLockWorker<'a, B: RegisterBackend<u64>> {
+    lock: &'a FcfsLock<B>,
+    slot: usize,
+    history: OpHistory<u64>,
+}
+
+impl<B: RegisterBackend<u64>> WorkloadWorker for FcfsLockWorker<'_, B> {
+    fn step(&mut self, op: WorkloadOp) -> WorkloadOp {
+        match op {
+            WorkloadOp::GetTs => {
+                let guard = self.lock.lock(self.slot);
+                let ticket = self.lock.ticket_of(self.slot);
+                drop(guard);
+                if let Some(prev) = self.history.last() {
+                    // Our previous cycle finished before this one began:
+                    // FCFS demands a strictly larger ticket.
+                    assert!(
+                        prev < ticket,
+                        "fcfs ticket went backwards: {prev} -> {ticket}"
+                    );
+                }
+                self.history.push(ticket);
+                WorkloadOp::GetTs
+            }
+            WorkloadOp::Scan => {
+                for q in 0..self.lock.processes() {
+                    black_box(self.lock.ticket_of(q));
+                }
+                WorkloadOp::Scan
+            }
+            WorkloadOp::Compare => match self.history.pair() {
+                Some((a, b)) => {
+                    assert!(black_box(a < b), "ticket history out of order: {a} !< {b}");
+                    WorkloadOp::Compare
+                }
+                None => self.step(WorkloadOp::GetTs),
+            },
+        }
+    }
+}
+
+impl<B: RegisterBackend<u64>> WorkloadTarget for FcfsLock<B> {
+    fn object(&self) -> &'static str {
+        "fcfs_lock"
+    }
+
+    fn backend(&self) -> &'static str {
+        B::NAME
+    }
+
+    fn slots(&self) -> usize {
+        self.processes()
+    }
+
+    fn worker<'a>(&'a self, slot: usize) -> Box<dyn WorkloadWorker + 'a> {
+        assert!(slot < self.processes(), "slot {slot} out of range");
+        Box::new(FcfsLockWorker {
+            lock: self,
+            slot,
+            history: OpHistory::new(),
+        })
+    }
+}
+
+struct KExclusionWorker<'a, B: RegisterBackend<u64>> {
+    pool: &'a KExclusion<B>,
+    slot: usize,
+    /// Local cycle numbers (`active` is cleared on release, and
+    /// k-exclusion admits overtaking, so unlike FCFS no cross-cycle
+    /// ticket assertion holds — Compare only measures cost).
+    history: OpHistory<u64>,
+    cycles: u64,
+}
+
+impl<B: RegisterBackend<u64>> WorkloadWorker for KExclusionWorker<'_, B> {
+    fn step(&mut self, op: WorkloadOp) -> WorkloadOp {
+        match op {
+            WorkloadOp::GetTs => {
+                let guard = self.pool.acquire(self.slot);
+                drop(guard);
+                self.cycles += 1;
+                self.history.push(self.cycles);
+                WorkloadOp::GetTs
+            }
+            WorkloadOp::Scan => {
+                black_box(self.pool.competing());
+                WorkloadOp::Scan
+            }
+            WorkloadOp::Compare => match self.history.pair() {
+                Some((a, b)) => {
+                    black_box(a < b);
+                    WorkloadOp::Compare
+                }
+                None => self.step(WorkloadOp::GetTs),
+            },
+        }
+    }
+}
+
+impl<B: RegisterBackend<u64>> WorkloadTarget for KExclusion<B> {
+    fn object(&self) -> &'static str {
+        "k_exclusion"
+    }
+
+    fn backend(&self) -> &'static str {
+        B::NAME
+    }
+
+    fn slots(&self) -> usize {
+        self.processes()
+    }
+
+    fn worker<'a>(&'a self, slot: usize) -> Box<dyn WorkloadWorker + 'a> {
+        assert!(slot < self.processes(), "slot {slot} out of range");
+        Box::new(KExclusionWorker {
+            pool: self,
+            slot,
+            history: OpHistory::new(),
+            cycles: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_core::PackedBackend;
+
+    #[test]
+    fn fcfs_lock_worker_cycles_and_orders_tickets() {
+        let lock: FcfsLock<PackedBackend> = FcfsLock::new(2);
+        let mut w = lock.worker(0);
+        assert_eq!(w.step(WorkloadOp::GetTs), WorkloadOp::GetTs);
+        assert_eq!(w.step(WorkloadOp::Scan), WorkloadOp::Scan);
+        assert_eq!(w.step(WorkloadOp::Compare), WorkloadOp::GetTs); // needs 2 tickets
+        assert_eq!(w.step(WorkloadOp::Compare), WorkloadOp::Compare);
+    }
+
+    #[test]
+    fn kexclusion_worker_cycles() {
+        let pool: KExclusion<PackedBackend> = KExclusion::new(3, 2);
+        let mut w = pool.worker(1);
+        assert_eq!(w.step(WorkloadOp::GetTs), WorkloadOp::GetTs);
+        assert_eq!(w.step(WorkloadOp::GetTs), WorkloadOp::GetTs);
+        assert_eq!(w.step(WorkloadOp::Scan), WorkloadOp::Scan);
+        assert_eq!(w.step(WorkloadOp::Compare), WorkloadOp::Compare);
+        assert_eq!(pool.competing(), 0, "guard released after every cycle");
+    }
+}

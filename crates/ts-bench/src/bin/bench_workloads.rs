@@ -1,0 +1,259 @@
+//! `bench_workloads` — the workload scenario grid, with latency
+//! histograms.
+//!
+//! Sweeps the `ts-workloads` engine over
+//! (object × backend × scenario × thread-count): every timestamp
+//! object (`simple_oneshot`, `bounded_oneshot`, `collect_max`,
+//! `growable`) plus the `ts-apps` lock consumers (`fcfs_lock`,
+//! `k_exclusion`), on both register backends where the object is
+//! generic, under every scenario in the `ts-workloads` catalog
+//! (closed loop, Zipf-skewed mixes, bursty open loop, thread churn).
+//!
+//! Each cell reports throughput and log-bucketed latency percentiles
+//! (p50/p90/p99/p999/max). Output: a markdown table normally, one JSON
+//! object **per cell** under `TS_BENCH_JSON` (pure JSON lines, like
+//! every table binary), and a machine-readable file written to
+//! `BENCH_workloads.json` (override with `--out PATH`, `--out -`
+//! skips) so the perf trajectory has per-scenario history.
+//!
+//! Flags: `--threads N` caps the thread ladder (default 4; the ladder
+//! is 2,4,...,N), `--smoke` shrinks op counts ~20x for CI, `--out
+//! PATH` relocates the results file.
+
+use serde::Serialize;
+
+use ts_apps::{FcfsLock, KExclusion};
+use ts_bench::Table;
+use ts_core::workload::WorkloadTarget;
+use ts_core::{
+    BoundedTimestamp, CollectMax, EpochBackend, GrowableWorkload, OneShotPool, PackedBackend,
+    SimpleOneShot,
+};
+use ts_workloads::{catalog, run_scenario, RunConfig, Scenario, ScenarioReport};
+
+/// One measured (object × backend × scenario × threads) cell.
+#[derive(Debug, Clone, Serialize)]
+struct WorkloadRow {
+    object: String,
+    backend: String,
+    scenario: String,
+    threads: usize,
+    lives: u64,
+    ops: u64,
+    get_ts_ops: u64,
+    scan_ops: u64,
+    compare_ops: u64,
+    elapsed_secs: f64,
+    throughput_ops_per_sec: f64,
+    mean_ns: u64,
+    p50_ns: u64,
+    p90_ns: u64,
+    p99_ns: u64,
+    p999_ns: u64,
+    max_ns: u64,
+}
+
+impl WorkloadRow {
+    fn from_report(r: &ScenarioReport) -> Self {
+        Self {
+            object: r.object.to_string(),
+            backend: r.backend.to_string(),
+            scenario: r.scenario.to_string(),
+            threads: r.threads,
+            lives: r.lives,
+            ops: r.counts.total(),
+            get_ts_ops: r.counts.get_ts,
+            scan_ops: r.counts.scan,
+            compare_ops: r.counts.compare,
+            elapsed_secs: r.elapsed_secs,
+            throughput_ops_per_sec: r.throughput_ops_per_sec,
+            mean_ns: r.latency.mean_ns(),
+            p50_ns: r.latency.percentile(50.0),
+            p90_ns: r.latency.percentile(90.0),
+            p99_ns: r.latency.percentile(99.0),
+            p999_ns: r.latency.percentile(99.9),
+            max_ns: r.latency.max_ns(),
+        }
+    }
+}
+
+/// The file schema of `BENCH_workloads.json`.
+#[derive(Debug, Serialize)]
+struct WorkloadsFile {
+    schema: String,
+    host_threads: usize,
+    smoke: bool,
+    results: Vec<WorkloadRow>,
+}
+
+struct Config {
+    max_threads: usize,
+    smoke: bool,
+    out: Option<String>,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        max_threads: 4,
+        smoke: false,
+        out: Some("BENCH_workloads.json".to_string()),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let v = args.next().expect("--threads takes a value");
+                cfg.max_threads = v.parse().expect("--threads takes a number");
+                assert!(cfg.max_threads >= 2, "--threads must be >= 2");
+            }
+            "--smoke" => cfg.smoke = true,
+            "--out" => {
+                let v = args.next().expect("--out takes a path");
+                cfg.out = if v == "-" { None } else { Some(v) };
+            }
+            other => panic!("unknown flag {other} (expected --threads N | --smoke | --out PATH)"),
+        }
+    }
+    cfg
+}
+
+/// Thread ladder 2, 4, 8, ..., max (workload cells need ≥ 2 threads to
+/// mean anything).
+fn thread_ladder(max: usize) -> Vec<usize> {
+    let mut ladder = vec![];
+    let mut t = 2;
+    while t < max {
+        ladder.push(t);
+        t *= 2;
+    }
+    ladder.push(max);
+    ladder
+}
+
+/// Builds every target for a given thread count. Objects generic over
+/// the register backend appear twice; `bounded_oneshot` and `growable`
+/// store unbounded sequences and exist only on the epoch backend.
+fn targets(threads: usize, pool_size: usize) -> Vec<Box<dyn WorkloadTarget>> {
+    vec![
+        Box::new(
+            OneShotPool::new(
+                "simple_oneshot",
+                "packed",
+                threads,
+                pool_size,
+                Box::new(move || SimpleOneShot::<PackedBackend>::with_backend(threads)),
+            )
+            .with_scan(Box::new(|o| {
+                std::hint::black_box(o.observed_sum());
+            })),
+        ),
+        Box::new(
+            OneShotPool::new(
+                "simple_oneshot",
+                "epoch",
+                threads,
+                pool_size,
+                Box::new(move || SimpleOneShot::<EpochBackend>::with_backend(threads)),
+            )
+            .with_scan(Box::new(|o| {
+                std::hint::black_box(o.observed_sum());
+            })),
+        ),
+        Box::new(OneShotPool::new(
+            "bounded_oneshot",
+            "epoch",
+            threads,
+            pool_size,
+            Box::new(move || BoundedTimestamp::one_shot(threads)),
+        )),
+        Box::new(CollectMax::<PackedBackend>::with_backend(threads)),
+        Box::new(CollectMax::<EpochBackend>::with_backend(threads)),
+        Box::new(GrowableWorkload::new()),
+        Box::new(FcfsLock::<PackedBackend>::with_backend(threads)),
+        Box::new(FcfsLock::<EpochBackend>::with_backend(threads)),
+        Box::new(KExclusion::<PackedBackend>::with_backend(
+            threads,
+            threads / 2 + 1,
+        )),
+        Box::new(KExclusion::<EpochBackend>::with_backend(
+            threads,
+            threads / 2 + 1,
+        )),
+    ]
+}
+
+fn main() {
+    let cfg = parse_args();
+    // Per-cell budgets; smoke cuts ~20x for CI.
+    let ops_per_thread: u64 = if cfg.smoke { 200 } else { 4_000 };
+    let open_rate_hz: u64 = if cfg.smoke { 20_000 } else { 40_000 };
+    let ops_per_life: u64 = if cfg.smoke { 50 } else { 500 };
+    let pool_size: usize = if cfg.smoke { 64 } else { 512 };
+    let scenarios: Vec<Scenario> = catalog(open_rate_hz, ops_per_life);
+
+    let mut rows: Vec<WorkloadRow> = Vec::new();
+    for &threads in &thread_ladder(cfg.max_threads) {
+        let run_cfg = RunConfig {
+            threads,
+            ops_per_thread,
+            seed: 0x5EED,
+        };
+        for scenario in &scenarios {
+            // Fresh targets per scenario so cells don't contaminate each
+            // other (register contents, pool generations, vpids).
+            for target in targets(threads, pool_size) {
+                let report = run_scenario(target.as_ref(), scenario, &run_cfg);
+                let row = WorkloadRow::from_report(&report);
+                if ts_bench::json_mode() {
+                    println!("{}", serde_json::to_string(&row).expect("rows serialize"));
+                }
+                rows.push(row);
+            }
+            // Keep epoch garbage from one cell out of the next cell's
+            // latency tail.
+            ts_register::reclaim::flush();
+        }
+    }
+
+    if !ts_bench::json_mode() {
+        let mut table = Table::new(
+            "bench_workloads — scenario grid: throughput + latency percentiles",
+            &[
+                "object", "backend", "scenario", "threads", "ops", "ops/sec", "p50 ns", "p99 ns",
+                "p999 ns", "max ns",
+            ],
+        );
+        for r in &rows {
+            table.push_row(vec![
+                r.object.clone(),
+                r.backend.clone(),
+                r.scenario.clone(),
+                r.threads.to_string(),
+                r.ops.to_string(),
+                format!("{:.0}", r.throughput_ops_per_sec),
+                r.p50_ns.to_string(),
+                r.p99_ns.to_string(),
+                r.p999_ns.to_string(),
+                r.max_ns.to_string(),
+            ]);
+        }
+        table.emit();
+    }
+    ts_bench::note(
+        "expectations: packed beats epoch on closed-loop getTS; open-loop sojourn\n\
+         p99 tracks burst size; churn cells match closed_getts within noise (the\n\
+         orphan handoff is off the hot path).",
+    );
+
+    if let Some(path) = &cfg.out {
+        let file = WorkloadsFile {
+            schema: "ts-bench/bench_workloads/v1".to_string(),
+            host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            smoke: cfg.smoke,
+            results: rows,
+        };
+        let json = serde_json::to_string(&file).expect("results serialize");
+        std::fs::write(path, json + "\n").expect("write results file");
+        ts_bench::note(format!("workload grid written to {path}"));
+    }
+}

@@ -15,13 +15,15 @@
 //! | `table_growable` | E7 | Section 7 extension |
 //! | `table_ablation` | E9 | overwrite-policy ablation |
 //! | `bench_contention` | substrate scaling | epoch vs packed backends, 1..=N threads; writes `BENCH_baseline.json` |
+//! | `bench_workloads` | scenario grid | `ts-workloads` engine: object × backend × scenario × threads with latency percentiles; writes `BENCH_workloads.json` |
 //!
 //! The `benches/` directory holds the criterion benches (E8): `getTS`
 //! latency, scan cost, thread contention and the ablation timing.
 //!
 //! Output contract: every table binary prints markdown normally and
-//! *only* JSON lines (one per table, prose suppressed) when
-//! `TS_BENCH_JSON` is set — see [`Table::emit`] and [`note`].
+//! *only* JSON lines (prose suppressed) when `TS_BENCH_JSON` is set —
+//! one object per table for the table binaries ([`Table::emit`]), one
+//! object per result row for `bench_workloads`; see [`note`].
 
 #![warn(missing_docs)]
 

@@ -90,6 +90,21 @@ impl<B: RegisterBackend<u64>> CollectMax<B> {
     pub fn calls(&self) -> u64 {
         self.calls.load(Ordering::Relaxed)
     }
+
+    /// Read-only collect: the maximum value currently in any register,
+    /// as a timestamp, without writing anything.
+    ///
+    /// This is the observation half of `getTS` (the workload engine's
+    /// *scan* operation); the returned timestamp is a lower bound on
+    /// every timestamp a later `get_ts` call can return.
+    pub fn read_max(&self) -> Timestamp {
+        let mut max = 0u64;
+        for i in 0..self.registers.len() {
+            self.meter.record_read(i);
+            max = max.max(ts_register::Register::read(&self.registers[i]));
+        }
+        Timestamp::scalar(max)
+    }
 }
 
 impl<B: RegisterBackend<u64>> LongLivedTimestamp for CollectMax<B> {

@@ -68,6 +68,18 @@ impl SegmentedRegisters {
         &seg[offset]
     }
 
+    /// Observation-only access: an unallocated segment reads as `⊥`
+    /// without being materialized, and the touched high-water mark is
+    /// left alone (observers must not inflate the space metric the
+    /// algorithm is measured by).
+    fn peek(&self, index: usize) -> Option<&StampedRegister<Slot>> {
+        let (segment, offset) = Self::locate(index);
+        if segment >= SEGMENTS {
+            return None;
+        }
+        self.segments[segment].get().map(|seg| &seg[offset])
+    }
+
     fn high_water(&self) -> usize {
         self.touched.load(Ordering::Relaxed) as usize
     }
@@ -113,6 +125,25 @@ impl GrowableTimestamp {
     /// object's space consumption.
     pub fn registers_touched(&self) -> usize {
         self.regs.high_water()
+    }
+
+    /// Read-only probe of the current round: walks `R[1], R[2], ...`
+    /// until the first `⊥` register and returns how many non-`⊥`
+    /// registers it saw (lines 1–4 of Algorithm 4 without the rest of
+    /// the call). Used as the workload engine's *scan* operation.
+    ///
+    /// Genuinely read-only: it neither materializes lazily-allocated
+    /// segments nor bumps [`registers_touched`](Self::registers_touched)
+    /// (an unallocated register is by definition `⊥`), so scan-heavy
+    /// workloads cannot distort the object's space accounting.
+    pub fn probe_round(&self) -> usize {
+        let mut j = 1usize;
+        loop {
+            match self.regs.peek(j - 1) {
+                Some(reg) if !reg.read().is_bot() => j += 1,
+                _ => return j - 1,
+            }
+        }
     }
 
     /// Reads `R[j]` (paper's 1-based indexing).
@@ -264,6 +295,24 @@ mod tests {
             "registers touched {touched} exceeds O(√M) cap {cap}"
         );
         assert!(touched >= 20, "suspiciously few registers: {touched}");
+    }
+
+    #[test]
+    fn probe_round_is_observation_only() {
+        let ts = GrowableTimestamp::new();
+        assert_eq!(ts.probe_round(), 0, "fresh object has no open round");
+        assert_eq!(ts.registers_touched(), 0, "probe must not allocate");
+        for k in 0..50u32 {
+            ts.get_ts_with_id(GetTsId::new(0, k));
+        }
+        let touched = ts.registers_touched();
+        let round = ts.probe_round();
+        assert!(round >= 1 && round <= touched, "round {round} of {touched}");
+        assert_eq!(
+            ts.registers_touched(),
+            touched,
+            "probe inflated the space metric"
+        );
     }
 
     #[test]

@@ -49,6 +49,7 @@ mod recorder;
 mod simple;
 mod timestamp;
 mod traits;
+pub mod workload;
 
 pub use bounded::{BoundedTimestamp, OverwritePolicy, PhaseStats};
 pub use broken::{BrokenConstant, BrokenStaleRead};
@@ -60,6 +61,9 @@ pub use recorder::{HistoryRecorder, RecordedCall, RecordedViolation};
 pub use simple::{EpochSimpleOneShot, SimpleOneShot};
 pub use timestamp::Timestamp;
 pub use traits::{LongLivedTimestamp, OneShotTimestamp};
+pub use workload::{
+    GrowableWorkload, OneShotPool, OpHistory, WorkloadOp, WorkloadTarget, WorkloadWorker,
+};
 
 // Re-exported so downstream constructors can name backends without a
 // direct `ts-register` dependency.

@@ -87,6 +87,16 @@ impl<B: RegisterBackend<u64>> SimpleOneShot<B> {
         &self.meter
     }
 
+    /// Read-only walk over all registers, returning the sum of observed
+    /// values — the observation half of `get_ts`, without the increment.
+    ///
+    /// Any timestamp issued before this call started has value at most
+    /// `observed_sum() + ⌈n/2⌉` (each register adds at most 2). Used as
+    /// the workload engine's *scan* operation.
+    pub fn observed_sum(&self) -> u64 {
+        (0..self.registers.len()).map(|i| self.read(i)).sum()
+    }
+
     fn read(&self, i: usize) -> u64 {
         self.meter.record_read(i);
         ts_register::Register::read(&self.registers[i])

@@ -1,0 +1,633 @@
+//! Uniform driving interface for the workload scenario engine.
+//!
+//! The `ts-workloads` crate drives timestamp objects (and their
+//! consumers in `ts-apps`) under configurable traffic shapes — closed
+//! and open loops, skewed op mixes, thread churn. To do that it needs
+//! every object behind one interface, even though their native APIs
+//! differ (one-shot vs long-lived, `pid` vs `GetTsId`, locks vs
+//! timestamp sources). [`WorkloadTarget`] is that adapter seam:
+//!
+//! - a *target* is a shared, thread-safe object that can mint
+//!   per-thread *workers*;
+//! - a [`WorkloadWorker`] executes one operation at a time — the
+//!   engine's unit of latency measurement — keeping whatever per-thread
+//!   state the object needs (previous timestamps, pool cursors, call
+//!   counters);
+//! - operations come in three kinds ([`WorkloadOp`]): `GetTs` (the
+//!   mutating call), `Scan` (a read-only observation pass) and
+//!   `Compare` (the local, shared-memory-free comparison). A worker
+//!   that cannot honor a kind substitutes `GetTs` and reports what it
+//!   actually did, so op accounting stays truthful.
+//!
+//! This module provides targets for the `ts-core` objects:
+//! [`CollectMax`] and [`GrowableWorkload`] (long-lived), and
+//! [`OneShotPool`] (any [`OneShotTimestamp`] made long-runnable by
+//! cycling pools of fresh objects). The `ts-apps` crate adds targets
+//! for its lock consumers.
+//!
+//! Workers double as cheap invariant checkers: where two operations by
+//! the same worker are guaranteed ordered (long-lived objects, same
+//! process, non-overlapping calls — the timestamp property itself),
+//! the worker asserts it, so every workload run is also a correctness
+//! probe.
+
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ts_register::RegisterBackend;
+
+use crate::collectmax::CollectMax;
+use crate::error::GetTsError;
+use crate::growable::GrowableTimestamp;
+use crate::ids::GetTsId;
+use crate::timestamp::Timestamp;
+use crate::traits::{LongLivedTimestamp, OneShotTimestamp};
+
+/// One kind of operation a workload worker can perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadOp {
+    /// The mutating timestamp acquisition (for locks: one
+    /// acquire/release cycle, whose doorway takes the timestamp).
+    GetTs,
+    /// A read-only observation pass over the object's registers.
+    Scan,
+    /// The local comparison of two previously obtained timestamps.
+    Compare,
+}
+
+impl WorkloadOp {
+    /// All operation kinds, in the canonical mix-weight order.
+    pub const ALL: [WorkloadOp; 3] = [WorkloadOp::GetTs, WorkloadOp::Scan, WorkloadOp::Compare];
+
+    /// Canonical index into mix-weight arrays.
+    pub fn index(self) -> usize {
+        match self {
+            WorkloadOp::GetTs => 0,
+            WorkloadOp::Scan => 1,
+            WorkloadOp::Compare => 2,
+        }
+    }
+}
+
+/// Two-deep history of values produced by a worker's operations — the
+/// operands for [`WorkloadOp::Compare`].
+///
+/// Every worker keeps one: `Compare` needs the last two results, and
+/// until both exist the convention (shared by all adapters) is to
+/// substitute a `GetTs` op and report what actually ran.
+#[derive(Debug, Clone, Copy)]
+pub struct OpHistory<T> {
+    prev2: Option<T>,
+    prev: Option<T>,
+}
+
+impl<T: Copy> OpHistory<T> {
+    /// Empty history.
+    pub fn new() -> Self {
+        Self {
+            prev2: None,
+            prev: None,
+        }
+    }
+
+    /// Records the newest value, shifting the previous one down.
+    pub fn push(&mut self, value: T) {
+        self.prev2 = self.prev;
+        self.prev = Some(value);
+    }
+
+    /// The most recent value, if any.
+    pub fn last(&self) -> Option<T> {
+        self.prev
+    }
+
+    /// The `Compare` operands `(older, newer)` once two values exist;
+    /// `None` means the worker must substitute `GetTs`.
+    pub fn pair(&self) -> Option<(T, T)> {
+        self.prev2.zip(self.prev)
+    }
+}
+
+impl<T: Copy> Default for OpHistory<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-thread execution handle minted by a [`WorkloadTarget`].
+///
+/// Workers are created on the thread that drives them and are not
+/// required to be `Send`; all cross-thread sharing lives in the target.
+pub trait WorkloadWorker {
+    /// Performs one operation, returning the kind actually executed
+    /// (a worker substitutes [`WorkloadOp::GetTs`] for kinds it cannot
+    /// honor yet, e.g. `Compare` before two timestamps exist).
+    fn step(&mut self, op: WorkloadOp) -> WorkloadOp;
+}
+
+/// An object the workload engine can drive: shared across threads,
+/// minting one [`WorkloadWorker`] per driving thread (or per churn
+/// life — a worker may be created and dropped many times per slot).
+pub trait WorkloadTarget: Send + Sync {
+    /// Object label for reports ("collect_max", "fcfs_lock", ...).
+    fn object(&self) -> &'static str;
+
+    /// Register-backend label for reports ("packed", "epoch").
+    fn backend(&self) -> &'static str;
+
+    /// Number of distinct worker slots the target supports
+    /// (`usize::MAX` when unbounded). The engine drives slots
+    /// `0..threads` and requires `threads <= slots()`.
+    fn slots(&self) -> usize;
+
+    /// Mints the worker for `slot`. At most one live worker per slot at
+    /// a time (the engine guarantees this, including across churn
+    /// lives).
+    fn worker<'a>(&'a self, slot: usize) -> Box<dyn WorkloadWorker + 'a>;
+}
+
+// ---------------------------------------------------------------------
+// CollectMax: the long-lived baseline, driven directly.
+// ---------------------------------------------------------------------
+
+struct CollectMaxWorker<'a, B: RegisterBackend<u64>> {
+    obj: &'a CollectMax<B>,
+    slot: usize,
+    history: OpHistory<Timestamp>,
+}
+
+impl<B: RegisterBackend<u64>> WorkloadWorker for CollectMaxWorker<'_, B> {
+    fn step(&mut self, op: WorkloadOp) -> WorkloadOp {
+        match op {
+            WorkloadOp::GetTs => {
+                let t = self.obj.get_ts(self.slot).expect("slot < processes");
+                if let Some(p) = self.history.last() {
+                    // Non-overlapping calls by one process: the
+                    // timestamp property must order them.
+                    assert!(
+                        Timestamp::compare(&p, &t),
+                        "collect_max violated the timestamp property: {p} !< {t}"
+                    );
+                }
+                self.history.push(t);
+                WorkloadOp::GetTs
+            }
+            WorkloadOp::Scan => {
+                black_box(self.obj.read_max());
+                WorkloadOp::Scan
+            }
+            WorkloadOp::Compare => match self.history.pair() {
+                Some((a, b)) => {
+                    assert!(
+                        black_box(Timestamp::compare(&a, &b)),
+                        "collect_max history out of order: {a} !< {b}"
+                    );
+                    WorkloadOp::Compare
+                }
+                None => self.step(WorkloadOp::GetTs),
+            },
+        }
+    }
+}
+
+impl<B: RegisterBackend<u64>> WorkloadTarget for CollectMax<B> {
+    fn object(&self) -> &'static str {
+        "collect_max"
+    }
+
+    fn backend(&self) -> &'static str {
+        B::NAME
+    }
+
+    fn slots(&self) -> usize {
+        LongLivedTimestamp::processes(self)
+    }
+
+    fn worker<'a>(&'a self, slot: usize) -> Box<dyn WorkloadWorker + 'a> {
+        assert!(slot < self.slots(), "slot {slot} out of range");
+        Box::new(CollectMaxWorker {
+            obj: self,
+            slot,
+            history: OpHistory::new(),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// GrowableTimestamp: unbounded long-lived object; workers draw unique
+// virtual process ids so churn replacements never reuse a GetTsId.
+// ---------------------------------------------------------------------
+
+/// [`GrowableTimestamp`] wrapped for the workload engine: hands every
+/// worker (including churn replacements) a fresh virtual process id so
+/// `GetTsId`s stay globally unique across worker lives.
+#[derive(Debug, Default)]
+pub struct GrowableWorkload {
+    inner: GrowableTimestamp,
+    next_vpid: AtomicU32,
+}
+
+impl GrowableWorkload {
+    /// Creates an empty growable object ready for driving.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The wrapped object (for post-run space assertions).
+    pub fn inner(&self) -> &GrowableTimestamp {
+        &self.inner
+    }
+}
+
+struct GrowableWorker<'a> {
+    obj: &'a GrowableTimestamp,
+    vpid: u32,
+    turn: u32,
+    history: OpHistory<Timestamp>,
+}
+
+impl WorkloadWorker for GrowableWorker<'_> {
+    fn step(&mut self, op: WorkloadOp) -> WorkloadOp {
+        match op {
+            WorkloadOp::GetTs => {
+                let t = self.obj.get_ts_with_id(GetTsId::new(self.vpid, self.turn));
+                self.turn += 1;
+                if let Some(p) = self.history.last() {
+                    assert!(
+                        Timestamp::compare(&p, &t),
+                        "growable violated the timestamp property: {p} !< {t}"
+                    );
+                }
+                self.history.push(t);
+                WorkloadOp::GetTs
+            }
+            WorkloadOp::Scan => {
+                black_box(self.obj.probe_round());
+                WorkloadOp::Scan
+            }
+            WorkloadOp::Compare => match self.history.pair() {
+                Some((a, b)) => {
+                    assert!(
+                        black_box(Timestamp::compare(&a, &b)),
+                        "growable history out of order: {a} !< {b}"
+                    );
+                    WorkloadOp::Compare
+                }
+                None => self.step(WorkloadOp::GetTs),
+            },
+        }
+    }
+}
+
+impl WorkloadTarget for GrowableWorkload {
+    fn object(&self) -> &'static str {
+        "growable"
+    }
+
+    fn backend(&self) -> &'static str {
+        // The growable object's segmented registers are epoch-reclaimed
+        // `StampedRegister`s; there is no packed variant (its slots are
+        // unbounded sequences).
+        "epoch"
+    }
+
+    fn slots(&self) -> usize {
+        usize::MAX
+    }
+
+    fn worker<'a>(&'a self, _slot: usize) -> Box<dyn WorkloadWorker + 'a> {
+        let vpid = self.next_vpid.fetch_add(1, Ordering::Relaxed);
+        Box::new(GrowableWorker {
+            obj: &self.inner,
+            vpid,
+            turn: 0,
+            history: OpHistory::new(),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// One-shot objects: made long-runnable by cycling pools of fresh
+// objects (each object serves each slot exactly once).
+// ---------------------------------------------------------------------
+
+/// Object factory for [`OneShotPool`].
+pub type OneShotFactory<T> = Box<dyn Fn() -> T + Send + Sync>;
+
+/// Optional read-only scan hook for [`OneShotPool`] (e.g.
+/// [`SimpleOneShot::observed_sum`](crate::SimpleOneShot::observed_sum)).
+pub type OneShotScan<T> = Box<dyn Fn(&T) + Send + Sync>;
+
+struct PoolState<T> {
+    generation: u64,
+    objects: Arc<Vec<T>>,
+    /// Per-slot progress through `objects`. Shared so a churn
+    /// replacement resumes exactly where its predecessor (same slot)
+    /// stopped instead of re-walking consumed objects. Only the slot's
+    /// single live worker writes its entry (engine guarantee), so plain
+    /// relaxed loads/stores suffice.
+    cursors: Arc<Vec<AtomicUsize>>,
+}
+
+/// Drives any [`OneShotTimestamp`] continuously by cycling through a
+/// pool of fresh objects: each worker takes its single timestamp from
+/// each pooled object in order, and whichever worker exhausts the pool
+/// first swaps in a new generation (laggards finish their old pool —
+/// the `Arc` keeps it alive). Per-slot cursors live in the shared pool
+/// state, so a churn replacement worker resumes where its predecessor
+/// stopped instead of paying a re-walk over consumed objects.
+///
+/// Timestamps from *different* objects are incomparable, so unlike the
+/// long-lived targets this one measures cost only; the one-shot
+/// ordering guarantees are covered by the model checker and the
+/// `ts-bench` happens-before harness instead.
+pub struct OneShotPool<T> {
+    object: &'static str,
+    backend: &'static str,
+    slots: usize,
+    pool_size: usize,
+    make: OneShotFactory<T>,
+    scan: Option<OneShotScan<T>>,
+    state: Mutex<PoolState<T>>,
+}
+
+impl<T: OneShotTimestamp> OneShotPool<T> {
+    /// Creates a pool target serving `slots` worker slots with
+    /// `pool_size` objects per generation; `make` must mint objects
+    /// accepting pids `0..slots`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots == 0` or `pool_size == 0`.
+    pub fn new(
+        object: &'static str,
+        backend: &'static str,
+        slots: usize,
+        pool_size: usize,
+        make: OneShotFactory<T>,
+    ) -> Self {
+        assert!(slots > 0, "need at least one slot");
+        assert!(pool_size > 0, "need at least one pooled object");
+        let objects = Arc::new((0..pool_size).map(|_| make()).collect::<Vec<_>>());
+        let cursors = Arc::new((0..slots).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>());
+        Self {
+            object,
+            backend,
+            slots,
+            pool_size,
+            make,
+            scan: None,
+            state: Mutex::new(PoolState {
+                generation: 0,
+                objects,
+                cursors,
+            }),
+        }
+    }
+
+    /// Installs a read-only scan hook; without one, `Scan` ops fall
+    /// back to `GetTs`.
+    pub fn with_scan(mut self, scan: OneShotScan<T>) -> Self {
+        self.scan = Some(scan);
+        self
+    }
+
+    fn refresh(&self, seen_generation: u64) -> PoolView<T> {
+        let mut state = self.state.lock().expect("pool lock");
+        if state.generation == seen_generation {
+            state.objects = Arc::new((0..self.pool_size).map(|_| (self.make)()).collect());
+            state.cursors = Arc::new((0..self.slots).map(|_| AtomicUsize::new(0)).collect());
+            state.generation += 1;
+        }
+        PoolView {
+            generation: state.generation,
+            objects: Arc::clone(&state.objects),
+            cursors: Arc::clone(&state.cursors),
+        }
+    }
+
+    fn current(&self) -> PoolView<T> {
+        let state = self.state.lock().expect("pool lock");
+        PoolView {
+            generation: state.generation,
+            objects: Arc::clone(&state.objects),
+            cursors: Arc::clone(&state.cursors),
+        }
+    }
+}
+
+/// A worker's snapshot of one pool generation.
+struct PoolView<T> {
+    generation: u64,
+    objects: Arc<Vec<T>>,
+    cursors: Arc<Vec<AtomicUsize>>,
+}
+
+impl<T: OneShotTimestamp> std::fmt::Debug for OneShotPool<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OneShotPool")
+            .field("object", &self.object)
+            .field("slots", &self.slots)
+            .field("pool_size", &self.pool_size)
+            .finish()
+    }
+}
+
+struct PoolWorker<'a, T> {
+    pool: &'a OneShotPool<T>,
+    slot: usize,
+    view: PoolView<T>,
+    history: OpHistory<Timestamp>,
+}
+
+impl<T: OneShotTimestamp> PoolWorker<'_, T> {
+    /// This slot's progress through the current generation (shared with
+    /// churn successors; only this worker writes it while alive).
+    fn cursor(&self) -> usize {
+        self.view.cursors[self.slot].load(Ordering::Relaxed)
+    }
+
+    fn get_ts(&mut self) -> Timestamp {
+        loop {
+            let cursor = self.cursor();
+            if cursor >= self.view.objects.len() {
+                self.view = self.pool.refresh(self.view.generation);
+                continue;
+            }
+            self.view.cursors[self.slot].store(cursor + 1, Ordering::Relaxed);
+            match self.view.objects[cursor].get_ts(self.slot) {
+                Ok(t) => return t,
+                // Unreachable while the shared cursor is advanced only
+                // by this slot's worker; kept as a safety net so a
+                // bookkeeping bug degrades to a skip, not a panic.
+                Err(GetTsError::AlreadyUsed { .. }) => continue,
+                Err(e) => panic!("one-shot pool get_ts failed: {e}"),
+            }
+        }
+    }
+}
+
+impl<T: OneShotTimestamp> WorkloadWorker for PoolWorker<'_, T> {
+    fn step(&mut self, op: WorkloadOp) -> WorkloadOp {
+        match op {
+            WorkloadOp::GetTs => {
+                let t = self.get_ts();
+                self.history.push(t);
+                WorkloadOp::GetTs
+            }
+            WorkloadOp::Scan => match &self.pool.scan {
+                Some(scan) => {
+                    let idx = self.cursor().min(self.view.objects.len() - 1);
+                    scan(&self.view.objects[idx]);
+                    WorkloadOp::Scan
+                }
+                None => self.step(WorkloadOp::GetTs),
+            },
+            WorkloadOp::Compare => match self.history.pair() {
+                Some((a, b)) => {
+                    // Timestamps come from different pooled objects, so
+                    // only the comparison's cost is measured; its result
+                    // carries no cross-object meaning.
+                    black_box(Timestamp::compare(&a, &b));
+                    WorkloadOp::Compare
+                }
+                None => self.step(WorkloadOp::GetTs),
+            },
+        }
+    }
+}
+
+impl<T: OneShotTimestamp> WorkloadTarget for OneShotPool<T> {
+    fn object(&self) -> &'static str {
+        self.object
+    }
+
+    fn backend(&self) -> &'static str {
+        self.backend
+    }
+
+    fn slots(&self) -> usize {
+        self.slots
+    }
+
+    fn worker<'a>(&'a self, slot: usize) -> Box<dyn WorkloadWorker + 'a> {
+        assert!(slot < self.slots, "slot {slot} out of range");
+        Box::new(PoolWorker {
+            pool: self,
+            slot,
+            view: self.current(),
+            history: OpHistory::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PackedBackend, SimpleOneShot};
+
+    #[test]
+    fn collect_max_worker_runs_every_op_kind() {
+        let obj = CollectMax::new(2);
+        let mut w = obj.worker(0);
+        assert_eq!(w.step(WorkloadOp::GetTs), WorkloadOp::GetTs);
+        assert_eq!(w.step(WorkloadOp::Scan), WorkloadOp::Scan);
+        // First compare lacks two timestamps and substitutes GetTs.
+        assert_eq!(w.step(WorkloadOp::Compare), WorkloadOp::GetTs);
+        assert_eq!(w.step(WorkloadOp::Compare), WorkloadOp::Compare);
+        assert_eq!(obj.calls(), 2);
+    }
+
+    #[test]
+    fn growable_workers_get_unique_vpids_across_lives() {
+        let target = GrowableWorkload::new();
+        for _life in 0..3 {
+            let mut w = target.worker(0); // same slot, new life
+            for _ in 0..5 {
+                w.step(WorkloadOp::GetTs);
+            }
+        }
+        assert_eq!(target.inner().calls(), 15);
+        assert_eq!(target.next_vpid.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn one_shot_pool_cycles_generations() {
+        let slots = 2;
+        let pool = OneShotPool::new(
+            "simple_oneshot",
+            "packed",
+            slots,
+            4,
+            Box::new(move || SimpleOneShot::<PackedBackend>::with_backend(slots)),
+        );
+        let mut w = pool.worker(0);
+        // 10 ops > pool_size forces at least one generation swap.
+        for _ in 0..10 {
+            assert_eq!(w.step(WorkloadOp::GetTs), WorkloadOp::GetTs);
+        }
+        assert!(
+            pool.current().generation >= 2,
+            "pool generation never advanced"
+        );
+    }
+
+    #[test]
+    fn one_shot_pool_replacement_worker_resumes_at_the_shared_cursor() {
+        let slots = 1;
+        let pool = OneShotPool::new(
+            "simple_oneshot",
+            "packed",
+            slots,
+            8,
+            Box::new(move || SimpleOneShot::<PackedBackend>::with_backend(slots)),
+        );
+        {
+            let mut w = pool.worker(0);
+            for _ in 0..3 {
+                w.step(WorkloadOp::GetTs);
+            }
+        }
+        // Replacement on the same slot resumes at object 3 — exactly 5
+        // objects remain, consumed without triggering a refresh.
+        assert_eq!(pool.current().cursors[0].load(Ordering::Relaxed), 3);
+        let mut w = pool.worker(0);
+        for _ in 0..5 {
+            assert_eq!(w.step(WorkloadOp::GetTs), WorkloadOp::GetTs);
+        }
+        assert_eq!(
+            pool.current().generation,
+            0,
+            "no refresh needed within one pool"
+        );
+        assert_eq!(pool.current().cursors[0].load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn scan_without_hook_substitutes_getts() {
+        let slots = 1;
+        let pool = OneShotPool::new(
+            "simple_oneshot",
+            "packed",
+            slots,
+            2,
+            Box::new(move || SimpleOneShot::<PackedBackend>::with_backend(slots)),
+        );
+        let mut w = pool.worker(0);
+        assert_eq!(w.step(WorkloadOp::Scan), WorkloadOp::GetTs);
+        drop(w);
+        let with_hook = OneShotPool::new(
+            "simple_oneshot",
+            "packed",
+            slots,
+            2,
+            Box::new(move || SimpleOneShot::<PackedBackend>::with_backend(slots)),
+        )
+        .with_scan(Box::new(|obj| {
+            std::hint::black_box(obj.observed_sum());
+        }));
+        let mut w = with_hook.worker(0);
+        assert_eq!(w.step(WorkloadOp::Scan), WorkloadOp::Scan);
+    }
+}

@@ -67,6 +67,10 @@ pub trait BackendRegister<T>: Register<T> {
 pub trait RegisterBackend<T>: Send + Sync + 'static {
     /// The concrete register type this backend materializes.
     type Reg: BackendRegister<T> + Send + Sync;
+
+    /// Short lower-case name for benchmark/report labels ("epoch",
+    /// "packed"). Third-party backends get a generic default.
+    const NAME: &'static str = "custom";
 }
 
 /// Backend marker: heap-cell registers with epoch-based reclamation
@@ -81,10 +85,14 @@ pub struct PackedBackend;
 
 impl<T: Clone + Send + Sync + 'static> RegisterBackend<T> for EpochBackend {
     type Reg = StampedRegister<T>;
+
+    const NAME: &'static str = "epoch";
 }
 
 impl<T: Packable> RegisterBackend<T> for PackedBackend {
     type Reg = PackedRegister<T>;
+
+    const NAME: &'static str = "packed";
 }
 
 impl<T: Clone + Send + Sync> BackendRegister<T> for StampedRegister<T> {

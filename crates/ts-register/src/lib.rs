@@ -50,6 +50,7 @@ mod backend;
 mod error;
 mod meter;
 mod packed;
+pub mod reclaim;
 mod stamped;
 mod swap;
 mod traits;

@@ -1,0 +1,288 @@
+//! The scenario engine: drives a [`WorkloadTarget`] under a
+//! [`Scenario`] with `N` worker threads and reports throughput plus a
+//! merged latency histogram.
+//!
+//! Latency semantics per arrival mode:
+//!
+//! - **closed loop** — each sample is the service time of one
+//!   `WorkloadWorker::step` call;
+//! - **open loop** — each op has a *scheduled* arrival instant derived
+//!   from the aggregate rate (bursts arrive together); the sample is
+//!   `completion − scheduled`, so time spent queued behind a slow op
+//!   counts against every op that waited. This avoids coordinated
+//!   omission: a closed loop silently stops submitting while stalled,
+//!   an open loop keeps the clock running.
+//!
+//! Churn scenarios run each worker life on its own short-lived OS
+//! thread (same slot, fresh [`WorkloadWorker`]); when a life's thread
+//! exits, its epoch-backend garbage is orphaned, and the supervising
+//! slot thread immediately calls [`ts_register::reclaim::flush`] to
+//! adopt and reclaim it — the churn hook that keeps garbage from
+//! accumulating across generations.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ts_core::workload::{WorkloadOp, WorkloadTarget};
+
+use crate::histogram::LatencyHistogram;
+use crate::scenario::{Arrival, Scenario};
+
+/// Per-run knobs that are not part of the traffic shape.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Concurrent worker slots (must not exceed the target's
+    /// [`slots`](WorkloadTarget::slots)).
+    pub threads: usize,
+    /// Ops each slot performs over the whole run (summed across churn
+    /// lives).
+    pub ops_per_thread: u64,
+    /// Base seed; every (slot, life) derives its own op-mix stream.
+    pub seed: u64,
+}
+
+/// Executed operations by kind (what workers actually ran, after any
+/// fallback substitution).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// `GetTs` ops (including substitutions for unsupported kinds).
+    pub get_ts: u64,
+    /// `Scan` ops.
+    pub scan: u64,
+    /// `Compare` ops.
+    pub compare: u64,
+}
+
+impl OpCounts {
+    /// Total executed ops.
+    pub fn total(&self) -> u64 {
+        self.get_ts + self.scan + self.compare
+    }
+
+    fn add(&mut self, op: WorkloadOp) {
+        match op {
+            WorkloadOp::GetTs => self.get_ts += 1,
+            WorkloadOp::Scan => self.scan += 1,
+            WorkloadOp::Compare => self.compare += 1,
+        }
+    }
+
+    fn merge(&mut self, other: &OpCounts) {
+        self.get_ts += other.get_ts;
+        self.scan += other.scan;
+        self.compare += other.compare;
+    }
+}
+
+/// Everything measured about one (target × scenario × threads) cell.
+#[derive(Debug)]
+pub struct ScenarioReport {
+    /// Object label from the target.
+    pub object: &'static str,
+    /// Backend label from the target.
+    pub backend: &'static str,
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Worker lives (equals `threads` without churn).
+    pub lives: u64,
+    /// Executed ops by kind.
+    pub counts: OpCounts,
+    /// Wall-clock duration of the whole run.
+    pub elapsed_secs: f64,
+    /// Executed ops per wall-clock second.
+    pub throughput_ops_per_sec: f64,
+    /// Merged per-op latency histogram (see the module docs for what a
+    /// sample means per arrival mode).
+    pub latency: LatencyHistogram,
+}
+
+/// Derives the deterministic RNG seed for one worker life.
+fn life_seed(base: u64, slot: usize, life: u64) -> u64 {
+    base.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(slot as u64)
+        .wrapping_mul(0x0000_0100_0000_01B3)
+        .wrapping_add(life)
+}
+
+/// Sleeps (coarsely) then spins (finely) until `deadline`.
+fn wait_until(deadline: Instant) {
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        let remaining = deadline - now;
+        if remaining > Duration::from_millis(2) {
+            std::thread::sleep(remaining - Duration::from_millis(1));
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// One worker life: `ops` operations as `slot`, starting at global op
+/// index `first_op` (relevant for open-loop arrival schedules, which
+/// continue across churn lives).
+fn run_life(
+    target: &dyn WorkloadTarget,
+    scenario: &Scenario,
+    cfg: &RunConfig,
+    slot: usize,
+    seed: u64,
+    first_op: u64,
+    ops: u64,
+    epoch_start: Instant,
+) -> (LatencyHistogram, OpCounts) {
+    let mut worker = target.worker(slot);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hist = LatencyHistogram::new();
+    let mut counts = OpCounts::default();
+    match scenario.arrival {
+        Arrival::ClosedLoop => {
+            for _ in 0..ops {
+                let op = scenario.mix.sample(&mut rng);
+                let started = Instant::now();
+                let actual = worker.step(op);
+                hist.record(started.elapsed().as_nanos() as u64);
+                counts.add(actual);
+            }
+        }
+        Arrival::OpenLoop { rate_hz, burst } => {
+            // One global arrival stream at the aggregate rate, dealt
+            // round-robin: worker `slot` owns global indices
+            // slot, slot+threads, slot+2·threads, ... so the bursts the
+            // object sees are exactly `burst` arrivals wide (not
+            // burst × threads, as a per-worker schedule with a shared
+            // origin would produce).
+            let period_ns = 1_000_000_000u128 / u128::from(rate_hz.max(1));
+            let burst = u64::from(burst.max(1));
+            for i in 0..ops {
+                let index = slot as u64 + (first_op + i) * cfg.threads as u64;
+                let group = index / burst;
+                let sched_ns = (u128::from(group * burst) * period_ns).min(u128::from(u64::MAX));
+                let scheduled = epoch_start + Duration::from_nanos(sched_ns as u64);
+                wait_until(scheduled);
+                let op = scenario.mix.sample(&mut rng);
+                let actual = worker.step(op);
+                let sojourn = Instant::now().saturating_duration_since(scheduled);
+                hist.record(sojourn.as_nanos() as u64);
+                counts.add(actual);
+            }
+        }
+    }
+    (hist, counts)
+}
+
+/// Runs `scenario` against `target` and returns the merged report.
+///
+/// # Panics
+///
+/// Panics if `cfg.threads == 0`, if the target has fewer slots than
+/// `cfg.threads`, or if any worker thread panics (a worker assertion —
+/// e.g. a timestamp-property violation — is a real failure).
+pub fn run_scenario(
+    target: &dyn WorkloadTarget,
+    scenario: &Scenario,
+    cfg: &RunConfig,
+) -> ScenarioReport {
+    assert!(cfg.threads >= 1, "need at least one worker thread");
+    assert!(
+        target.slots() >= cfg.threads,
+        "target {} has {} slots but {} threads requested",
+        target.object(),
+        target.slots(),
+        cfg.threads
+    );
+    let epoch_start = Instant::now();
+    let per_slot: Vec<(LatencyHistogram, OpCounts, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|slot| {
+                s.spawn(move || {
+                    let mut hist = LatencyHistogram::new();
+                    let mut counts = OpCounts::default();
+                    let mut lives = 0u64;
+                    match scenario.churn {
+                        None => {
+                            let (h, c) = run_life(
+                                target,
+                                scenario,
+                                cfg,
+                                slot,
+                                life_seed(cfg.seed, slot, 0),
+                                0,
+                                cfg.ops_per_thread,
+                                epoch_start,
+                            );
+                            hist.merge(&h);
+                            counts.merge(&c);
+                            lives = 1;
+                        }
+                        Some(churn) => {
+                            let per_life = churn.ops_per_life.max(1);
+                            let mut done = 0u64;
+                            while done < cfg.ops_per_thread {
+                                let ops = per_life.min(cfg.ops_per_thread - done);
+                                let seed = life_seed(cfg.seed, slot, lives);
+                                // A real OS thread per life: its exit is
+                                // what hands epoch garbage to the orphan
+                                // stack.
+                                let (h, c) = std::thread::scope(|life| {
+                                    life.spawn(move || {
+                                        run_life(
+                                            target,
+                                            scenario,
+                                            cfg,
+                                            slot,
+                                            seed,
+                                            done,
+                                            ops,
+                                            epoch_start,
+                                        )
+                                    })
+                                    .join()
+                                    .expect("worker life panicked")
+                                });
+                                hist.merge(&h);
+                                counts.merge(&c);
+                                // Churn hook: adopt + reclaim the exited
+                                // life's orphaned garbage now.
+                                ts_register::reclaim::flush();
+                                done += ops;
+                                lives += 1;
+                            }
+                        }
+                    }
+                    (hist, counts, lives)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker slot panicked"))
+            .collect()
+    });
+    let elapsed_secs = epoch_start.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+    let mut latency = LatencyHistogram::new();
+    let mut counts = OpCounts::default();
+    let mut lives = 0u64;
+    for (h, c, l) in &per_slot {
+        latency.merge(h);
+        counts.merge(c);
+        lives += l;
+    }
+    ScenarioReport {
+        object: target.object(),
+        backend: target.backend(),
+        scenario: scenario.name,
+        threads: cfg.threads,
+        lives,
+        counts,
+        elapsed_secs,
+        throughput_ops_per_sec: counts.total() as f64 / elapsed_secs,
+        latency,
+    }
+}

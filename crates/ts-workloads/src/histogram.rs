@@ -1,0 +1,333 @@
+//! Log-bucketed latency histogram (HDR-style), allocation-free on the
+//! recording path.
+//!
+//! Values (nanoseconds) are binned into buckets whose width grows with
+//! magnitude: each power of two is split into [`SUB_BUCKETS`] linear
+//! sub-buckets, so the relative quantization error is bounded by
+//! `1/SUB_BUCKETS` (6.25%) across the whole `u64` range. The bucket
+//! array is fixed-size and heap-allocated once at construction;
+//! [`LatencyHistogram::record`] is a shift, a mask and an increment —
+//! no allocation, no branching on magnitude beyond the `< 16` fast
+//! path — so per-thread histograms can sit on the workload hot path.
+//!
+//! Per-thread histograms [`merge`](LatencyHistogram::merge) into one
+//! for reporting; percentiles walk the bucket array once.
+
+/// log2 of the number of linear sub-buckets per power of two.
+const SUB_BITS: u32 = 4;
+
+/// Linear sub-buckets per power of two (16 → ≤ 6.25% relative error).
+pub const SUB_BUCKETS: usize = 1 << SUB_BITS;
+
+/// Total bucket count: values `< SUB_BUCKETS` get exact buckets
+/// (group 0); each exponent `SUB_BITS..=63` contributes one group of
+/// `SUB_BUCKETS`.
+pub const NUM_BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB_BUCKETS;
+
+/// Bucket index for a value: exact below [`SUB_BUCKETS`], otherwise
+/// `(exponent, top SUB_BITS mantissa bits)`.
+fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS as u64 {
+        return value as usize;
+    }
+    let exponent = 63 - value.leading_zeros(); // >= SUB_BITS
+    let group = (exponent - SUB_BITS + 1) as usize;
+    let mantissa = ((value >> (exponent - SUB_BITS)) & (SUB_BUCKETS as u64 - 1)) as usize;
+    group * SUB_BUCKETS + mantissa
+}
+
+/// Smallest value mapping to `index` (the bucket's representative in
+/// percentile reports).
+fn bucket_lower_bound(index: usize) -> u64 {
+    let group = index / SUB_BUCKETS;
+    let mantissa = (index % SUB_BUCKETS) as u64;
+    if group == 0 {
+        return mantissa;
+    }
+    let exponent = group as u32 + SUB_BITS - 1;
+    (1u64 << exponent) + (mantissa << (exponent - SUB_BITS))
+}
+
+/// A fixed-size log-bucketed histogram of `u64` samples (nanoseconds).
+///
+/// # Example
+///
+/// ```
+/// use ts_workloads::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::new();
+/// for ns in [100, 200, 300, 40_000] {
+///     h.record(ns);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.max_ns(), 40_000);
+/// assert!(h.percentile(50.0) <= 200);
+/// ```
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    buckets: Box<[u64; NUM_BUCKETS]>,
+    count: u64,
+    total: u64,
+    max: u64,
+    min: u64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram (one 7.6 KiB allocation, the last it
+    /// will ever make).
+    pub fn new() -> Self {
+        Self {
+            buckets: Box::new([0; NUM_BUCKETS]),
+            count: 0,
+            total: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    /// Records one sample. Saturating: the running total clamps at
+    /// `u64::MAX` instead of wrapping, and every representable `u64`
+    /// falls into some bucket (the top bucket covers the last
+    /// `2^59`-wide slice), so this never panics.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.total = self.total.saturating_add(value);
+        if value > self.max {
+            self.max = value;
+        }
+        if value < self.min {
+            self.min = value;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Mean of recorded samples, rounded down (0 when empty; saturated
+    /// if the running total clamped).
+    pub fn mean_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.total / self.count
+        }
+    }
+
+    /// The value at percentile `p` (in `0.0..=100.0`): the lower bound
+    /// of the bucket holding the `⌈p/100 · count⌉`-th smallest sample.
+    ///
+    /// Quantized: the result is at most the true order statistic and
+    /// within `1/16` relative error of it. Returns 0 for an empty
+    /// histogram; `p = 0` means the first sample's bucket.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_lower_bound(index);
+            }
+        }
+        // Unreachable while count == sum(buckets); keep a sane answer.
+        self.max_ns()
+    }
+
+    /// Adds every sample of `other` into `self` (per-thread histograms
+    /// → one report).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total = self.total.saturating_add(other.total);
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("min_ns", &self.min_ns())
+            .field("p50_ns", &self.percentile(50.0))
+            .field("p99_ns", &self.percentile(99.0))
+            .field("max_ns", &self.max_ns())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_below_sixteen() {
+        for v in 0..SUB_BUCKETS as u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower_bound(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_index_and_lower_bound_are_consistent_everywhere() {
+        // lower_bound(index(v)) <= v < lower_bound(index(v) + 1), and
+        // the quantization error is bounded by 1/16.
+        let probes: Vec<u64> = (0..64)
+            .flat_map(|e| {
+                let base = 1u64 << e;
+                [base, base + base / 3, base + base / 2, (base - 1).max(1)]
+            })
+            .chain([0, u64::MAX, u64::MAX - 1])
+            .collect();
+        for v in probes {
+            let idx = bucket_index(v);
+            let lb = bucket_lower_bound(idx);
+            assert!(lb <= v, "lower bound {lb} above value {v}");
+            if idx + 1 < NUM_BUCKETS {
+                assert!(
+                    bucket_lower_bound(idx + 1) > v,
+                    "value {v} not below next bucket"
+                );
+            }
+            let err = (v - lb) as f64 / (v.max(1)) as f64;
+            assert!(err <= 1.0 / SUB_BUCKETS as f64, "error {err} at {v}");
+        }
+    }
+
+    #[test]
+    fn group_boundaries_land_on_powers_of_two() {
+        // The first bucket of each group starts exactly at 2^e.
+        for e in SUB_BITS..64 {
+            let group = (e - SUB_BITS + 1) as usize;
+            assert_eq!(bucket_index(1u64 << e), group * SUB_BUCKETS);
+            assert_eq!(bucket_lower_bound(group * SUB_BUCKETS), 1u64 << e);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max_ns(), 0);
+        assert_eq!(h.min_ns(), 0);
+        assert_eq!(h.mean_ns(), 0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.percentile(99.9), 0);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_percentile() {
+        let mut h = LatencyHistogram::new();
+        h.record(7); // exact bucket below 16
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min_ns(), 7);
+        assert_eq!(h.max_ns(), 7);
+        assert_eq!(h.mean_ns(), 7);
+        for p in [0.0, 50.0, 99.0, 99.9, 100.0] {
+            assert_eq!(h.percentile(p), 7, "p{p}");
+        }
+    }
+
+    #[test]
+    fn percentile_math_on_a_known_distribution() {
+        // 1000 samples: 900 at 10ns, 90 at 1000ns, 10 at 100_000ns.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..900 {
+            h.record(10);
+        }
+        for _ in 0..90 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(100_000);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.percentile(50.0), 10);
+        assert_eq!(h.percentile(90.0), 10); // rank 900 is still a 10
+        let p99 = h.percentile(99.0); // rank 990: a 1000ns sample
+        assert!((960..=1000).contains(&p99), "p99 = {p99}");
+        let p999 = h.percentile(99.9); // rank 999: a 100_000ns sample
+        assert!((98_304..=100_000).contains(&p999), "p999 = {p999}");
+        assert_eq!(h.max_ns(), 100_000);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_into_one() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut all = LatencyHistogram::new();
+        for (i, v) in [3u64, 17, 900, 31_000, 5, 2_000_000].iter().enumerate() {
+            if i % 2 == 0 { &mut a } else { &mut b }.record(*v);
+            all.record(*v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.max_ns(), all.max_ns());
+        assert_eq!(a.min_ns(), all.min_ns());
+        assert_eq!(a.mean_ns(), all.mean_ns());
+        for p in [1.0, 25.0, 50.0, 75.0, 99.0, 99.9] {
+            assert_eq!(a.percentile(p), all.percentile(p), "p{p}");
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = LatencyHistogram::new();
+        a.record(42);
+        let before_p50 = a.percentile(50.0);
+        a.merge(&LatencyHistogram::new());
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.min_ns(), 42);
+        assert_eq!(a.percentile(50.0), before_p50);
+        let mut empty = LatencyHistogram::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.min_ns(), 42);
+    }
+
+    #[test]
+    fn saturating_max_bucket_accepts_u64_max() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(u64::MAX); // total would overflow: must clamp, not wrap
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max_ns(), u64::MAX);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(h.percentile(100.0), bucket_lower_bound(NUM_BUCKETS - 1));
+        assert!(h.mean_ns() >= u64::MAX / 3, "saturated mean collapsed");
+    }
+}

@@ -1,0 +1,59 @@
+//! Churn reclamation stress: thread churn over the epoch backend must
+//! not accumulate deferred garbage across worker generations.
+//!
+//! Every `CollectMax<EpochBackend>` write retires the register's old
+//! heap cell through the epoch scheme; a worker life that exits mid-run
+//! orphans whatever its thread had not yet reclaimed. The engine's
+//! churn hook (`ts_register::reclaim::flush` after each life) adopts
+//! those orphans, so outstanding garbage must stay bounded no matter
+//! how many generations run — measured here with the epoch backend's
+//! deferred-cell gauge rather than RSS (same signal, deterministic).
+
+use ts_core::{CollectMax, EpochBackend};
+use ts_workloads::{run_scenario, Arrival, Churn, OpMix, RunConfig, Scenario};
+
+#[test]
+fn churn_generations_do_not_grow_deferred_garbage_monotonically() {
+    let scenario = Scenario {
+        name: "churn",
+        arrival: Arrival::ClosedLoop,
+        mix: OpMix::get_ts_only(),
+        churn: Some(Churn { ops_per_life: 100 }),
+    };
+    let cfg = RunConfig {
+        threads: 3,
+        ops_per_thread: 1_000,
+        seed: 23,
+    };
+
+    // Each round: 3000 epoch-backed writes across 30 short-lived worker
+    // threads, then a drain. If orphan handoff or the churn hook leaked,
+    // outstanding garbage would ratchet up by thousands per round.
+    let mut outstanding_after_round = Vec::new();
+    for round in 0..4 {
+        let target = CollectMax::<EpochBackend>::with_backend(cfg.threads);
+        let report = run_scenario(&target, &scenario, &cfg);
+        assert_eq!(report.counts.total(), 3_000, "round {round}");
+        assert_eq!(report.lives, 30, "round {round}: 10 lives × 3 slots");
+        drop(target); // retire the final resident cells too
+        let left = ts_register::reclaim::drain(10_000);
+        outstanding_after_round.push(left);
+    }
+
+    // No monotonic growth: the gauge must not increase round over round
+    // across the board, and must stay far below one round's write count.
+    let writes_per_round = 3_000;
+    for (round, &left) in outstanding_after_round.iter().enumerate() {
+        assert!(
+            left < writes_per_round / 2,
+            "round {round}: {left} deferred cells outstanding — churn is leaking \
+             (rounds: {outstanding_after_round:?})"
+        );
+    }
+    let first = outstanding_after_round[0];
+    let last = *outstanding_after_round.last().expect("non-empty");
+    assert!(
+        last <= first + 200,
+        "deferred garbage ratcheted up across churn rounds: {outstanding_after_round:?}"
+    );
+}

@@ -12,6 +12,7 @@
 //! - [`ts_lowerbound`] — covering-argument machinery and bound formulas
 //! - [`ts_clocks`] — the introduction's lineage: Lamport/vector/matrix clocks
 //! - [`ts_apps`] — consumers: FCFS locks, k-exclusion, renaming
+//! - [`ts_workloads`] — workload scenario engine with latency histograms
 //!
 //! # Example
 //!
@@ -34,3 +35,4 @@ pub use ts_lowerbound;
 pub use ts_model;
 pub use ts_register;
 pub use ts_snapshot;
+pub use ts_workloads;

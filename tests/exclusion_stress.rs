@@ -1,0 +1,133 @@
+//! Mutual-exclusion stress: N threads hammer `FcfsLock` and
+//! `KExclusion` on both register backends while an atomic occupancy
+//! counter checks the core safety property — never more than 1 holder
+//! (mutex), never more than k (k-exclusion).
+//!
+//! The in-crate unit tests cover the default (packed) backend lightly;
+//! this suite is the heavier cross-backend hammer, and it also drains
+//! the epoch backend's deferred garbage afterwards so lock traffic
+//! cannot leak reclamation work into later tests.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use timestamp_suite::ts_apps::{FcfsLock, KExclusion};
+use timestamp_suite::ts_core::{EpochBackend, PackedBackend, RegisterBackend};
+use timestamp_suite::ts_register;
+
+/// Occupancy bookkeeping shared by both stress drivers.
+struct Occupancy {
+    current: AtomicUsize,
+    max_seen: AtomicUsize,
+    completed: AtomicUsize,
+}
+
+impl Occupancy {
+    fn new() -> Self {
+        Self {
+            current: AtomicUsize::new(0),
+            max_seen: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+        }
+    }
+
+    /// Enters the protected section: bumps occupancy, records the high
+    /// water mark, dwells a moment so overlap can actually happen.
+    fn enter(&self) {
+        let now = self.current.fetch_add(1, Ordering::SeqCst) + 1;
+        self.max_seen.fetch_max(now, Ordering::SeqCst);
+        for _ in 0..2 {
+            std::thread::yield_now();
+        }
+    }
+
+    fn exit(&self) {
+        self.current.fetch_sub(1, Ordering::SeqCst);
+        self.completed.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+fn stress_fcfs<B: RegisterBackend<u64>>(threads: usize, iters: usize) {
+    let lock: FcfsLock<B> = FcfsLock::with_backend(threads);
+    let occ = Occupancy::new();
+    crossbeam::scope(|s| {
+        for pid in 0..threads {
+            let lock = &lock;
+            let occ = &occ;
+            s.spawn(move |_| {
+                for _ in 0..iters {
+                    let guard = lock.lock(pid);
+                    occ.enter();
+                    occ.exit();
+                    drop(guard);
+                }
+            });
+        }
+    })
+    .unwrap();
+    assert_eq!(
+        occ.max_seen.load(Ordering::SeqCst),
+        1,
+        "mutual exclusion broken on {} backend",
+        B::NAME
+    );
+    assert_eq!(occ.completed.load(Ordering::SeqCst), threads * iters);
+}
+
+fn stress_kexclusion<B: RegisterBackend<u64>>(threads: usize, k: usize, iters: usize) {
+    let pool: KExclusion<B> = KExclusion::with_backend(threads, k);
+    let occ = Occupancy::new();
+    crossbeam::scope(|s| {
+        for pid in 0..threads {
+            let pool = &pool;
+            let occ = &occ;
+            s.spawn(move |_| {
+                for _ in 0..iters {
+                    let guard = pool.acquire(pid);
+                    occ.enter();
+                    occ.exit();
+                    drop(guard);
+                }
+            });
+        }
+    })
+    .unwrap();
+    let max = occ.max_seen.load(Ordering::SeqCst);
+    assert!(
+        max <= k,
+        "{max} concurrent holders with k = {k} on {} backend",
+        B::NAME
+    );
+    assert_eq!(occ.completed.load(Ordering::SeqCst), threads * iters);
+    assert_eq!(pool.competing(), 0, "tickets left behind after the storm");
+}
+
+#[test]
+fn fcfs_lock_never_admits_two_holders_packed() {
+    stress_fcfs::<PackedBackend>(8, 150);
+}
+
+#[test]
+fn fcfs_lock_never_admits_two_holders_epoch() {
+    stress_fcfs::<EpochBackend>(8, 150);
+    // Epoch tickets defer garbage on every write; the storm must not
+    // strand it (exited test threads orphan their bags — adopt them).
+    ts_register::reclaim::drain(10_000);
+}
+
+#[test]
+fn k_exclusion_never_exceeds_k_holders_packed() {
+    stress_kexclusion::<PackedBackend>(8, 3, 120);
+}
+
+#[test]
+fn k_exclusion_never_exceeds_k_holders_epoch() {
+    stress_kexclusion::<EpochBackend>(8, 3, 120);
+    ts_register::reclaim::drain(10_000);
+}
+
+#[test]
+fn k_equals_one_matches_the_mutex_guarantee() {
+    // k = 1 must degenerate to mutual exclusion on both backends.
+    stress_kexclusion::<PackedBackend>(6, 1, 80);
+    stress_kexclusion::<EpochBackend>(6, 1, 80);
+}

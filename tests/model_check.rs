@@ -4,7 +4,7 @@
 
 use timestamp_suite::ts_core::model::{BoundedModel, CollectMaxModel, SimpleModel};
 use timestamp_suite::ts_model::toy::{ConstantAlgorithm, CounterAlgorithm};
-use timestamp_suite::ts_model::{Explorer, RandomScheduler};
+use timestamp_suite::ts_model::{Explorer, PctScheduler, RandomScheduler};
 
 #[test]
 fn simple_model_exhaustive_up_to_four_processes() {
@@ -52,8 +52,43 @@ fn collect_max_exhaustive_long_lived() {
     // 2 processes × 2 ops and 3 × 1 op.
     let report = Explorer::new(CollectMaxModel::new(2), 2).run();
     assert!(report.violation.is_none(), "{:?}", report.violation);
+    assert!(report.executions > 0, "vacuous exploration");
+    assert!(!report.truncated);
     let report = Explorer::new(CollectMaxModel::new(3), 1).run();
     assert!(report.violation.is_none(), "{:?}", report.violation);
+}
+
+#[test]
+fn collect_max_pct_sweep_three_processes() {
+    // PCT (depth-3: two priority change points) at 3 processes × 2 ops,
+    // matching the seeded-schedule coverage SimpleOneShot gets from
+    // `random_schedules_stay_clean_across_algorithms`. Depth-2/3
+    // ordering bugs — a stalled collector overtaken by writers — are
+    // exactly PCT's sweet spot, so a clean 100-seed sweep is real
+    // evidence, not schedule noise.
+    for seed in 0..100u64 {
+        let report = PctScheduler::new(seed, 3)
+            .ops_per_process(2)
+            .run(CollectMaxModel::new(3));
+        assert!(report.steps > 0, "seed {seed}: empty run");
+        assert!(
+            report.violation.is_none(),
+            "seed {seed}: {:?}",
+            report.violation
+        );
+    }
+}
+
+#[test]
+fn pct_sweeps_stay_clean_suite_wide() {
+    // The same PCT coverage for the other real algorithm models, so
+    // every model twin gets exhaustive + random + PCT checking.
+    for seed in 0..40u64 {
+        let report = PctScheduler::new(seed, 3).run(SimpleModel::new(8));
+        assert!(report.violation.is_none(), "simple seed {seed}");
+        let report = PctScheduler::new(seed, 3).run(BoundedModel::new(6));
+        assert!(report.violation.is_none(), "bounded seed {seed}");
+    }
 }
 
 #[test]

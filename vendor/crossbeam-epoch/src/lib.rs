@@ -115,6 +115,7 @@ impl Garbage {
     /// `cell` must come from `Box::into_raw::<T>` and be dropped at most
     /// once.
     unsafe fn run(self) {
+        DEFERRED_OUTSTANDING.fetch_sub(1, Ordering::Relaxed);
         // SAFETY: forwarded from the constructor's contract.
         unsafe { (self.drop_fn)(self.cell) }
     }
@@ -223,6 +224,23 @@ struct OrphanNode {
 
 /// The global epoch counter.
 static GLOBAL_EPOCH: AtomicUsize = AtomicUsize::new(0);
+
+/// Gauge of deferred-but-not-yet-reclaimed cells across all threads
+/// (unsealed bags + sealed bags + orphans). Incremented by
+/// [`Guard::defer_destroy`], decremented as garbage is actually freed.
+static DEFERRED_OUTSTANDING: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of cells currently deferred but not yet reclaimed, across all
+/// threads (unsealed bags, sealed bags and orphaned bags together).
+///
+/// This is a diagnostics gauge for leak/churn tests: a workload that
+/// churns threads while writing must not drive it up monotonically —
+/// orphaned garbage is adopted and freed by surviving threads (or by
+/// [`flush`]). The value is a momentary snapshot and can be stale the
+/// instant it is read; compare against generous bounds only.
+pub fn deferred_outstanding() -> usize {
+    DEFERRED_OUTSTANDING.load(Ordering::Relaxed)
+}
 
 /// Head of the prepend-only participant registry.
 static REGISTRY: AtomicPtr<Participant> = AtomicPtr::new(ptr::null_mut());
@@ -532,6 +550,7 @@ impl Guard {
             cell: shared.ptr.cast(),
             drop_fn: drop_boxed::<T>,
         };
+        DEFERRED_OUTSTANDING.fetch_add(1, Ordering::Relaxed);
         // SAFETY: guards are !Send, so `self.participant` is owned by
         // the calling thread.
         let part = unsafe { &*self.participant };
@@ -905,6 +924,48 @@ mod tests {
         drop(guard);
         flush_until(&drops, retired + 1);
         assert_eq!(drops.load(Ordering::Relaxed), retired + 1);
+    }
+
+    #[test]
+    fn deferred_gauge_counts_and_drains() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = Atomic::new(CountsDrops(Arc::clone(&drops)));
+        let total = 256;
+        {
+            let guard = pin();
+            for _ in 0..total {
+                let old = cell.swap(
+                    Owned::new(CountsDrops(Arc::clone(&drops))),
+                    Ordering::AcqRel,
+                    &guard,
+                );
+                unsafe { guard.defer_destroy(old) };
+            }
+            // While we are pinned none of our cells can be freed (sealed
+            // tags are >= our announcement), so all of them are counted.
+            assert!(
+                deferred_outstanding() >= total,
+                "gauge {} below our {total} outstanding cells",
+                deferred_outstanding()
+            );
+        }
+        flush_until(&drops, total);
+        // Our cells drained (drops == total above); the gauge must come
+        // back down too. Other tests run concurrently and may hold their
+        // own garbage, so poll with flushes instead of asserting once.
+        let mut drained = false;
+        for _ in 0..10_000 {
+            if deferred_outstanding() < total {
+                drained = true;
+                break;
+            }
+            flush();
+            std::thread::yield_now();
+        }
+        assert!(drained, "gauge failed to drain: {}", deferred_outstanding());
+        let guard = pin();
+        let last = cell.swap(Shared::null(), Ordering::AcqRel, &guard);
+        unsafe { guard.defer_destroy(last) };
     }
 
     #[test]

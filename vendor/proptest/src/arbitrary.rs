@@ -9,6 +9,13 @@ use crate::test_runner::TestRng;
 pub trait Arbitrary: Sized {
     /// Generates an unconstrained value.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Canonical simplifications of `self`, most aggressive first (see
+    /// [`Strategy::shrink`]); a type with no natural "simpler" order
+    /// keeps the empty default.
+    fn shrink_value(&self) -> Vec<Self> {
+        Vec::new()
+    }
 }
 
 macro_rules! impl_arbitrary_uint {
@@ -16,6 +23,13 @@ macro_rules! impl_arbitrary_uint {
         impl Arbitrary for $t {
             fn arbitrary(rng: &mut TestRng) -> Self {
                 rng.next_u64() as $t
+            }
+
+            fn shrink_value(&self) -> Vec<Self> {
+                crate::strategy::shrink_toward(0, *self as u64)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
             }
         }
     )*};
@@ -29,6 +43,25 @@ macro_rules! impl_arbitrary_int {
             fn arbitrary(rng: &mut TestRng) -> Self {
                 rng.next_u64() as $t
             }
+
+            fn shrink_value(&self) -> Vec<Self> {
+                // Binary descent toward zero, preserving sign (i128
+                // arithmetic sidesteps `MIN.abs()` overflow).
+                let v = *self as i128;
+                if v == 0 {
+                    return Vec::new();
+                }
+                let mut out: Vec<$t> = vec![0];
+                let mut delta = v.abs() / 2;
+                while delta > 0 {
+                    let candidate = if v > 0 { v - delta } else { v + delta };
+                    if candidate != 0 {
+                        out.push(candidate as $t);
+                    }
+                    delta /= 2;
+                }
+                out
+            }
         }
     )*};
 }
@@ -38,6 +71,14 @@ impl_arbitrary_int!(i8, i16, i32, i64, isize);
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> Self {
         rng.random_bool(0.5)
+    }
+
+    fn shrink_value(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -59,6 +100,10 @@ impl<T: Arbitrary> Strategy for Any<T> {
 
     fn generate(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        value.shrink_value()
     }
 }
 

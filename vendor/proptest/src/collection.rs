@@ -18,12 +18,28 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let len = self.size.sample(rng);
         (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        // Shorter first, then same length with simpler elements.
+        let mut out = crate::strategy::shrink_shorter(self.size.lo, value);
+        for i in 0..value.len() {
+            for candidate in self.element.shrink(&value[i]) {
+                let mut next = value.clone();
+                next[i] = candidate;
+                out.push(next);
+            }
+        }
+        out
     }
 }
 

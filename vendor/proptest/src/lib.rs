@@ -7,10 +7,14 @@
 //!
 //! Differences from real proptest, deliberate for an offline shim:
 //!
-//! - **No shrinking.** A failing case reports the generated inputs via
-//!   the panic message (case number + seed) instead of a minimal
-//!   counterexample; rerunning is deterministic, so the failure is
-//!   reproducible from the printed seed.
+//! - **Simpler shrinking.** Failing cases are minimized by re-running
+//!   the body on progressively simpler inputs: integers binary-search
+//!   toward the range floor, `vec`s/`subsequence`s drop elements and
+//!   shorten toward their minimum length, tuples shrink componentwise
+//!   (see [`Strategy::shrink`](strategy::Strategy::shrink) and
+//!   [`test_runner::MAX_SHRINK_ITERS`]). The panic message reports the
+//!   minimized counterexample plus the case number and seed; `prop_map`
+//!   strategies do not shrink (the mapping is not invertible).
 //! - **Fixed case count.** Each property runs
 //!   [`test_runner::DEFAULT_CASES`] cases, overridable with the
 //!   `PROPTEST_CASES` environment variable.
@@ -31,7 +35,8 @@ pub mod prelude {
 }
 
 /// Declares property tests: each `fn name(arg in strategy, ..) { body }`
-/// becomes a `#[test]` that runs the body over generated inputs.
+/// becomes a `#[test]` that runs the body over generated inputs and
+/// shrinks any failing input to a minimal counterexample.
 #[macro_export]
 macro_rules! proptest {
     ($(
@@ -41,13 +46,17 @@ macro_rules! proptest {
         $(
             $(#[$meta])*
             fn $name() {
-                $crate::test_runner::run(stringify!($name), |__proptest_rng| {
-                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), __proptest_rng);)+
-                    (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
-                        $body
-                        ::std::result::Result::Ok(())
-                    })()
-                });
+                let __proptest_strategy = ($(($strategy),)+);
+                $crate::test_runner::run(
+                    stringify!($name),
+                    &__proptest_strategy,
+                    |($($arg,)+)| {
+                        (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })()
+                    },
+                );
             }
         )+
     };

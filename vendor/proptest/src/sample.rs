@@ -38,6 +38,12 @@ impl<T: Clone> Strategy for Subsequence<T> {
         indices.sort_unstable();
         indices.into_iter().map(|i| self.items[i].clone()).collect()
     }
+
+    fn shrink(&self, value: &Vec<T>) -> Vec<Vec<T>> {
+        // Dropping elements preserves subsequence-hood (elements are
+        // not shrunk — they come verbatim from `items`).
+        crate::strategy::shrink_shorter(self.size.lo, value)
+    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
 //! The [`Strategy`] trait and combinators.
 
-use rand::{Rng, SampleUniform};
+use rand::Rng;
 
 use crate::test_runner::TestRng;
 
@@ -17,6 +17,16 @@ pub trait Strategy {
     /// Generates one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Proposes simpler variants of a failing `value`, most aggressive
+    /// first (the runner adopts the first variant that still fails and
+    /// asks again, so a descending candidate ladder gives binary-search
+    /// convergence). An empty vector means `value` is minimal for this
+    /// strategy; the default cannot simplify anything.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+
     /// Maps generated values through `f`.
     fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
     where
@@ -32,6 +42,10 @@ impl<S: Strategy + ?Sized> Strategy for Box<S> {
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
         (**self).generate(rng)
     }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -40,29 +54,110 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
         (**self).generate(rng)
     }
-}
 
-impl<T: SampleUniform> Strategy for std::ops::Range<T> {
-    type Value = T;
-
-    fn generate(&self, rng: &mut TestRng) -> T {
-        rng.random_range(self.start..self.end)
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
     }
 }
 
+/// Candidate ladder for shrinking an unsigned value toward `lo`:
+/// `lo` itself, then `v − gap/2, v − gap/4, ..., v − 1` — adopting the
+/// first still-failing candidate each round is a binary descent onto
+/// the smallest failing value.
+pub(crate) fn shrink_toward(lo: u64, v: u64) -> Vec<u64> {
+    if v <= lo {
+        return Vec::new();
+    }
+    let mut out = vec![lo];
+    let mut delta = (v - lo) / 2;
+    while delta > 0 {
+        let candidate = v - delta;
+        if candidate != lo {
+            out.push(candidate);
+        }
+        delta /= 2;
+    }
+    out
+}
+
+/// Shared "make it shorter" ladder for sequence strategies (`vec`,
+/// `subsequence`): the minimum-length prefix, a binary ladder of
+/// prefixes, then dropping each single element (prefixes alone cannot
+/// discard a passing head in front of the offending element).
+pub(crate) fn shrink_shorter<T: Clone>(lo: usize, value: &[T]) -> Vec<Vec<T>> {
+    let len = value.len();
+    if len <= lo {
+        return Vec::new();
+    }
+    let mut out = vec![value[..lo].to_vec()];
+    for keep in shrink_toward(lo as u64, len as u64) {
+        let keep = keep as usize;
+        if keep > lo && keep < len {
+            out.push(value[..keep].to_vec());
+        }
+    }
+    for i in 0..len {
+        let mut shorter = Vec::with_capacity(len - 1);
+        shorter.extend_from_slice(&value[..i]);
+        shorter.extend_from_slice(&value[i + 1..]);
+        out.push(shorter);
+    }
+    out
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.start..self.end)
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(self.start as u64, *value as u64)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
+        }
+    )*};
+}
+
+// One impl per unsigned type (the whole set `rand::SampleUniform`
+// covers) rather than a blanket `T: SampleUniform` impl, so `shrink`
+// can do arithmetic on the values.
+impl_int_range_strategy!(u8, u16, u32, u64, usize);
+
 macro_rules! impl_tuple_strategy {
     ($(($($s:ident . $idx:tt),+))+) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone,)+
+        {
             type Value = ($($s::Value,)+);
 
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )+};
 }
 
 impl_tuple_strategy! {
+    (A.0)
     (A.0, B.1)
     (A.0, B.1, C.2)
     (A.0, B.1, C.2, D.3)
@@ -114,6 +209,14 @@ impl<T> Strategy for Union<T> {
         let arm = rng.random_range(0..self.arms.len());
         self.arms[arm].generate(rng)
     }
+
+    // No `shrink`: the generating arm is not recorded, and pooling every
+    // arm's proposals could minimize to a value *no* arm can generate
+    // (e.g. a gap between two ranges) — the runner adopts any candidate
+    // the body fails on without a membership re-check, so the reported
+    // "minimal counterexample" must stay within the strategy's support.
+    // Real proptest shrinks through the remembered arm; this shim keeps
+    // `prop_oneof!` inputs unshrunk instead.
 }
 
 /// An inclusive-exclusive size specification, accepted wherever real

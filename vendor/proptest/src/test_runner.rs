@@ -1,13 +1,19 @@
-//! The case runner behind the `proptest!` macro.
+//! The case runner behind the `proptest!` macro: generation, failure
+//! detection, and counterexample shrinking.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+use crate::strategy::Strategy;
 
 /// The RNG handed to strategies.
 pub type TestRng = StdRng;
 
 /// Cases per property when `PROPTEST_CASES` is unset.
 pub const DEFAULT_CASES: u32 = 64;
+
+/// Cap on test-body re-executions spent minimizing one failure.
+pub const MAX_SHRINK_ITERS: u32 = 4096;
 
 /// A failed property case (produced by the `prop_assert*` macros).
 #[derive(Debug, Clone)]
@@ -42,12 +48,24 @@ fn cases() -> u32 {
         .unwrap_or(DEFAULT_CASES)
 }
 
-/// Runs `case` repeatedly with deterministic per-case RNGs; panics with
-/// the test name, case index, and seed on the first failure.
+/// Runs `case` over `cases()` generated inputs with deterministic
+/// per-case RNGs; on the first failure, shrinks the input to a local
+/// minimum and panics with the test name, case index, seed, and the
+/// minimized counterexample.
 ///
 /// The seed stream is derived from the test name so distinct properties
 /// explore distinct inputs, but reruns of the same binary are identical.
-pub fn run(name: &str, mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>) {
+///
+/// Shrinking: [`Strategy::shrink`] proposes simpler inputs, most
+/// aggressive first; the first proposal that still fails is adopted and
+/// shrinking restarts from it, until no proposal fails (a local
+/// minimum) or [`MAX_SHRINK_ITERS`] re-executions are spent.
+pub fn run<S, F>(name: &str, strategy: &S, mut case: F)
+where
+    S: Strategy,
+    S::Value: Clone + std::fmt::Debug,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
     // FNV-1a over the name: stable across runs and platforms.
     let mut base = 0xcbf2_9ce4_8422_2325u64;
     for byte in name.bytes() {
@@ -58,23 +76,67 @@ pub fn run(name: &str, mut case: impl FnMut(&mut TestRng) -> Result<(), TestCase
     for index in 0..total {
         let seed = base.wrapping_add(u64::from(index));
         let mut rng = new_rng(seed);
-        if let Err(err) = case(&mut rng) {
+        let value = strategy.generate(&mut rng);
+        if let Err(err) = case(value.clone()) {
+            let (minimal, minimal_err, shrinks, iters) =
+                shrink_failure(strategy, &mut case, value, err);
             panic!(
-                "property `{name}` failed at case {index}/{total} (seed {seed:#x}): {err}\n\
+                "property `{name}` failed at case {index}/{total} (seed {seed:#x}): {minimal_err}\n\
+                 minimal failing input ({shrinks} shrinks, {iters} attempts): {minimal:?}\n\
                  rerun is deterministic; set PROPTEST_CASES to widen the search"
             );
         }
     }
 }
 
+/// Minimizes a failing `value`; returns the minimal input, its error,
+/// the number of successful shrink steps, and total re-executions.
+fn shrink_failure<S, F>(
+    strategy: &S,
+    case: &mut F,
+    mut value: S::Value,
+    mut err: TestCaseError,
+) -> (S::Value, TestCaseError, u32, u32)
+where
+    S: Strategy,
+    S::Value: Clone,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut shrinks = 0u32;
+    let mut iters = 0u32;
+    'minimize: while iters < MAX_SHRINK_ITERS {
+        for candidate in strategy.shrink(&value) {
+            if iters >= MAX_SHRINK_ITERS {
+                break 'minimize;
+            }
+            iters += 1;
+            if let Err(candidate_err) = case(candidate.clone()) {
+                value = candidate;
+                err = candidate_err;
+                shrinks += 1;
+                continue 'minimize;
+            }
+        }
+        break; // every proposal passed: local minimum
+    }
+    (value, err, shrinks, iters)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn panic_message(result: Box<dyn std::any::Any + Send>) -> String {
+        result
+            .downcast::<String>()
+            .map(|s| *s)
+            .expect("panic payload is a formatted String")
+    }
+
     #[test]
     fn passing_property_runs_all_cases() {
         let mut count = 0;
-        run("always_ok", |_rng| {
+        run("always_ok", &(0u64..10,), |_v| {
             count += 1;
             Ok(())
         });
@@ -84,6 +146,84 @@ mod tests {
     #[test]
     #[should_panic(expected = "property `always_fails` failed")]
     fn failing_property_panics_with_context() {
-        run("always_fails", |_rng| Err(TestCaseError::fail("nope")));
+        run("always_fails", &(0u64..10,), |_v| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+
+    #[test]
+    fn integer_failures_shrink_to_the_boundary() {
+        // Fails iff v >= 123: the minimal counterexample is exactly 123.
+        let result = std::panic::catch_unwind(|| {
+            run("int_shrink_demo", &(0u64..1_000_000,), |(v,)| {
+                if v >= 123 {
+                    Err(TestCaseError::fail("too big"))
+                } else {
+                    Ok(())
+                }
+            });
+        });
+        let msg = panic_message(result.expect_err("property must fail"));
+        assert!(
+            msg.contains("minimal failing input") && msg.contains("(123,)"),
+            "unminimized failure report: {msg}"
+        );
+    }
+
+    #[test]
+    fn vec_failures_shrink_to_a_single_offending_element() {
+        // Fails iff the vec contains an element >= 50; minimal is [50].
+        let result = std::panic::catch_unwind(|| {
+            let strategy = (crate::collection::vec(0u64..1_000, 0..30),);
+            run("vec_shrink_demo", &strategy, |(v,)| {
+                if v.iter().any(|&x| x >= 50) {
+                    Err(TestCaseError::fail("contains a big element"))
+                } else {
+                    Ok(())
+                }
+            });
+        });
+        let msg = panic_message(result.expect_err("property must fail"));
+        assert!(
+            msg.contains("([50],)"),
+            "vec not minimized to its offending element: {msg}"
+        );
+    }
+
+    #[test]
+    fn tuple_components_shrink_independently() {
+        // Fails iff a >= 10 (b is irrelevant): minimal is (10, 0).
+        let result = std::panic::catch_unwind(|| {
+            run(
+                "tuple_shrink_demo",
+                &(0u64..1_000, 0u64..1_000),
+                |(a, _b)| {
+                    if a >= 10 {
+                        Err(TestCaseError::fail("a too big"))
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        });
+        let msg = panic_message(result.expect_err("property must fail"));
+        assert!(
+            msg.contains("(10, 0)"),
+            "tuple not minimized componentwise: {msg}"
+        );
+    }
+
+    #[test]
+    fn shrinking_respects_the_range_lower_bound() {
+        // Every value fails; the minimum must be the range floor, never
+        // below it.
+        let result = std::panic::catch_unwind(|| {
+            run("floor_shrink_demo", &(7u64..5_000,), |(v,)| {
+                assert!((7..5_000).contains(&v), "shrink left the range: {v}");
+                Err(TestCaseError::fail("always"))
+            });
+        });
+        let msg = panic_message(result.expect_err("property must fail"));
+        assert!(msg.contains("(7,)"), "did not shrink to the floor: {msg}");
     }
 }
