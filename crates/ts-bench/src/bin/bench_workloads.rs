@@ -16,6 +16,13 @@
 //! `BENCH_workloads.json` (override with `--out PATH`, `--out -`
 //! skips) so the perf trajectory has per-scenario history.
 //!
+//! Besides the traffic-shape grid, the sweep runs the **replay**
+//! scenario family: every `ts_workloads::replay` corpus case
+//! (regenerated from the model checker at run time) is replayed
+//! against its real object, with per-released-step latency reported in
+//! the same row shape (`scenario = "replay_{case}"`, thread count =
+//! trace processes).
+//!
 //! Flags: `--threads N` caps the thread ladder (default 4; the ladder
 //! is 2,4,...,N), `--smoke` shrinks op counts ~20x for CI, `--out
 //! PATH` relocates the results file.
@@ -29,6 +36,7 @@ use ts_core::{
     BoundedTimestamp, CollectMax, EpochBackend, GrowableWorkload, OneShotPool, PackedBackend,
     SimpleOneShot,
 };
+use ts_workloads::replay::{case_target, corpus_cases, corpus_traces, replay_trace, ReplayReport};
 use ts_workloads::{catalog, run_scenario, RunConfig, Scenario, ScenarioReport};
 
 /// One measured (object × backend × scenario × threads) cell.
@@ -54,6 +62,32 @@ struct WorkloadRow {
 }
 
 impl WorkloadRow {
+    /// A replay case as a grid row: ops are trace steps, latency is the
+    /// controller's per-released-step gate latency, `threads` is the
+    /// number of replayed trace processes, `lives` the completed ops.
+    fn from_replay(scenario: String, processes: usize, r: &ReplayReport) -> Self {
+        let steps = r.steps_replayed as u64;
+        Self {
+            object: r.object.to_string(),
+            backend: r.backend.to_string(),
+            scenario,
+            threads: processes,
+            lives: r.completed.len() as u64,
+            ops: steps,
+            get_ts_ops: r.completed.len() as u64,
+            scan_ops: 0,
+            compare_ops: 0,
+            elapsed_secs: r.elapsed_secs,
+            throughput_ops_per_sec: steps as f64 / r.elapsed_secs.max(f64::MIN_POSITIVE),
+            mean_ns: r.step_latency.mean_ns(),
+            p50_ns: r.step_latency.percentile(50.0),
+            p90_ns: r.step_latency.percentile(90.0),
+            p99_ns: r.step_latency.percentile(99.0),
+            p999_ns: r.step_latency.percentile(99.9),
+            max_ns: r.step_latency.max_ns(),
+        }
+    }
+
     fn from_report(r: &ScenarioReport) -> Self {
         Self {
             object: r.object.to_string(),
@@ -213,6 +247,33 @@ fn main() {
             // latency tail.
             ts_register::reclaim::flush();
         }
+    }
+
+    // The replay scenario family: corpus counterexamples and
+    // adversarial schedules driven against the real objects.
+    let traces = corpus_traces();
+    for case in corpus_cases() {
+        let entry = traces
+            .iter()
+            .find(|e| e.name == case.trace_name)
+            .expect("case names a corpus trace");
+        let target = case_target(&case, &entry.trace);
+        let report = replay_trace(target.as_ref(), &entry.trace);
+        assert_eq!(
+            report.violation.is_some(),
+            case.expect_violation,
+            "replay case {} diverged from its expectation",
+            case.name
+        );
+        let row = WorkloadRow::from_replay(
+            format!("replay_{}", case.name),
+            entry.trace.processes,
+            &report,
+        );
+        if ts_bench::json_mode() {
+            println!("{}", serde_json::to_string(&row).expect("rows serialize"));
+        }
+        rows.push(row);
     }
 
     if !ts_bench::json_mode() {

@@ -91,6 +91,44 @@ impl<B: RegisterBackend<u64>> CollectMax<B> {
         self.calls.load(Ordering::Relaxed)
     }
 
+    /// `getTS` with a pause hook: `pause` runs immediately before every
+    /// shared-memory access (each of the `n` register reads, then the
+    /// write of the process's own register).
+    ///
+    /// This is the step-barrier seam of the schedule-replay harness: a
+    /// controller whose `pause` blocks on a
+    /// [`StepGate`](crate::workload::StepGate) can hold this call
+    /// between any two accesses — e.g. keep the final write pending
+    /// while other processes complete, the paper's stalled-writer
+    /// adversary. With a no-op hook this *is* `get_ts` (the closure
+    /// inlines away).
+    ///
+    /// # Errors
+    ///
+    /// [`GetTsError::PidOutOfRange`] if `pid >= processes`.
+    pub fn get_ts_paused(
+        &self,
+        pid: usize,
+        mut pause: impl FnMut(),
+    ) -> Result<Timestamp, GetTsError> {
+        let n = self.registers.len();
+        if pid >= n {
+            return Err(GetTsError::PidOutOfRange { pid, processes: n });
+        }
+        let mut max = 0u64;
+        for i in 0..n {
+            pause();
+            self.meter.record_read(i);
+            max = max.max(ts_register::Register::read(&self.registers[i]));
+        }
+        let t = max + 1;
+        pause();
+        self.meter.record_write(pid);
+        ts_register::Register::write(&self.registers[pid], t);
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        Ok(Timestamp::scalar(t))
+    }
+
     /// Read-only collect: the maximum value currently in any register,
     /// as a timestamp, without writing anything.
     ///
@@ -109,20 +147,7 @@ impl<B: RegisterBackend<u64>> CollectMax<B> {
 
 impl<B: RegisterBackend<u64>> LongLivedTimestamp for CollectMax<B> {
     fn get_ts(&self, pid: usize) -> Result<Timestamp, GetTsError> {
-        let n = self.registers.len();
-        if pid >= n {
-            return Err(GetTsError::PidOutOfRange { pid, processes: n });
-        }
-        let mut max = 0u64;
-        for i in 0..n {
-            self.meter.record_read(i);
-            max = max.max(ts_register::Register::read(&self.registers[i]));
-        }
-        let t = max + 1;
-        self.meter.record_write(pid);
-        ts_register::Register::write(&self.registers[pid], t);
-        self.calls.fetch_add(1, Ordering::Relaxed);
-        Ok(Timestamp::scalar(t))
+        self.get_ts_paused(pid, || {})
     }
 
     fn processes(&self) -> usize {

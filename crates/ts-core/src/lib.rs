@@ -52,7 +52,7 @@ mod traits;
 pub mod workload;
 
 pub use bounded::{BoundedTimestamp, OverwritePolicy, PhaseStats};
-pub use broken::{BrokenConstant, BrokenStaleRead};
+pub use broken::{BrokenConstant, BrokenCounter, BrokenStaleRead};
 pub use collectmax::{CollectMax, EpochCollectMax};
 pub use error::{GetTsError, UsedError};
 pub use growable::GrowableTimestamp;
@@ -62,7 +62,8 @@ pub use simple::{EpochSimpleOneShot, SimpleOneShot};
 pub use timestamp::Timestamp;
 pub use traits::{LongLivedTimestamp, OneShotTimestamp};
 pub use workload::{
-    GrowableWorkload, OneShotPool, OpHistory, WorkloadOp, WorkloadTarget, WorkloadWorker,
+    GateError, GateProgress, GrowableWorkload, OneShotPool, OpHistory, ReplayGranularity, StepGate,
+    WorkloadOp, WorkloadTarget, WorkloadWorker,
 };
 
 // Re-exported so downstream constructors can name backends without a

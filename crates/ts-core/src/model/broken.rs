@@ -1,0 +1,150 @@
+//! Model twin of the deliberately broken shared-counter object.
+
+use ts_model::{Algorithm, Machine, Poised, ProcId};
+
+use crate::timestamp::Timestamp;
+
+/// Step machine for one [`BrokenCounter`](crate::BrokenCounter)
+/// `getTS()` call: read the single shared register, write `read + 1`,
+/// return it as a scalar timestamp.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BrokenCounterMachine {
+    phase: Phase,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Phase {
+    Read,
+    Write { t: u64 },
+    Finished { t: u64 },
+}
+
+impl BrokenCounterMachine {
+    /// Creates the machine (every process runs the same program on
+    /// register 0).
+    pub fn new() -> Self {
+        Self { phase: Phase::Read }
+    }
+}
+
+impl Default for BrokenCounterMachine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Machine for BrokenCounterMachine {
+    type Value = u64;
+    type Output = Timestamp;
+
+    fn poised(&self) -> Poised<u64, Timestamp> {
+        match &self.phase {
+            Phase::Read => Poised::Read { reg: 0 },
+            Phase::Write { t } => Poised::Write { reg: 0, value: *t },
+            Phase::Finished { t } => Poised::Done(Timestamp::scalar(*t)),
+        }
+    }
+
+    fn observe(&mut self, observed: Option<u64>) {
+        self.phase = match (&self.phase, observed) {
+            (Phase::Read, Some(v)) => Phase::Write { t: v + 1 },
+            (Phase::Write { t }, None) => Phase::Finished { t: *t },
+            (phase, obs) => panic!("invalid observe({obs:?}) in {phase:?}"),
+        };
+    }
+}
+
+/// Model algorithm for [`BrokenCounter`](crate::BrokenCounter): a
+/// one-shot read-increment-write "timestamp" over one shared register.
+///
+/// Correct for `n ≤ 3`, broken for `n ≥ 4` (a stalled writer rolls the
+/// register back). The explorer's minimized counterexample for `n = 4`
+/// is the seed of the replay corpus: exported with
+/// [`ts_model::replay::minimized_trace`] and replayed against the real
+/// object by `ts_workloads::replay`, it reproduces the violation on
+/// real threads.
+///
+/// The toy `CounterAlgorithm` in `ts_model::toy` is the same program
+/// with a bare `u64` output; this twin returns [`Timestamp`] so replay
+/// harnesses can diff model outputs against the real object's.
+#[derive(Debug, Clone)]
+pub struct BrokenCounterModel {
+    n: usize,
+}
+
+impl BrokenCounterModel {
+    /// Creates the model for `n` one-shot processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        Self { n }
+    }
+}
+
+impl Algorithm for BrokenCounterModel {
+    type Machine = BrokenCounterMachine;
+
+    fn processes(&self) -> usize {
+        self.n
+    }
+
+    fn registers(&self) -> usize {
+        1
+    }
+
+    fn initial_value(&self) -> u64 {
+        0
+    }
+
+    fn invoke(&self, pid: ProcId, _op_index: usize) -> BrokenCounterMachine {
+        assert!(pid < self.n, "pid {pid} out of range");
+        BrokenCounterMachine::new()
+    }
+
+    fn compare(&self, t1: &Timestamp, t2: &Timestamp) -> bool {
+        Timestamp::compare(t1, t2)
+    }
+
+    fn ops_per_process(&self) -> Option<usize> {
+        Some(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_model::{Explorer, System};
+
+    #[test]
+    fn sequential_calls_count_up() {
+        let mut sys = System::new(BrokenCounterModel::new(2));
+        assert_eq!(
+            sys.run_solo_to_completion(0, 100).unwrap(),
+            Timestamp::scalar(1)
+        );
+        assert_eq!(
+            sys.run_solo_to_completion(1, 100).unwrap(),
+            Timestamp::scalar(2)
+        );
+        assert!(sys.check_property().is_none());
+    }
+
+    #[test]
+    fn clean_up_to_three_processes_broken_at_four() {
+        // Mirrors the toy counter's canary role, now with Timestamp
+        // outputs: the twin must break exactly where the real object
+        // does.
+        assert!(Explorer::new(BrokenCounterModel::new(3), 1)
+            .run()
+            .violation
+            .is_none());
+        let violation = Explorer::new(BrokenCounterModel::new(4), 1)
+            .run()
+            .violation
+            .expect("n=4 must violate");
+        assert!(!violation.schedule.is_empty());
+    }
+}

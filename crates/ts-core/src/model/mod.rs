@@ -9,9 +9,11 @@
 //! re-derivation.
 
 mod bounded;
+mod broken;
 mod collectmax;
 mod simple;
 
 pub use bounded::{BoundedMachine, BoundedModel};
+pub use broken::{BrokenCounterMachine, BrokenCounterModel};
 pub use collectmax::{CollectMaxMachine, CollectMaxModel};
 pub use simple::{SimpleMachine, SimpleModel};

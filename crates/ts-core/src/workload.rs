@@ -30,13 +30,38 @@
 //! process, non-overlapping calls — the timestamp property itself),
 //! the worker asserts it, so every workload run is also a correctness
 //! probe.
+//!
+//! The seam's second interface is *replay control*: every worker
+//! supports [`WorkloadWorker::step_gated`], which announces the op's
+//! sub-steps by pausing at a per-worker [`StepGate`] that a controller
+//! releases one at a time (the protocol behind
+//! `ts_workloads::replay`). Targets advertise how faithfully their
+//! workers can follow a recorded schedule via
+//! [`WorkloadTarget::replay_granularity`].
+//!
+//! # Example
+//!
+//! ```
+//! use ts_core::workload::{WorkloadOp, WorkloadTarget};
+//! use ts_core::CollectMax;
+//!
+//! let obj = CollectMax::new(2);
+//! let mut worker = obj.worker(0);
+//! // GetTs runs and self-checks the timestamp property; the first
+//! // Compare lacks two operands and substitutes (and reports) GetTs.
+//! assert_eq!(worker.step(WorkloadOp::GetTs), WorkloadOp::GetTs);
+//! assert_eq!(worker.step(WorkloadOp::Compare), WorkloadOp::GetTs);
+//! assert_eq!(worker.step(WorkloadOp::Compare), WorkloadOp::Compare);
+//! assert_eq!(obj.calls(), 2);
+//! ```
 
 use std::hint::black_box;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use ts_register::RegisterBackend;
 
+use crate::broken::BrokenCounter;
 use crate::collectmax::CollectMax;
 use crate::error::GetTsError;
 use crate::growable::GrowableTimestamp;
@@ -115,6 +140,213 @@ impl<T: Copy> Default for OpHistory<T> {
     }
 }
 
+// ---------------------------------------------------------------------
+// Step barrier: the pause/release protocol of schedule replay.
+// ---------------------------------------------------------------------
+
+/// Why a [`StepGate::release_next`] call gave up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateError {
+    /// The worker did not finish the released sub-step within the
+    /// timeout — it is stuck, dead, or announces fewer sub-steps than
+    /// the controller's trace expects.
+    Stalled,
+    /// The worker called [`StepGate::finish`] before announcing the
+    /// released sub-step: the trace expects more sub-steps than the
+    /// worker has.
+    FinishedEarly,
+}
+
+impl std::fmt::Display for GateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GateError::Stalled => write!(f, "worker never finished the released sub-step"),
+            GateError::FinishedEarly => {
+                write!(f, "worker finished before the released sub-step")
+            }
+        }
+    }
+}
+
+/// A snapshot of a gate's counters (for invariant checks and
+/// diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateProgress {
+    /// Sub-steps the controller has authorized.
+    pub released: u64,
+    /// Pauses the worker has announced (the `k`-th pause blocks until
+    /// `released >= k`).
+    pub announced: u64,
+    /// Sub-steps the worker has finished.
+    pub finished: u64,
+    /// Whether the worker has called [`StepGate::finish`].
+    pub done: bool,
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    released: u64,
+    announced: u64,
+    finished: u64,
+    done: bool,
+}
+
+/// A per-worker step barrier: the worker announces sub-steps by pausing
+/// at the gate, and a controller releases them one at a time.
+///
+/// This is the protocol behind adversarial schedule replay
+/// (`ts_workloads::replay`): each worker thread calls
+/// [`pause`](StepGate::pause) immediately before every announced
+/// sub-step of an operation (at minimum once at op start; see
+/// [`WorkloadWorker::step_gated`]) and [`finish`](StepGate::finish)
+/// when it will announce no more. The controller calls
+/// [`release_next`](StepGate::release_next) once per recorded step —
+/// the call returns only after the worker has *finished* the released
+/// sub-step (observed at its next pause or at `finish`), so the
+/// controller always knows the sub-step's shared-memory effect is
+/// visible before it releases any other worker.
+///
+/// Invariant (checked internally on every release): the worker never
+/// runs ahead of its released step — `finished <= released` at all
+/// times until [`release_all`](StepGate::release_all) abandons pacing.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use ts_core::workload::StepGate;
+///
+/// let gate = StepGate::new();
+/// let work_done = AtomicU64::new(0);
+/// std::thread::scope(|s| {
+///     s.spawn(|| {
+///         for _ in 0..3 {
+///             gate.pause(); // announce; blocks until released
+///             work_done.fetch_add(1, Ordering::SeqCst);
+///         }
+///         gate.finish();
+///     });
+///     for expected in 1..=3 {
+///         gate.release_next(std::time::Duration::from_secs(5)).unwrap();
+///         // release_next returned: sub-step `expected` has finished.
+///         assert!(work_done.load(Ordering::SeqCst) >= expected);
+///     }
+/// });
+/// ```
+#[derive(Debug, Default)]
+pub struct StepGate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+impl StepGate {
+    /// Creates a gate with nothing announced or released.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Worker side: announces the next sub-step and blocks until the
+    /// controller releases it. Marks every earlier sub-step finished.
+    pub fn pause(&self) {
+        let mut state = self.state.lock().expect("gate lock");
+        state.finished = state.announced;
+        state.announced += 1;
+        let waiting_for = state.announced;
+        self.cv.notify_all();
+        while state.released < waiting_for {
+            state = self.cv.wait(state).expect("gate lock");
+        }
+    }
+
+    /// Worker side: declares that no further sub-steps will be
+    /// announced and that all announced work is finished.
+    pub fn finish(&self) {
+        let mut state = self.state.lock().expect("gate lock");
+        state.finished = state.announced;
+        state.done = true;
+        self.cv.notify_all();
+    }
+
+    /// Controller side: releases the next sub-step and waits until the
+    /// worker has finished it (arrived at its next pause, or called
+    /// [`finish`](StepGate::finish)).
+    ///
+    /// # Errors
+    ///
+    /// [`GateError::Stalled`] if the worker does not finish within
+    /// `timeout`; [`GateError::FinishedEarly`] if the worker finished
+    /// without ever announcing this sub-step (a trace/implementation
+    /// sub-step-count mismatch).
+    pub fn release_next(&self, timeout: std::time::Duration) -> Result<(), GateError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.state.lock().expect("gate lock");
+        state.released += 1;
+        let target = state.released;
+        self.cv.notify_all();
+        while state.finished < target {
+            if state.done {
+                return Err(GateError::FinishedEarly);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(GateError::Stalled);
+            }
+            let (guard, _timeout_result) = self
+                .cv
+                .wait_timeout(state, deadline - now)
+                .expect("gate lock");
+            state = guard;
+        }
+        // The run-ahead invariant: a worker can only have finished what
+        // was released (release_all sets released = u64::MAX, which
+        // trivially keeps the inequality).
+        debug_assert!(
+            state.finished <= state.released,
+            "worker ran ahead of its released step"
+        );
+        Ok(())
+    }
+
+    /// Controller side: abandons pacing — every current and future
+    /// pause is released immediately. Used to drain workers whose
+    /// remaining sub-steps fall outside the replayed trace (e.g. a
+    /// counterexample's stalled writer, left mid-operation when the
+    /// trace ends).
+    pub fn release_all(&self) {
+        let mut state = self.state.lock().expect("gate lock");
+        state.released = u64::MAX;
+        self.cv.notify_all();
+    }
+
+    /// Current counters (for tests and diagnostics).
+    pub fn progress(&self) -> GateProgress {
+        let state = self.state.lock().expect("gate lock");
+        GateProgress {
+            released: state.released,
+            announced: state.announced,
+            finished: state.finished,
+            done: state.done,
+        }
+    }
+}
+
+/// How faithfully a [`WorkloadTarget`]'s workers can follow a recorded
+/// schedule (see [`WorkloadTarget::replay_granularity`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayGranularity {
+    /// One announced sub-step per operation (the op-start pause): a
+    /// replay controller can sequence *operations* along the trace, but
+    /// each op's shared-memory body runs without internal pauses at its
+    /// invocation point. Reproduces the recorded invocation/response
+    /// order; does not reproduce intra-op interleavings.
+    Op,
+    /// One announced sub-step per shared-memory access (plus the
+    /// op-start pause): the controller serializes every register read
+    /// and write in trace order, so the replay is fully deterministic —
+    /// outputs must equal the model run's.
+    MemoryAccess,
+}
+
 /// Per-thread execution handle minted by a [`WorkloadTarget`].
 ///
 /// Workers are created on the thread that drives them and are not
@@ -124,6 +356,30 @@ pub trait WorkloadWorker {
     /// (a worker substitutes [`WorkloadOp::GetTs`] for kinds it cannot
     /// honor yet, e.g. `Compare` before two timestamps exist).
     fn step(&mut self, op: WorkloadOp) -> WorkloadOp;
+
+    /// Performs one operation under step-barrier control: the worker
+    /// pauses at `gate` once at op start and again before every further
+    /// sub-step it announces (see its target's
+    /// [`replay_granularity`](WorkloadTarget::replay_granularity)).
+    ///
+    /// The default implementation announces exactly one sub-step — the
+    /// op-start pause — and then runs [`step`](WorkloadWorker::step)
+    /// unpaused, which is the [`ReplayGranularity::Op`] contract.
+    /// Workers for objects that expose their shared-memory phases (e.g.
+    /// `CollectMax::get_ts_paused`) override this to announce one
+    /// sub-step per access.
+    fn step_gated(&mut self, op: WorkloadOp, gate: &StepGate) -> WorkloadOp {
+        gate.pause();
+        self.step(op)
+    }
+
+    /// The timestamp produced by this worker's most recent successful
+    /// `GetTs`, if the adapter tracks one. Replay controllers use it to
+    /// check the timestamp property across workers; `None` opts out
+    /// (order is still replayed, outputs are not checked).
+    fn last_ts(&self) -> Option<Timestamp> {
+        None
+    }
 }
 
 /// An object the workload engine can drive: shared across threads,
@@ -145,6 +401,14 @@ pub trait WorkloadTarget: Send + Sync {
     /// a time (the engine guarantees this, including across churn
     /// lives).
     fn worker<'a>(&'a self, slot: usize) -> Box<dyn WorkloadWorker + 'a>;
+
+    /// The sub-step granularity this target's workers announce through
+    /// [`WorkloadWorker::step_gated`]. Defaults to
+    /// [`ReplayGranularity::Op`]; targets whose objects expose phase
+    /// hooks override with [`ReplayGranularity::MemoryAccess`].
+    fn replay_granularity(&self) -> ReplayGranularity {
+        ReplayGranularity::Op
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -189,6 +453,34 @@ impl<B: RegisterBackend<u64>> WorkloadWorker for CollectMaxWorker<'_, B> {
             },
         }
     }
+
+    fn step_gated(&mut self, op: WorkloadOp, gate: &StepGate) -> WorkloadOp {
+        match op {
+            WorkloadOp::GetTs => {
+                gate.pause(); // op start
+                let t = self
+                    .obj
+                    .get_ts_paused(self.slot, || gate.pause())
+                    .expect("slot < processes");
+                if let Some(p) = self.history.last() {
+                    assert!(
+                        Timestamp::compare(&p, &t),
+                        "collect_max violated the timestamp property: {p} !< {t}"
+                    );
+                }
+                self.history.push(t);
+                WorkloadOp::GetTs
+            }
+            other => {
+                gate.pause();
+                self.step(other)
+            }
+        }
+    }
+
+    fn last_ts(&self) -> Option<Timestamp> {
+        self.history.last()
+    }
 }
 
 impl<B: RegisterBackend<u64>> WorkloadTarget for CollectMax<B> {
@@ -211,6 +503,10 @@ impl<B: RegisterBackend<u64>> WorkloadTarget for CollectMax<B> {
             slot,
             history: OpHistory::new(),
         })
+    }
+
+    fn replay_granularity(&self) -> ReplayGranularity {
+        ReplayGranularity::MemoryAccess
     }
 }
 
@@ -277,6 +573,10 @@ impl WorkloadWorker for GrowableWorker<'_> {
                 None => self.step(WorkloadOp::GetTs),
             },
         }
+    }
+
+    fn last_ts(&self) -> Option<Timestamp> {
+        self.history.last()
     }
 }
 
@@ -496,6 +796,9 @@ impl<T: OneShotTimestamp> WorkloadWorker for PoolWorker<'_, T> {
             },
         }
     }
+
+    // Pool timestamps come from different objects and are mutually
+    // incomparable, so `last_ts` stays `None`: replay checks order only.
 }
 
 impl<T: OneShotTimestamp> WorkloadTarget for OneShotPool<T> {
@@ -519,6 +822,97 @@ impl<T: OneShotTimestamp> WorkloadTarget for OneShotPool<T> {
             view: self.current(),
             history: OpHistory::new(),
         })
+    }
+}
+
+// ---------------------------------------------------------------------
+// BrokenCounter: the replay harness's canary. Deliberately incorrect
+// (see `crate::broken`), so its worker does NOT assert the timestamp
+// property — replay exists to *observe* the violation, not panic on it.
+//
+// Unlike the other one-shot objects (which the scenario engine drives
+// through `OneShotPool`'s fresh-object cycling), this target is
+// replay-only: each slot supports exactly ONE `GetTs`, mirroring its
+// one-shot model twin (`ops_per_process = Some(1)`), and a second op
+// panics with a clear message. Traces built from the twin can never
+// request a second op per process (the model refuses to invoke one),
+// so the panic is reachable only by driving this target outside the
+// replay harness — wrap it in `OneShotPool` for scenario use instead.
+// ---------------------------------------------------------------------
+
+struct BrokenCounterWorker<'a> {
+    obj: &'a BrokenCounter,
+    pid: usize,
+    history: OpHistory<Timestamp>,
+}
+
+impl BrokenCounterWorker<'_> {
+    fn get_ts(&mut self, pause: impl FnMut()) {
+        let t = self.obj.get_ts_paused(self.pid, pause).expect(
+            "broken_counter is a replay-only one-shot target: each slot supports exactly \
+             one GetTs (wrap it in OneShotPool for scenario-engine use)",
+        );
+        self.history.push(t);
+    }
+}
+
+impl WorkloadWorker for BrokenCounterWorker<'_> {
+    fn step(&mut self, op: WorkloadOp) -> WorkloadOp {
+        match op {
+            WorkloadOp::GetTs => {
+                self.get_ts(|| {});
+                WorkloadOp::GetTs
+            }
+            // No read-only observation or meaningful comparison exists;
+            // substitute GetTs like the other adapters.
+            WorkloadOp::Scan | WorkloadOp::Compare => self.step(WorkloadOp::GetTs),
+        }
+    }
+
+    fn step_gated(&mut self, op: WorkloadOp, gate: &StepGate) -> WorkloadOp {
+        match op {
+            WorkloadOp::GetTs => {
+                gate.pause(); // op start
+                self.get_ts(|| gate.pause());
+                WorkloadOp::GetTs
+            }
+            other => {
+                gate.pause();
+                self.step(other)
+            }
+        }
+    }
+
+    fn last_ts(&self) -> Option<Timestamp> {
+        self.history.last()
+    }
+}
+
+impl WorkloadTarget for BrokenCounter {
+    fn object(&self) -> &'static str {
+        "broken_counter"
+    }
+
+    fn backend(&self) -> &'static str {
+        // A bare `WordRegister`, not a pluggable backend.
+        "word"
+    }
+
+    fn slots(&self) -> usize {
+        crate::traits::OneShotTimestamp::processes(self)
+    }
+
+    fn worker<'a>(&'a self, slot: usize) -> Box<dyn WorkloadWorker + 'a> {
+        assert!(slot < self.slots(), "slot {slot} out of range");
+        Box::new(BrokenCounterWorker {
+            obj: self,
+            pid: slot,
+            history: OpHistory::new(),
+        })
+    }
+
+    fn replay_granularity(&self) -> ReplayGranularity {
+        ReplayGranularity::MemoryAccess
     }
 }
 
@@ -629,5 +1023,168 @@ mod tests {
         }));
         let mut w = with_hook.worker(0);
         assert_eq!(w.step(WorkloadOp::Scan), WorkloadOp::Scan);
+    }
+
+    const GATE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
+
+    #[test]
+    fn gate_release_next_observes_completed_substeps() {
+        let gate = StepGate::new();
+        let progress = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..5 {
+                    gate.pause();
+                    progress.fetch_add(1, Ordering::SeqCst);
+                }
+                gate.finish();
+            });
+            for released in 1..=5 {
+                gate.release_next(GATE_TIMEOUT).unwrap();
+                assert_eq!(progress.load(Ordering::SeqCst), released);
+            }
+            let p = gate.progress();
+            assert!(p.done);
+            assert_eq!(p.finished, 5);
+        });
+    }
+
+    #[test]
+    fn gate_worker_never_runs_ahead_of_released_steps() {
+        // A worker hammering the gate as fast as it can, a controller
+        // releasing with jitter, and a sampler asserting the run-ahead
+        // invariant the whole time.
+        let gate = StepGate::new();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let steps = 200u64;
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..steps {
+                    gate.pause();
+                }
+                gate.finish();
+            });
+            s.spawn(|| {
+                while !stop.load(Ordering::Acquire) {
+                    let p = gate.progress();
+                    assert!(
+                        p.finished <= p.released,
+                        "worker ran ahead: finished {} > released {}",
+                        p.finished,
+                        p.released
+                    );
+                    assert!(
+                        p.announced <= p.released + 1,
+                        "worker announced past its release horizon"
+                    );
+                    std::thread::yield_now();
+                }
+            });
+            // SplitMix64-style jitter without a rand dependency.
+            let mut x = 0x9E37_79B9_7F4A_7C15u64;
+            for _ in 0..steps {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                if x % 4 == 0 {
+                    std::thread::yield_now();
+                }
+                gate.release_next(GATE_TIMEOUT).unwrap();
+            }
+            stop.store(true, Ordering::Release);
+        });
+    }
+
+    #[test]
+    fn gate_reports_finished_early_on_substep_mismatch() {
+        let gate = StepGate::new();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                gate.pause();
+                gate.finish(); // announces 1 sub-step total
+            });
+            gate.release_next(GATE_TIMEOUT).unwrap();
+            // The trace expects a second sub-step the worker never has.
+            assert_eq!(
+                gate.release_next(GATE_TIMEOUT),
+                Err(GateError::FinishedEarly)
+            );
+        });
+    }
+
+    #[test]
+    fn gate_reports_stall_on_absent_worker() {
+        let gate = StepGate::new();
+        assert_eq!(
+            gate.release_next(std::time::Duration::from_millis(50)),
+            Err(GateError::Stalled)
+        );
+        // An abandoned gate lets a later worker run unpaced.
+        gate.release_all();
+        gate.pause(); // returns immediately
+        gate.finish();
+    }
+
+    #[test]
+    fn default_step_gated_announces_one_substep_per_op() {
+        let obj = GrowableWorkload::new();
+        let gate = StepGate::new();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut w = obj.worker(0);
+                for _ in 0..3 {
+                    w.step_gated(WorkloadOp::GetTs, &gate);
+                }
+                gate.finish();
+            });
+            for _ in 0..3 {
+                gate.release_next(GATE_TIMEOUT).unwrap();
+            }
+        });
+        assert_eq!(gate.progress().announced, 3);
+        assert_eq!(obj.inner().calls(), 3);
+    }
+
+    #[test]
+    fn collect_max_gated_step_announces_every_memory_access() {
+        let n = 3;
+        let obj = CollectMax::new(n);
+        assert_eq!(obj.replay_granularity(), ReplayGranularity::MemoryAccess);
+        let gate = StepGate::new();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut w = obj.worker(0);
+                w.step_gated(WorkloadOp::GetTs, &gate);
+                gate.finish();
+            });
+            // 1 op-start + n reads + 1 write.
+            for _ in 0..(n + 2) {
+                gate.release_next(GATE_TIMEOUT).unwrap();
+            }
+        });
+        assert_eq!(gate.progress().announced, (n + 2) as u64);
+        assert_eq!(obj.calls(), 1);
+    }
+
+    #[test]
+    fn broken_counter_target_exposes_access_granularity() {
+        let obj = BrokenCounter::new(2);
+        assert_eq!(obj.replay_granularity(), ReplayGranularity::MemoryAccess);
+        assert_eq!(obj.object(), "broken_counter");
+        assert_eq!(obj.slots(), 2);
+        let gate = StepGate::new();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut w = obj.worker(0);
+                w.step_gated(WorkloadOp::GetTs, &gate);
+                assert_eq!(w.last_ts(), Some(Timestamp::scalar(1)));
+                gate.finish();
+            });
+            // op start + read + write.
+            for _ in 0..3 {
+                gate.release_next(GATE_TIMEOUT).unwrap();
+            }
+        });
+        assert_eq!(gate.progress().announced, 3);
     }
 }

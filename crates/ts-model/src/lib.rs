@@ -47,6 +47,7 @@ mod explore;
 mod history;
 mod machine;
 mod pct;
+pub mod replay;
 mod schedule;
 mod shrink;
 mod solo;
@@ -62,6 +63,7 @@ pub use explore::{ExploreReport, Explorer, Violation};
 pub use history::{check_timestamp_property, CompletedOp, Event, History, OpId, PropertyViolation};
 pub use machine::{Machine, Poised};
 pub use pct::{PctRunReport, PctScheduler};
+pub use replay::{minimized_trace, trace_from_schedule, ReplayStep, ReplayTrace, StepKind};
 pub use schedule::{block_write_schedule, ProcId, Schedule};
 pub use shrink::{reproduces, shrink};
 pub use solo::{solo_run, SoloOutcome};

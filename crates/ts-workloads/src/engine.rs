@@ -14,11 +14,34 @@
 //!   an open loop keeps the clock running.
 //!
 //! Churn scenarios run each worker life on its own short-lived OS
-//! thread (same slot, fresh [`WorkloadWorker`]); when a life's thread
+//! thread (same slot, fresh
+//! [`WorkloadWorker`](ts_core::workload::WorkloadWorker)); when a
+//! life's thread
 //! exits, its epoch-backend garbage is orphaned, and the supervising
 //! slot thread immediately calls [`ts_register::reclaim::flush`] to
 //! adopt and reclaim it — the churn hook that keeps garbage from
 //! accumulating across generations.
+//!
+//! # Example
+//!
+//! ```
+//! use ts_core::CollectMax;
+//! use ts_workloads::engine::{run_scenario, RunConfig};
+//! use ts_workloads::scenario::{Arrival, Churn, OpMix, Scenario};
+//!
+//! // Two threads, churning every 50 ops: 4 lives per slot.
+//! let scenario = Scenario {
+//!     name: "churny",
+//!     arrival: Arrival::ClosedLoop,
+//!     mix: OpMix::get_ts_only(),
+//!     churn: Some(Churn { ops_per_life: 50 }),
+//! };
+//! let cfg = RunConfig { threads: 2, ops_per_thread: 200, seed: 9 };
+//! let report = run_scenario(&CollectMax::new(2), &scenario, &cfg);
+//! assert_eq!(report.lives, 8);
+//! assert_eq!(report.counts.total(), 400);
+//! assert_eq!(report.latency.count(), 400);
+//! ```
 
 use std::time::{Duration, Instant};
 

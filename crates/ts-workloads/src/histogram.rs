@@ -12,6 +12,24 @@
 //!
 //! Per-thread histograms [`merge`](LatencyHistogram::merge) into one
 //! for reporting; percentiles walk the bucket array once.
+//!
+//! # Example
+//!
+//! ```
+//! use ts_workloads::histogram::LatencyHistogram;
+//!
+//! let mut a = LatencyHistogram::new();
+//! let mut b = LatencyHistogram::new();
+//! for ns in [100, 200, 400, 800] {
+//!     a.record(ns);
+//! }
+//! b.record(10_000); // one slow outlier on another thread
+//! a.merge(&b);
+//! assert_eq!(a.count(), 5);
+//! // Log-bucketing quantizes within 6.25%: the p99 bucket holds the
+//! // outlier, far above the p50 bucket.
+//! assert!(a.percentile(99.0) >= 4 * a.percentile(50.0));
+//! ```
 
 /// log2 of the number of linear sub-buckets per power of two.
 const SUB_BITS: u32 = 4;

@@ -8,7 +8,7 @@
 //! skewed operation mixes, and thread churn (workers exiting mid-run,
 //! which exercises the epoch backend's orphan-garbage handoff).
 //!
-//! Three layers:
+//! Four layers:
 //!
 //! - [`LatencyHistogram`] — log-bucketed (HDR-style) latency recording,
 //!   allocation-free on the hot path, with p50/p99/p999/max readouts
@@ -21,7 +21,12 @@
 //!   [`WorkloadTarget`](ts_core::workload::WorkloadTarget) (timestamp
 //!   objects from `ts-core`, lock consumers from `ts-apps`, on either
 //!   register backend) and merge per-thread histograms into a
-//!   [`ScenarioReport`].
+//!   [`ScenarioReport`];
+//! - [`replay`] — adversarial schedule replay: drives real objects
+//!   along `ts-model` Explorer/PCT traces (including minimized
+//!   counterexamples) with one OS thread per trace process, released
+//!   step-by-step through the
+//!   [`StepGate`](ts_core::workload::StepGate) barrier.
 //!
 //! The `bench_workloads` binary in `ts-bench` sweeps the full
 //! (object × backend × scenario × threads) grid and records the rows
@@ -50,10 +55,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-mod engine;
-mod histogram;
-mod scenario;
+pub mod engine;
+pub mod histogram;
+pub mod replay;
+pub mod scenario;
 
 pub use engine::{run_scenario, OpCounts, RunConfig, ScenarioReport};
 pub use histogram::{LatencyHistogram, NUM_BUCKETS, SUB_BUCKETS};
+pub use replay::{replay_trace, ReplayReport, ReplayViolation, ReplayedOp};
 pub use scenario::{catalog, Arrival, Churn, OpMix, Scenario};

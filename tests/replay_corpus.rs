@@ -1,0 +1,159 @@
+//! The adversarial-trace corpus: regeneration, schema, and replay.
+//!
+//! `tests/traces/*.json` are model-checker schedules serialized as
+//! `ts_model::replay::ReplayTrace` JSON — most importantly the
+//! minimized Explorer counterexample for the broken shared counter.
+//! These tests keep the corpus *live*:
+//!
+//! 1. the Explorer/PCT generators rerun on every test invocation and
+//!    the results are diffed byte-for-byte against the checked-in
+//!    files, so a drifting model invalidates the corpus loudly;
+//! 2. the checked-in files themselves (not the regenerated copies) are
+//!    replayed against the real objects on real threads, so the corpus
+//!    is a genuine regression suite for the concrete implementations.
+//!
+//! To refresh the files after an intentional model change:
+//!
+//! ```sh
+//! TS_REGEN_TRACES=1 cargo test --test replay_corpus
+//! ```
+
+use std::path::PathBuf;
+
+use timestamp_suite::ts_model::replay::ReplayTrace;
+use timestamp_suite::ts_workloads::replay::{
+    case_target, corpus_cases, corpus_traces, expected_completion_order, replay_trace,
+};
+
+fn traces_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/traces")
+}
+
+fn checked_in(name: &str) -> ReplayTrace {
+    let path = traces_dir().join(format!("{name}.json"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing corpus trace {path:?}: {e} (regenerate with TS_REGEN_TRACES=1)")
+    });
+    ReplayTrace::from_json(&text)
+        .unwrap_or_else(|e| panic!("unparsable corpus trace {path:?}: {e:?}"))
+}
+
+#[test]
+fn corpus_regenerates_byte_identically() {
+    let regen = corpus_traces();
+    assert!(!regen.is_empty());
+    if std::env::var_os("TS_REGEN_TRACES").is_some() {
+        std::fs::create_dir_all(traces_dir()).expect("create tests/traces");
+        for entry in &regen {
+            let path = traces_dir().join(format!("{}.json", entry.name));
+            std::fs::write(&path, entry.trace.to_json() + "\n").expect("write trace");
+            eprintln!("wrote {path:?}");
+        }
+        return;
+    }
+    for entry in &regen {
+        let disk = checked_in(entry.name);
+        assert_eq!(
+            disk, entry.trace,
+            "corpus trace {} is stale: the generators no longer produce the checked-in \
+             schedule (if the model change is intentional, refresh with TS_REGEN_TRACES=1)",
+            entry.name
+        );
+        assert_eq!(
+            disk.to_json() + "\n",
+            std::fs::read_to_string(traces_dir().join(format!("{}.json", entry.name))).unwrap(),
+            "corpus file {} is not in canonical serialization",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn corpus_traces_are_well_formed() {
+    for entry in corpus_traces() {
+        let disk = checked_in(entry.name);
+        disk.validate()
+            .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        assert_eq!(disk.schema, timestamp_suite::ts_model::replay::TRACE_SCHEMA);
+    }
+}
+
+#[test]
+fn minimized_counterexample_replays_and_reproduces() {
+    // The acceptance check: a minimized Explorer counterexample
+    // schedule, replayed from its CHECKED-IN serialization against the
+    // real (non-model) object on real OS threads, deterministically
+    // reproduces the recorded op order and the recorded outputs —
+    // violation included.
+    let trace = checked_in("broken_counter_n4_minimized");
+    assert!(trace.violating, "the corpus counterexample must violate");
+    let case = corpus_cases()
+        .into_iter()
+        .find(|c| c.trace_name == "broken_counter_n4_minimized")
+        .expect("counterexample case");
+    let target = case_target(&case, &trace);
+    let report = replay_trace(target.as_ref(), &trace);
+
+    // Recorded op order reproduced exactly — attested by the worker
+    // threads themselves: each stamps a shared completion counter when
+    // its op body returns, so this comparison fails if any body ran
+    // out of the released order (it is not controller bookkeeping).
+    assert_eq!(
+        report.worker_observed_return_order(),
+        expected_completion_order(&trace, report.granularity)
+    );
+
+    // Recorded outputs reproduced exactly (deterministic replay).
+    assert_eq!(report.output_mismatches, 0);
+    assert_eq!(report.output_matches, trace.completed_ops().len());
+
+    // And the property violation itself reproduces on real threads.
+    let violation = report.violation.expect("violation must reproduce");
+    assert_eq!(violation.earlier.ts, violation.later.ts);
+}
+
+#[test]
+fn every_corpus_case_replays_as_expected() {
+    for case in corpus_cases() {
+        let trace = checked_in(case.trace_name);
+        let target = case_target(&case, &trace);
+        let report = replay_trace(target.as_ref(), &trace);
+        assert_eq!(
+            report.steps_replayed,
+            trace.steps.len(),
+            "case {}",
+            case.name
+        );
+        assert_eq!(
+            report.violation.is_some(),
+            case.expect_violation,
+            "case {}: violation {:?}",
+            case.name,
+            report.violation
+        );
+        if case.expect_exact_outputs {
+            assert_eq!(report.output_mismatches, 0, "case {}", case.name);
+        }
+        assert_eq!(
+            report.completed.len(),
+            trace.completed_ops().len(),
+            "case {}: every recorded return must replay",
+            case.name
+        );
+        assert_eq!(
+            report.worker_observed_return_order(),
+            expected_completion_order(&trace, report.granularity),
+            "case {}: op bodies completed out of released order",
+            case.name
+        );
+    }
+}
+
+#[test]
+fn corpus_round_trips_through_json() {
+    for entry in corpus_traces() {
+        let disk = checked_in(entry.name);
+        let back = ReplayTrace::from_json(&disk.to_json()).expect("round-trip parses");
+        assert_eq!(back, disk);
+    }
+}
