@@ -12,7 +12,20 @@
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use ts_core::{CollectMax, LongLivedTimestamp, PackedBackend, RegisterBackend};
+use ts_core::{CachePadded, CollectMax, LongLivedTimestamp, PackedBackend, RegisterBackend};
+
+/// One process's announcement slot, cache-line padded: `choosing` and
+/// `active` for the *same* process are always touched together (one
+/// writer, n−1 spinning readers), while neighbouring processes' slots
+/// must not share a line — the bakery waiting loop spins on every other
+/// process's slot, which unpadded turns each doorway store into an
+/// all-readers invalidation.
+#[derive(Debug, Default)]
+struct Announce {
+    choosing: AtomicBool,
+    /// Active ticket; 0 = not competing.
+    ticket: AtomicU64,
+}
 
 /// First-come-first-served mutual exclusion lock for `n` registered
 /// processes, generic over the ticket object's register backend.
@@ -34,9 +47,8 @@ use ts_core::{CollectMax, LongLivedTimestamp, PackedBackend, RegisterBackend};
 /// ```
 pub struct FcfsLock<B: RegisterBackend<u64> = PackedBackend> {
     tickets: CollectMax<B>,
-    choosing: Vec<AtomicBool>,
-    /// Active ticket per process; 0 = not competing.
-    active: Vec<AtomicU64>,
+    /// One padded announcement slot per process (see [`Announce`]).
+    announce: Vec<CachePadded<Announce>>,
 }
 
 impl FcfsLock<PackedBackend> {
@@ -62,14 +74,13 @@ impl<B: RegisterBackend<u64>> FcfsLock<B> {
         assert!(n > 0, "need at least one process");
         Self {
             tickets: CollectMax::with_backend(n),
-            choosing: (0..n).map(|_| AtomicBool::new(false)).collect(),
-            active: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            announce: (0..n).map(|_| CachePadded::default()).collect(),
         }
     }
 
     /// Number of registered processes.
     pub fn processes(&self) -> usize {
-        self.active.len()
+        self.announce.len()
     }
 
     /// Acquires the lock as process `pid`; blocks (spinning) until the
@@ -80,28 +91,29 @@ impl<B: RegisterBackend<u64>> FcfsLock<B> {
     /// Panics if `pid` is out of range or already competing (each
     /// process may hold/request the lock once at a time).
     pub fn lock(&self, pid: usize) -> FcfsLockGuard<'_, B> {
-        assert!(pid < self.active.len(), "pid {pid} out of range");
+        assert!(pid < self.announce.len(), "pid {pid} out of range");
         assert_eq!(
-            self.active[pid].load(Ordering::SeqCst),
+            self.announce[pid].ticket.load(Ordering::SeqCst),
             0,
             "process {pid} is already competing"
         );
-        // Doorway: announce, take a ticket, publish it.
-        self.choosing[pid].store(true, Ordering::SeqCst);
+        // Doorway: announce, take a ticket (fast path: one cache load +
+        // one CAS inside CollectMax), publish it.
+        self.announce[pid].choosing.store(true, Ordering::SeqCst);
         let ticket = self.tickets.get_ts(pid).expect("pid validated above").rnd; // scalar timestamps: rnd carries the value, ≥ 1
-        self.active[pid].store(ticket, Ordering::SeqCst);
-        self.choosing[pid].store(false, Ordering::SeqCst);
+        self.announce[pid].ticket.store(ticket, Ordering::SeqCst);
+        self.announce[pid].choosing.store(false, Ordering::SeqCst);
 
         // Waiting room: defer to every smaller (ticket, pid).
-        for q in 0..self.active.len() {
+        for q in 0..self.announce.len() {
             if q == pid {
                 continue;
             }
-            while self.choosing[q].load(Ordering::SeqCst) {
+            while self.announce[q].choosing.load(Ordering::SeqCst) {
                 std::hint::spin_loop();
             }
             loop {
-                let tq = self.active[q].load(Ordering::SeqCst);
+                let tq = self.announce[q].ticket.load(Ordering::SeqCst);
                 if tq == 0 || (tq, q) > (ticket, pid) {
                     break;
                 }
@@ -114,18 +126,18 @@ impl<B: RegisterBackend<u64>> FcfsLock<B> {
     /// The ticket currently held by `pid` (0 if not competing) —
     /// exposed for fairness assertions in tests.
     pub fn ticket_of(&self, pid: usize) -> u64 {
-        self.active[pid].load(Ordering::SeqCst)
+        self.announce[pid].ticket.load(Ordering::SeqCst)
     }
 
     fn unlock(&self, pid: usize) {
-        self.active[pid].store(0, Ordering::SeqCst);
+        self.announce[pid].ticket.store(0, Ordering::SeqCst);
     }
 }
 
 impl<B: RegisterBackend<u64>> fmt::Debug for FcfsLock<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("FcfsLock")
-            .field("processes", &self.active.len())
+            .field("processes", &self.announce.len())
             .finish()
     }
 }

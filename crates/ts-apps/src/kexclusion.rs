@@ -9,7 +9,18 @@
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use ts_core::{CollectMax, LongLivedTimestamp, PackedBackend, RegisterBackend};
+use ts_core::{CachePadded, CollectMax, LongLivedTimestamp, PackedBackend, RegisterBackend};
+
+/// One process's announcement slot, cache-line padded — same rationale
+/// as the FCFS lock's: every waiter scans every other process's slot,
+/// so unpadded neighbouring slots turn each doorway store into an
+/// all-readers cache-line invalidation.
+#[derive(Debug, Default)]
+struct Announce {
+    choosing: AtomicBool,
+    /// Active ticket; 0 = not competing.
+    ticket: AtomicU64,
+}
 
 /// k-exclusion admission for `n` registered processes, generic over the
 /// ticket object's register backend.
@@ -27,8 +38,8 @@ use ts_core::{CollectMax, LongLivedTimestamp, PackedBackend, RegisterBackend};
 /// ```
 pub struct KExclusion<B: RegisterBackend<u64> = PackedBackend> {
     tickets: CollectMax<B>,
-    choosing: Vec<AtomicBool>,
-    active: Vec<AtomicU64>,
+    /// One padded announcement slot per process (see [`Announce`]).
+    announce: Vec<CachePadded<Announce>>,
     k: usize,
 }
 
@@ -56,8 +67,7 @@ impl<B: RegisterBackend<u64>> KExclusion<B> {
         assert!(k > 0, "need at least one slot");
         Self {
             tickets: CollectMax::with_backend(n),
-            choosing: (0..n).map(|_| AtomicBool::new(false)).collect(),
-            active: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            announce: (0..n).map(|_| CachePadded::default()).collect(),
             k,
         }
     }
@@ -69,7 +79,7 @@ impl<B: RegisterBackend<u64>> KExclusion<B> {
 
     /// Number of registered processes.
     pub fn processes(&self) -> usize {
-        self.active.len()
+        self.announce.len()
     }
 
     /// Read-only pass over the announcement array: how many processes
@@ -77,9 +87,9 @@ impl<B: RegisterBackend<u64>> KExclusion<B> {
     /// Exposed for observability workloads and tests; the value is a
     /// momentary snapshot.
     pub fn competing(&self) -> usize {
-        self.active
+        self.announce
             .iter()
-            .filter(|a| a.load(Ordering::SeqCst) != 0)
+            .filter(|a| a.ticket.load(Ordering::SeqCst) != 0)
             .count()
     }
 
@@ -90,27 +100,27 @@ impl<B: RegisterBackend<u64>> KExclusion<B> {
     ///
     /// Panics if `pid` is out of range or already competing.
     pub fn acquire(&self, pid: usize) -> KExclusionGuard<'_, B> {
-        assert!(pid < self.active.len(), "pid {pid} out of range");
+        assert!(pid < self.announce.len(), "pid {pid} out of range");
         assert_eq!(
-            self.active[pid].load(Ordering::SeqCst),
+            self.announce[pid].ticket.load(Ordering::SeqCst),
             0,
             "process {pid} is already competing"
         );
-        self.choosing[pid].store(true, Ordering::SeqCst);
+        self.announce[pid].choosing.store(true, Ordering::SeqCst);
         let ticket = self.tickets.get_ts(pid).expect("pid validated").rnd;
-        self.active[pid].store(ticket, Ordering::SeqCst);
-        self.choosing[pid].store(false, Ordering::SeqCst);
+        self.announce[pid].ticket.store(ticket, Ordering::SeqCst);
+        self.announce[pid].choosing.store(false, Ordering::SeqCst);
 
         loop {
             let mut smaller = 0usize;
-            for q in 0..self.active.len() {
+            for q in 0..self.announce.len() {
                 if q == pid {
                     continue;
                 }
-                while self.choosing[q].load(Ordering::SeqCst) {
+                while self.announce[q].choosing.load(Ordering::SeqCst) {
                     std::hint::spin_loop();
                 }
-                let tq = self.active[q].load(Ordering::SeqCst);
+                let tq = self.announce[q].ticket.load(Ordering::SeqCst);
                 if tq != 0 && (tq, q) < (ticket, pid) {
                     smaller += 1;
                 }
@@ -123,14 +133,14 @@ impl<B: RegisterBackend<u64>> KExclusion<B> {
     }
 
     fn release(&self, pid: usize) {
-        self.active[pid].store(0, Ordering::SeqCst);
+        self.announce[pid].ticket.store(0, Ordering::SeqCst);
     }
 }
 
 impl<B: RegisterBackend<u64>> fmt::Debug for KExclusion<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("KExclusion")
-            .field("processes", &self.active.len())
+            .field("processes", &self.announce.len())
             .field("k", &self.k)
             .finish()
     }

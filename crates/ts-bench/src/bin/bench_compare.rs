@@ -1,0 +1,298 @@
+//! `bench_compare` — diff two bench-JSON files row by row.
+//!
+//! Both `bench_contention` (`BENCH_baseline.json`) and `bench_workloads`
+//! (`BENCH_workloads.json`) write a `{schema, results: [...]}` file; this
+//! binary joins two such files on their row keys and reports per-row
+//! throughput ratios (and p99 deltas where the schema records latency),
+//! so a perf change lands in review as a delta table instead of two blobs
+//! of JSON.
+//!
+//! ```sh
+//! cargo run --release -p ts-bench --bin bench_compare -- OLD.json NEW.json
+//! cargo run ... -- BENCH_baseline.json new.json --threshold 0.5x
+//! ```
+//!
+//! Row keys: `(bench, backend, threads)` for the contention schema,
+//! `(object, backend, scenario, threads)` for the workloads schema. Rows
+//! present in only one file are counted and skipped (a new bench family
+//! is not a regression). The two files must carry the same schema.
+//!
+//! Output: a markdown table (one JSON line per row under
+//! `TS_BENCH_JSON`) with old/new throughput, the `new/old` ratio, and —
+//! for workloads files — old/new p99 ns. The summary line counts
+//! improved (≥ 1.05x), unchanged, and regressed (≤ 0.95x) rows.
+//!
+//! `--threshold R` (e.g. `0.5x` or `0.5`) turns the diff into a gate:
+//! if any joined row's throughput ratio falls below `R`, the process
+//! exits 1 listing the offenders. CI's `perf-smoke` job runs the smoke
+//! grid against `BENCH_smoke.json` — the checked-in baseline recorded
+//! with the same smoke configuration, so the join is like-for-like —
+//! with `--threshold 0.5x`: a catastrophic regression (half the
+//! recorded throughput, far outside smoke-run noise) fails the build
+//! while ordinary jitter passes. The gate arms only when both files
+//! record the same `host_threads` — absolute throughput is not
+//! comparable across host parallelism classes (a single-CPU recording
+//! timeshares its interfering threads; a multi-core run really
+//! contends) — otherwise it reports the diff and exits 0, telling the
+//! operator to regenerate the baseline on the gating host class.
+
+use serde::Serialize;
+use serde_json::Value;
+
+use ts_bench::Table;
+
+/// One joined row of the comparison.
+#[derive(Debug, Clone, Serialize)]
+struct CompareRow {
+    key: String,
+    old_ops_per_sec: f64,
+    new_ops_per_sec: f64,
+    ratio: f64,
+    old_p99_ns: Option<u64>,
+    new_p99_ns: Option<u64>,
+}
+
+struct Config {
+    old_path: String,
+    new_path: String,
+    threshold: Option<f64>,
+}
+
+fn parse_threshold(raw: &str) -> f64 {
+    let trimmed = raw.strip_suffix('x').unwrap_or(raw);
+    let value: f64 = trimmed
+        .parse()
+        .unwrap_or_else(|_| panic!("--threshold takes a ratio like 0.5x, got {raw:?}"));
+    assert!(value > 0.0, "--threshold must be positive");
+    value
+}
+
+fn parse_args() -> Config {
+    let mut positional: Vec<String> = Vec::new();
+    let mut threshold = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let v = args.next().expect("--threshold takes a value");
+                threshold = Some(parse_threshold(&v));
+            }
+            other if other.starts_with("--") => {
+                panic!("unknown flag {other} (expected OLD.json NEW.json [--threshold R])")
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    assert_eq!(
+        positional.len(),
+        2,
+        "usage: bench_compare OLD.json NEW.json [--threshold R]"
+    );
+    Config {
+        old_path: positional.remove(0),
+        new_path: positional.remove(0),
+        threshold,
+    }
+}
+
+/// A parsed bench file: schema tag plus keyed rows.
+struct BenchFile {
+    schema: String,
+    /// Parallelism of the recording host (`host_threads`), when the
+    /// file records it — the threshold gate only arms when both files
+    /// were recorded at the same parallelism.
+    host_threads: Option<u64>,
+    /// key -> (throughput, p99_ns?)
+    rows: Vec<(String, f64, Option<u64>)>,
+}
+
+fn load(path: &str) -> BenchFile {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read bench file {path:?}: {e}"));
+    let value: Value = serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("bench file {path:?} is not valid JSON: {e:?}"));
+    let schema = value
+        .get("schema")
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| panic!("bench file {path:?} has no schema tag"))
+        .to_string();
+    let host_threads = value.get("host_threads").and_then(Value::as_u64);
+    let results = value
+        .get("results")
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| panic!("bench file {path:?} has no results array"));
+    let rows = results
+        .iter()
+        .map(|row| {
+            let (key, throughput_field) = if row.get("scenario").is_some() {
+                // bench_workloads schema.
+                (
+                    format!(
+                        "{}/{}/{}/t{}",
+                        field_str(row, "object", path),
+                        field_str(row, "backend", path),
+                        field_str(row, "scenario", path),
+                        field_u64(row, "threads", path),
+                    ),
+                    "throughput_ops_per_sec",
+                )
+            } else {
+                // bench_contention schema.
+                (
+                    format!(
+                        "{}/{}/t{}",
+                        field_str(row, "bench", path),
+                        field_str(row, "backend", path),
+                        field_u64(row, "threads", path),
+                    ),
+                    "ops_per_sec",
+                )
+            };
+            let throughput = row
+                .get(throughput_field)
+                .and_then(Value::as_f64)
+                .unwrap_or_else(|| panic!("row {key} in {path:?} lacks {throughput_field}"));
+            let p99 = row.get("p99_ns").and_then(Value::as_u64);
+            (key, throughput, p99)
+        })
+        .collect();
+    BenchFile {
+        schema,
+        host_threads,
+        rows,
+    }
+}
+
+fn field_str(row: &Value, name: &str, path: &str) -> String {
+    row.get(name)
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| panic!("row in {path:?} lacks string field {name:?}"))
+        .to_string()
+}
+
+fn field_u64(row: &Value, name: &str, path: &str) -> u64 {
+    row.get(name)
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("row in {path:?} lacks integer field {name:?}"))
+}
+
+fn fmt_ops(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+fn main() {
+    let cfg = parse_args();
+    let old = load(&cfg.old_path);
+    let new = load(&cfg.new_path);
+    assert_eq!(
+        old.schema, new.schema,
+        "schema mismatch: {} vs {} — compare like with like",
+        old.schema, new.schema
+    );
+
+    let old_keyed: std::collections::HashMap<&str, (f64, Option<u64>)> = old
+        .rows
+        .iter()
+        .map(|(k, t, p)| (k.as_str(), (*t, *p)))
+        .collect();
+    let mut joined: Vec<CompareRow> = Vec::new();
+    let mut only_new = 0usize;
+    for (key, new_tp, new_p99) in &new.rows {
+        match old_keyed.get(key.as_str()) {
+            Some(&(old_tp, old_p99)) => joined.push(CompareRow {
+                key: key.clone(),
+                old_ops_per_sec: old_tp,
+                new_ops_per_sec: *new_tp,
+                ratio: new_tp / old_tp.max(f64::MIN_POSITIVE),
+                old_p99_ns: old_p99,
+                new_p99_ns: *new_p99,
+            }),
+            None => only_new += 1,
+        }
+    }
+    let only_old = old.rows.len() - joined.len();
+
+    let mut table = Table::new(
+        format!(
+            "bench_compare — {} -> {} ({})",
+            cfg.old_path, cfg.new_path, new.schema
+        ),
+        &[
+            "row",
+            "old ops/s",
+            "new ops/s",
+            "ratio",
+            "old p99",
+            "new p99",
+        ],
+    );
+    for row in &joined {
+        table.push_row(vec![
+            row.key.clone(),
+            fmt_ops(row.old_ops_per_sec),
+            fmt_ops(row.new_ops_per_sec),
+            format!("{:.2}x", row.ratio),
+            row.old_p99_ns.map_or("-".into(), |p| format!("{p}ns")),
+            row.new_p99_ns.map_or("-".into(), |p| format!("{p}ns")),
+        ]);
+    }
+    if ts_bench::json_mode() {
+        for row in &joined {
+            println!("{}", serde_json::to_string(row).expect("rows serialize"));
+        }
+    } else {
+        table.emit();
+    }
+
+    let improved = joined.iter().filter(|r| r.ratio >= 1.05).count();
+    let regressed = joined.iter().filter(|r| r.ratio <= 0.95).count();
+    let unchanged = joined.len() - improved - regressed;
+    ts_bench::note(format!(
+        "{} rows joined ({improved} improved >=1.05x, {unchanged} unchanged, {regressed} \
+         regressed <=0.95x); {only_old} only in old, {only_new} only in new",
+        joined.len()
+    ));
+
+    if let Some(threshold) = cfg.threshold {
+        // Absolute throughput is only comparable between runs recorded
+        // at the same host parallelism: a single-CPU recording (where
+        // interfering threads timeshare) and a multi-core run (where
+        // they really contend) differ by integer factors with no code
+        // change. When the files disagree, report but do not fail.
+        if old.host_threads != new.host_threads {
+            eprintln!(
+                "bench_compare: threshold gate DISARMED: host_threads differ ({:?} vs {:?}) — \
+                 regenerate the baseline on this host class to arm it",
+                old.host_threads, new.host_threads
+            );
+            return;
+        }
+        let offenders: Vec<&CompareRow> = joined.iter().filter(|r| r.ratio < threshold).collect();
+        if !offenders.is_empty() {
+            eprintln!(
+                "bench_compare: {} row(s) below the {threshold}x threshold:",
+                offenders.len()
+            );
+            for row in &offenders {
+                eprintln!(
+                    "  {}: {} -> {} ({:.2}x)",
+                    row.key,
+                    fmt_ops(row.old_ops_per_sec),
+                    fmt_ops(row.new_ops_per_sec),
+                    row.ratio
+                );
+            }
+            std::process::exit(1);
+        }
+        ts_bench::note(format!(
+            "all {} joined rows at or above the {threshold}x threshold",
+            joined.len()
+        ));
+    }
+}

@@ -8,7 +8,10 @@
 //!   register (`AtomicRegister<u64>` vs `PackedRegister<u64>`); this is
 //!   the raw cost of the epoch machinery vs a hardware atomic.
 //! - **scan** — `double_collect_scan` over an 8-register array while
-//!   `threads − 1` writers interfere, epoch vs packed arrays.
+//!   `threads − 1` writers interfere, epoch vs packed arrays. Arrays are
+//!   cache-line padded by default; the `scan_unpadded` rows rerun the
+//!   same workload on the compact layout, so the baseline records the
+//!   false-sharing cost the padding removes.
 //! - **getTS** — `SimpleOneShot` (fresh objects, every thread takes its
 //!   one-shot timestamp on each) and `CollectMax` (one long-lived
 //!   object), packed default vs `EpochBackend` variants.
@@ -19,8 +22,12 @@
 //! have a perf trajectory to compare against.
 //!
 //! Flags: `--threads N` caps the thread ladder (default 8), `--smoke`
-//! shrinks op counts ~20x for CI smoke runs, `--out PATH` relocates the
-//! baseline file (`--out -` skips writing it).
+//! shrinks op counts ~20x for CI smoke runs **and measures each cell
+//! three times, keeping the best** (short cells are scheduler-noise
+//! magnets; a code regression survives repeats, a noisy neighbour does
+//! not — this is what makes the CI `perf-smoke` 0.5x gate reliable),
+//! `--out PATH` relocates the baseline file (`--out -` skips writing
+//! it).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
@@ -32,7 +39,7 @@ use ts_core::{
     CollectMax, EpochBackend, LongLivedTimestamp, OneShotTimestamp, PackedBackend, RegisterBackend,
     SimpleOneShot,
 };
-use ts_register::{AtomicRegister, PackedRegister, RegisterArray};
+use ts_register::{ArrayLayout, AtomicRegister, PackedRegister, RegisterArray};
 use ts_snapshot::double_collect_scan;
 
 /// One measured configuration.
@@ -136,8 +143,8 @@ where
 
 /// One scanner performing `scans` double collects while `threads - 1`
 /// writers hammer the array.
-fn bench_scan<B: RegisterBackend<u64>>(threads: usize, scans: u64) -> f64 {
-    let array: RegisterArray<u64, B> = RegisterArray::with_backend(8, 0);
+fn bench_scan<B: RegisterBackend<u64>>(threads: usize, scans: u64, layout: ArrayLayout) -> f64 {
+    let array: RegisterArray<u64, B> = RegisterArray::with_layout(8, 0, layout);
     let stop = AtomicBool::new(false);
     let start = Instant::now();
     crossbeam::scope(|s| {
@@ -211,44 +218,69 @@ fn main() {
     let cfg = parse_args();
     let scale = |n: u64| if cfg.smoke { (n / 20).max(100) } else { n };
     let rw_ops = scale(400_000);
-    let scans = scale(4_000);
+    let scans = scale(400_000);
     let oneshot_objects = scale(10_000) as usize;
     let collect_ops = scale(40_000);
 
+    // Smoke cells are tiny (a scheduler hiccup is a 2x swing), so smoke
+    // mode measures each cell three times and keeps the best: real
+    // regressions survive repeats, noisy neighbours do not.
+    let reps = if cfg.smoke { 3 } else { 1 };
+    let best = |mut measure: Box<dyn FnMut() -> BenchRow + '_>| -> BenchRow {
+        let mut best = measure();
+        for _ in 1..reps {
+            let again = measure();
+            if again.ops_per_sec > best.ops_per_sec {
+                best = again;
+            }
+        }
+        best
+    };
+
     let mut results: Vec<BenchRow> = Vec::new();
     for &t in &thread_ladder(cfg.max_threads) {
-        {
+        results.push(best(Box::new(|| {
             let reg = AtomicRegister::new(0u64);
             let secs = bench_register_rw(&reg, t, rw_ops);
-            results.push(row("register_rw", "epoch", t, rw_ops, secs));
-        }
-        {
+            row("register_rw", "epoch", t, rw_ops, secs)
+        })));
+        results.push(best(Box::new(|| {
             let reg: PackedRegister<u64> = PackedRegister::new(0);
             let secs = bench_register_rw(&reg, t, rw_ops);
-            results.push(row("register_rw", "packed", t, rw_ops, secs));
-        }
-        results.push(row(
-            "scan",
-            "epoch",
-            t,
-            scans,
-            bench_scan::<EpochBackend>(t, scans),
-        ));
-        results.push(row(
-            "scan",
-            "packed",
-            t,
-            scans,
-            bench_scan::<PackedBackend>(t, scans),
-        ));
-        let (ops, secs) = bench_simple_oneshot::<EpochBackend>(t, oneshot_objects);
-        results.push(row("get_ts/simple_oneshot", "epoch", t, ops, secs));
-        let (ops, secs) = bench_simple_oneshot::<PackedBackend>(t, oneshot_objects);
-        results.push(row("get_ts/simple_oneshot", "packed", t, ops, secs));
-        let (ops, secs) = bench_collect_max::<EpochBackend>(t, collect_ops);
-        results.push(row("get_ts/collect_max", "epoch", t, ops, secs));
-        let (ops, secs) = bench_collect_max::<PackedBackend>(t, collect_ops);
-        results.push(row("get_ts/collect_max", "packed", t, ops, secs));
+            row("register_rw", "packed", t, rw_ops, secs)
+        })));
+        results.push(best(Box::new(|| {
+            let secs = bench_scan::<EpochBackend>(t, scans, ArrayLayout::Padded);
+            row("scan", "epoch", t, scans, secs)
+        })));
+        results.push(best(Box::new(|| {
+            let secs = bench_scan::<PackedBackend>(t, scans, ArrayLayout::Padded);
+            row("scan", "packed", t, scans, secs)
+        })));
+        results.push(best(Box::new(|| {
+            let secs = bench_scan::<EpochBackend>(t, scans, ArrayLayout::Compact);
+            row("scan_unpadded", "epoch", t, scans, secs)
+        })));
+        results.push(best(Box::new(|| {
+            let secs = bench_scan::<PackedBackend>(t, scans, ArrayLayout::Compact);
+            row("scan_unpadded", "packed", t, scans, secs)
+        })));
+        results.push(best(Box::new(|| {
+            let (ops, secs) = bench_simple_oneshot::<EpochBackend>(t, oneshot_objects);
+            row("get_ts/simple_oneshot", "epoch", t, ops, secs)
+        })));
+        results.push(best(Box::new(|| {
+            let (ops, secs) = bench_simple_oneshot::<PackedBackend>(t, oneshot_objects);
+            row("get_ts/simple_oneshot", "packed", t, ops, secs)
+        })));
+        results.push(best(Box::new(|| {
+            let (ops, secs) = bench_collect_max::<EpochBackend>(t, collect_ops);
+            row("get_ts/collect_max", "epoch", t, ops, secs)
+        })));
+        results.push(best(Box::new(|| {
+            let (ops, secs) = bench_collect_max::<PackedBackend>(t, collect_ops);
+            row("get_ts/collect_max", "packed", t, ops, secs)
+        })));
     }
 
     let mut table = Table::new(
@@ -267,7 +299,10 @@ fn main() {
     table.emit();
     ts_bench::note(
         "expectations: packed >> epoch on every workload; epoch register reads must\n\
-         scale (not collapse) with threads now that pin/defer are lock-free.",
+         scale (not collapse) with threads now that pin/defer are lock-free; scan >=\n\
+         scan_unpadded under writers (padding + the summary short-circuit); collect_max\n\
+         getTS rides the cached-max fast path (diff against an old baseline with\n\
+         bench_compare).",
     );
 
     if let Some(path) = &cfg.out {

@@ -8,6 +8,9 @@
 //! `k_exclusion`), on both register backends where the object is
 //! generic, under every scenario in the `ts-workloads` catalog
 //! (closed loop, Zipf-skewed mixes, bursty open loop, thread churn).
+//! `collect_max` additionally runs on the compact register layout
+//! (backend label `packed_unpadded`), so every scenario doubles as a
+//! padded-vs-unpadded A/B cell.
 //!
 //! Each cell reports throughput and log-bucketed latency percentiles
 //! (p50/p90/p99/p999/max). Output: a markdown table normally, one JSON
@@ -33,8 +36,8 @@ use ts_apps::{FcfsLock, KExclusion};
 use ts_bench::Table;
 use ts_core::workload::WorkloadTarget;
 use ts_core::{
-    BoundedTimestamp, CollectMax, EpochBackend, GrowableWorkload, OneShotPool, PackedBackend,
-    SimpleOneShot,
+    ArrayLayout, BoundedTimestamp, CollectMax, EpochBackend, GrowableWorkload, OneShotPool,
+    PackedBackend, SimpleOneShot,
 };
 use ts_workloads::replay::{case_target, corpus_cases, corpus_traces, replay_trace, ReplayReport};
 use ts_workloads::{catalog, run_scenario, RunConfig, Scenario, ScenarioReport};
@@ -202,6 +205,13 @@ fn targets(threads: usize, pool_size: usize) -> Vec<Box<dyn WorkloadTarget>> {
         )),
         Box::new(CollectMax::<PackedBackend>::with_backend(threads)),
         Box::new(CollectMax::<EpochBackend>::with_backend(threads)),
+        // The same object on the compact (unpadded) register layout:
+        // its cells report backend "packed_unpadded", making the
+        // padded-vs-unpadded contention gap a first-class grid row.
+        Box::new(CollectMax::<PackedBackend>::with_layout(
+            threads,
+            ArrayLayout::Compact,
+        )),
         Box::new(GrowableWorkload::new()),
         Box::new(FcfsLock::<PackedBackend>::with_backend(threads)),
         Box::new(FcfsLock::<EpochBackend>::with_backend(threads)),

@@ -1,4 +1,5 @@
-//! Long-lived collect-max baseline (`n` SWMR registers).
+//! Long-lived collect-max baseline (`n` SWMR registers) with a
+//! cached-max fast path.
 //!
 //! The matching upper bound for Theorem 1.1 cited by the paper is the
 //! `n−1`-register wait-free algorithm of Ellen, Fatourou and Ruppert
@@ -13,11 +14,36 @@
 //! operation). The packed value budget is 32 bits — comfortably more
 //! than 4 × 10⁹ `getTS` calls; workloads beyond that should use
 //! [`EpochCollectMax`].
+//!
+//! # The cached-max fast path
+//!
+//! The full collect costs `n` reads of `n` cache lines, most of them
+//! freshly invalidated under write contention. This module keeps a
+//! shared *cached maximum* — one padded `AtomicU64` — beside the
+//! register array and gives [`CollectMax::get_ts`] a fallback ladder:
+//!
+//! 1. **fast path**: one `Acquire` load of the cache, then one CAS
+//!    advancing it from `m` to `m + 1`; on success the process writes
+//!    `m + 1` to its own register and returns it — three shared
+//!    accesses total, independent of `n`;
+//! 2. **validation failure** (the CAS lost a race): fall back to the
+//!    classic full collect — seeded with the cache value the failed CAS
+//!    observed — write `max + 1` to the own register, then publish it
+//!    into the cache with a `fetch_max` retry chain.
+//!
+//! Correctness rests on four invariants, spelled out at
+//! [`CollectMax::get_ts_fast_paused`]; the fast path is model-checked
+//! by `ts_core::model::CollectMaxFastModel` (Explorer + PCT sweeps in
+//! `tests/model_check.rs`) and replayed against this implementation
+//! from the checked-in trace corpus.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use ts_register::{BackendRegister, EpochBackend, PackedBackend, RegisterBackend, SpaceMeter};
+use ts_register::{
+    ArrayLayout, BackendRegister, CachePadded, EpochBackend, PackedBackend, RegisterBackend, Slots,
+    SpaceMeter,
+};
 
 use crate::error::GetTsError;
 use crate::timestamp::Timestamp;
@@ -29,8 +55,12 @@ use crate::traits::LongLivedTimestamp;
 /// Wait-free; timestamps are scalars ordered by `<`. If two concurrent
 /// calls return equal values the object is still correct: the timestamp
 /// property only constrains non-overlapping calls, and a call that starts
-/// after another finishes always observes its write and returns a
+/// after another finishes always observes its effect and returns a
 /// strictly larger value.
+///
+/// `get_ts` serves most calls from the cached-max fast path (one load +
+/// one CAS instead of an `n`-read collect — see the module docs);
+/// [`CollectMax::fast_path_hits`] reports how often.
 ///
 /// # Example
 ///
@@ -41,11 +71,19 @@ use crate::traits::LongLivedTimestamp;
 /// let a = ts.get_ts(0).unwrap();
 /// let b = ts.get_ts(0).unwrap(); // long-lived: same process again
 /// assert!(Timestamp::compare(&a, &b));
+/// assert!(ts.fast_path_hits() >= 1);
 /// ```
 pub struct CollectMax<B: RegisterBackend<u64> = PackedBackend> {
-    registers: Vec<B::Reg>,
+    /// One SWMR register per process, padded by default (each register
+    /// has exactly one writer, the textbook false-sharing victim).
+    registers: Slots<B::Reg>,
+    /// Cached maximum: `>=` the value of every *completed* `getTS`
+    /// call, advanced only by CAS/fetch-max (hence monotone). Padded so
+    /// fast-path CASes never share a line with any register.
+    cached_max: CachePadded<AtomicU64>,
     meter: SpaceMeter,
     calls: AtomicU64,
+    fast_hits: AtomicU64,
 }
 
 /// [`CollectMax`] over epoch-reclaimed heap-cell registers — same
@@ -55,7 +93,7 @@ pub type EpochCollectMax = CollectMax<EpochBackend>;
 
 impl CollectMax<PackedBackend> {
     /// Creates an object for `processes` processes using `n` word-inlined
-    /// registers (the default backend).
+    /// registers (the default backend), cache-line padded.
     ///
     /// # Panics
     ///
@@ -67,21 +105,41 @@ impl CollectMax<PackedBackend> {
 
 impl<B: RegisterBackend<u64>> CollectMax<B> {
     /// Creates an object for `processes` processes using `n` registers on
-    /// the backend `B`.
+    /// the backend `B`, in the default padded layout.
     ///
     /// # Panics
     ///
     /// Panics if `processes == 0`.
     pub fn with_backend(processes: usize) -> Self {
+        Self::with_layout(processes, ArrayLayout::Padded)
+    }
+
+    /// Creates an object with an explicit register [`ArrayLayout`]
+    /// (compact exists for the padded-vs-unpadded contention
+    /// comparison in `ts-workloads`/`ts-bench`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processes == 0`.
+    pub fn with_layout(processes: usize, layout: ArrayLayout) -> Self {
         assert!(processes > 0, "need at least one process");
         Self {
-            registers: (0..processes).map(|_| B::Reg::with_initial(0)).collect(),
+            registers: Slots::new(layout, processes, |_| B::Reg::with_initial(0)),
+            cached_max: CachePadded::new(AtomicU64::new(0)),
             meter: SpaceMeter::new(processes),
             calls: AtomicU64::new(0),
+            fast_hits: AtomicU64::new(0),
         }
     }
 
-    /// The meter recording this object's register traffic.
+    /// The register memory layout this object was built with.
+    pub fn layout(&self) -> ArrayLayout {
+        self.registers.layout()
+    }
+
+    /// The meter recording this object's register traffic (the cached
+    /// maximum is auxiliary state, not one of the `n` registers, so its
+    /// accesses are not metered).
     pub fn meter(&self) -> &SpaceMeter {
         &self.meter
     }
@@ -91,17 +149,38 @@ impl<B: RegisterBackend<u64>> CollectMax<B> {
         self.calls.load(Ordering::Relaxed)
     }
 
-    /// `getTS` with a pause hook: `pause` runs immediately before every
-    /// shared-memory access (each of the `n` register reads, then the
-    /// write of the process's own register).
+    /// `getTS` calls served by the cached-max fast path (one load + one
+    /// CAS, no collect). `calls() - fast_path_hits()` took the full
+    /// collect fallback.
+    pub fn fast_path_hits(&self) -> u64 {
+        self.fast_hits.load(Ordering::Relaxed)
+    }
+
+    /// `getTS` along the **classic collect path** with a pause hook:
+    /// `pause` runs immediately before every announced shared-memory
+    /// access (each of the `n` register reads, then the write of the
+    /// process's own register).
     ///
     /// This is the step-barrier seam of the schedule-replay harness: a
     /// controller whose `pause` blocks on a
     /// [`StepGate`](crate::workload::StepGate) can hold this call
     /// between any two accesses — e.g. keep the final write pending
     /// while other processes complete, the paper's stalled-writer
-    /// adversary. With a no-op hook this *is* `get_ts` (the closure
-    /// inlines away).
+    /// adversary. With a no-op hook this is the collect fallback of
+    /// `get_ts` (the closure inlines away). Its model twin is
+    /// `ts_core::model::CollectMaxModel`, and the checked-in trace
+    /// corpus depends on its announced-access sequence staying exactly
+    /// `n` reads + 1 write.
+    ///
+    /// One access is deliberately *not* announced: after the own-register
+    /// write, the call publishes its value into the cached maximum with
+    /// a silent `fetch_max`. The cache never feeds back into this path
+    /// (it is read only by the fast path), so the silent access cannot
+    /// change any announced access's observation or this call's output —
+    /// announcing it would desynchronize every pre-fast-path trace for
+    /// no replay fidelity gain. It must happen, though: a later
+    /// *fast-path* call is entitled to see this call's value in the
+    /// cache (invariant I2 below).
     ///
     /// # Errors
     ///
@@ -119,27 +198,162 @@ impl<B: RegisterBackend<u64>> CollectMax<B> {
         for i in 0..n {
             pause();
             self.meter.record_read(i);
-            max = max.max(ts_register::Register::read(&self.registers[i]));
+            max = max.max(ts_register::Register::read(self.registers.get(i)));
         }
         let t = max + 1;
         pause();
         self.meter.record_write(pid);
-        ts_register::Register::write(&self.registers[pid], t);
+        ts_register::Register::write(self.registers.get(pid), t);
+        // Silent cache publication (see above): not an announced
+        // sub-step, but required so fast-path readers observe this
+        // call's value once it completes.
+        self.cached_max.fetch_max(t, Ordering::AcqRel);
         self.calls.fetch_add(1, Ordering::Relaxed);
         Ok(Timestamp::scalar(t))
     }
 
-    /// Read-only collect: the maximum value currently in any register,
-    /// as a timestamp, without writing anything.
+    /// `getTS` along the **cached-max fast path** (what
+    /// [`get_ts`](LongLivedTimestamp::get_ts) runs), with a pause hook
+    /// before every shared-memory access — the replay seam for the fast
+    /// path's model twin, `ts_core::model::CollectMaxFastModel`.
     ///
-    /// This is the observation half of `getTS` (the workload engine's
-    /// *scan* operation); the returned timestamp is a lower bound on
-    /// every timestamp a later `get_ts` call can return.
+    /// Access sequence (each preceded by one `pause()`):
+    /// cache load; cache CAS; then either the own-register write (CAS
+    /// succeeded) or the `n`-read collect, the own-register write, and
+    /// the fetch-max retry chain (one cache load, then one CAS per
+    /// retry).
+    ///
+    /// # Why the fast path never returns a stale max
+    ///
+    /// Four invariants carry the timestamp property across both paths:
+    ///
+    /// - **I1 (monotone cache)**: the cached maximum is only ever
+    ///   advanced — by the fast path's `CAS(m → m+1)` and the slow
+    ///   path's `fetch_max` — so its value never decreases.
+    /// - **I2 (completion publishes)**: every call that returns `t`
+    ///   made the cache `>= t` before returning (the fast path's own
+    ///   successful CAS; the slow path's fetch-max chain, which only
+    ///   stops once the cache is `>= t`).
+    /// - **I3 (registers cover completions)**: every call that returns
+    ///   `t` wrote `t` to its own register before returning, and each
+    ///   process's register values are strictly increasing (both paths
+    ///   return values strictly above the process's previous value, by
+    ///   I1/I2 for the fast path and by the collect including the own
+    ///   register for the slow path).
+    /// - **I4 (cache observations are floors)**: the slow path seeds
+    ///   its collect with the cache value its failed CAS observed, so
+    ///   a call along *either* branch returns strictly more than any
+    ///   cache value it observed — which is what makes
+    ///   [`read_max`](Self::read_max) a sound lower bound even while
+    ///   the cache transiently exceeds every register (a fast-path
+    ///   call parked between its CAS and its register write).
+    ///
+    /// If call `A` (returning `t_A`) completes before call `B` begins:
+    /// a fast-path `B` loads the cache after `A` made it `>= t_A` (I1,
+    /// I2) and returns at least `t_A + 1`; a slow-path or classic
+    /// [`get_ts_paused`](Self::get_ts_paused) `B` collects `A`'s
+    /// register, which still holds
+    /// `>= t_A` (I3), and returns at least `t_A + 1`. Overlapping calls
+    /// are unconstrained by the timestamp property, exactly as in the
+    /// collect-only algorithm.
+    ///
+    /// # Errors
+    ///
+    /// [`GetTsError::PidOutOfRange`] if `pid >= processes`.
+    pub fn get_ts_fast_paused(
+        &self,
+        pid: usize,
+        mut pause: impl FnMut(),
+    ) -> Result<Timestamp, GetTsError> {
+        let n = self.registers.len();
+        if pid >= n {
+            return Err(GetTsError::PidOutOfRange { pid, processes: n });
+        }
+        pause();
+        let m = self.cached_max.load(Ordering::Acquire);
+        let t = m + 1;
+        pause();
+        let observed =
+            match self
+                .cached_max
+                .compare_exchange(m, t, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    // Fast path: we advanced the cache m -> m+1 ourselves,
+                    // so t is fresh. Publish it in our register for
+                    // collectors (I3).
+                    pause();
+                    self.meter.record_write(pid);
+                    ts_register::Register::write(self.registers.get(pid), t);
+                    self.fast_hits.fetch_add(1, Ordering::Relaxed);
+                    self.calls.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Timestamp::scalar(t));
+                }
+                Err(now) => now,
+            };
+        // Validation failed — someone advanced the cache under us. Fall
+        // back to the classic collect, seeded with the cache value the
+        // failed CAS observed (I4: the cache can transiently exceed
+        // every register, and folding it in keeps every observed cache
+        // value a floor for later outputs), then publish into the cache
+        // (I2) with a CAS retry chain (fetch_max spelled out so every
+        // access has a pause point).
+        let mut max = observed;
+        for i in 0..n {
+            pause();
+            self.meter.record_read(i);
+            max = max.max(ts_register::Register::read(self.registers.get(i)));
+        }
+        let t = max + 1;
+        pause();
+        self.meter.record_write(pid);
+        ts_register::Register::write(self.registers.get(pid), t);
+        pause();
+        let mut cur = self.cached_max.load(Ordering::Acquire);
+        while cur < t {
+            pause();
+            match self
+                .cached_max
+                .compare_exchange(cur, t, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        Ok(Timestamp::scalar(t))
+    }
+
+    /// Read-only observation: the cached maximum, as a timestamp, from
+    /// a single `Acquire` load.
+    ///
+    /// Contract (invariants I1/I2/I4 of
+    /// [`get_ts_fast_paused`](Self::get_ts_fast_paused)): the result is
+    /// monotone across reads, `>=` the value of every `get_ts` call
+    /// completed before the read, and a strict lower bound on every
+    /// timestamp a *later* [`get_ts`](LongLivedTimestamp::get_ts) call
+    /// can return — both its branches start from a cache observation at
+    /// least this large. One documented exemption: the replay-only
+    /// classic path [`get_ts_paused`](Self::get_ts_paused) collects
+    /// registers without consulting the cache (its announced-access
+    /// sequence is pinned by the trace corpus), so while the cache runs
+    /// ahead of the registers — fast-path callers parked between their
+    /// CAS and their register write — a concurrent-with-them classic
+    /// call may return less than an earlier `read_max`. Completed calls
+    /// are always covered, on every path.
     pub fn read_max(&self) -> Timestamp {
+        Timestamp::scalar(self.cached_max.load(Ordering::Acquire))
+    }
+
+    /// Read-only full collect: the maximum value currently in any
+    /// register, without consulting the cache. Costs `n` metered reads;
+    /// kept for diagnostics and for benchmarking against
+    /// [`read_max`](Self::read_max).
+    pub fn read_max_collect(&self) -> Timestamp {
         let mut max = 0u64;
         for i in 0..self.registers.len() {
             self.meter.record_read(i);
-            max = max.max(ts_register::Register::read(&self.registers[i]));
+            max = max.max(ts_register::Register::read(self.registers.get(i)));
         }
         Timestamp::scalar(max)
     }
@@ -147,7 +361,7 @@ impl<B: RegisterBackend<u64>> CollectMax<B> {
 
 impl<B: RegisterBackend<u64>> LongLivedTimestamp for CollectMax<B> {
     fn get_ts(&self, pid: usize) -> Result<Timestamp, GetTsError> {
-        self.get_ts_paused(pid, || {})
+        self.get_ts_fast_paused(pid, || {})
     }
 
     fn processes(&self) -> usize {
@@ -163,7 +377,9 @@ impl<B: RegisterBackend<u64>> fmt::Debug for CollectMax<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("CollectMax")
             .field("processes", &self.registers.len())
+            .field("layout", &self.layout())
             .field("calls", &self.calls())
+            .field("fast_path_hits", &self.fast_path_hits())
             .finish()
     }
 }
@@ -188,6 +404,8 @@ mod tests {
             }
         }
         assert_eq!(ts.calls(), 15);
+        // Solo, every CAS succeeds: all 15 calls take the fast path.
+        assert_eq!(ts.fast_path_hits(), 15);
     }
 
     #[test]
@@ -203,6 +421,15 @@ mod tests {
     }
 
     #[test]
+    fn compact_layout_behaves_identically() {
+        let ts = CollectMax::<PackedBackend>::with_layout(2, ArrayLayout::Compact);
+        assert_eq!(ts.layout(), ArrayLayout::Compact);
+        let a = ts.get_ts(0).unwrap();
+        let b = ts.get_ts(1).unwrap();
+        assert!(Timestamp::compare(&a, &b));
+    }
+
+    #[test]
     fn same_process_repeats_fine() {
         let ts = CollectMax::new(1);
         let a = ts.get_ts(0).unwrap();
@@ -214,6 +441,8 @@ mod tests {
     fn out_of_range_pid_is_rejected() {
         let ts = CollectMax::new(2);
         assert!(ts.get_ts(2).is_err());
+        assert!(ts.get_ts_paused(2, || {}).is_err());
+        assert!(ts.get_ts_fast_paused(2, || {}).is_err());
     }
 
     #[test]
@@ -223,6 +452,49 @@ mod tests {
             ts.get_ts(p).unwrap();
         }
         assert_eq!(ts.meter().snapshot().registers_written(), 5);
+    }
+
+    #[test]
+    fn classic_path_still_orders_and_feeds_the_fast_path() {
+        let ts = CollectMax::new(2);
+        // Classic collect path completes with 3...
+        let a = ts.get_ts_paused(0, || {}).unwrap();
+        let b = ts.get_ts_paused(1, || {}).unwrap();
+        // ...and the silent fetch_max must make the fast path see it.
+        let c = ts.get_ts(0).unwrap();
+        assert!(Timestamp::compare(&a, &b));
+        assert!(
+            Timestamp::compare(&b, &c),
+            "fast path returned a max stale against the classic path: {b} !< {c}"
+        );
+        assert_eq!(ts.read_max(), c);
+    }
+
+    #[test]
+    fn read_max_covers_every_completed_call() {
+        let ts = CollectMax::new(3);
+        let mut top = Timestamp::scalar(0);
+        for p in [0usize, 2, 1, 0] {
+            top = ts.get_ts(p).unwrap();
+            let seen = ts.read_max();
+            assert!(
+                !Timestamp::compare(&seen, &top),
+                "read_max {seen} fell below completed call {top}"
+            );
+        }
+        assert_eq!(ts.read_max_collect(), top);
+        assert_eq!(ts.read_max(), top);
+    }
+
+    #[test]
+    fn fast_paused_announces_the_documented_access_sequence() {
+        let ts = CollectMax::new(2);
+        let mut pauses = 0u32;
+        let t = ts.get_ts_fast_paused(0, || pauses += 1).unwrap();
+        assert_eq!(t, Timestamp::scalar(1));
+        // Solo fast path: cache load, CAS, own write.
+        assert_eq!(pauses, 3);
+        assert_eq!(ts.fast_path_hits(), 1);
     }
 
     #[test]
@@ -255,5 +527,42 @@ mod tests {
         }
         run::<PackedBackend>();
         run::<EpochBackend>();
+    }
+
+    #[test]
+    fn mixed_fast_and_classic_paths_stay_ordered_across_threads() {
+        // Half the threads use the fast path, half the classic collect;
+        // barrier-separated rounds must stay ordered regardless of
+        // which path produced which value.
+        let n = 6;
+        let ts = Arc::new(CollectMax::<PackedBackend>::with_backend(n));
+        let mut prev_round_max: Option<Timestamp> = None;
+        for _round in 0..8 {
+            let outs: Vec<Timestamp> = crossbeam::scope(|s| {
+                let handles: Vec<_> = (0..n)
+                    .map(|p| {
+                        let ts = Arc::clone(&ts);
+                        s.spawn(move |_| {
+                            if p % 2 == 0 {
+                                ts.get_ts(p).unwrap()
+                            } else {
+                                ts.get_ts_paused(p, || {}).unwrap()
+                            }
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .unwrap();
+            let max = *outs.iter().max().unwrap();
+            let min = *outs.iter().min().unwrap();
+            if let Some(prev) = prev_round_max {
+                assert!(
+                    Timestamp::compare(&prev, &min),
+                    "mixed-path ordering broken: {prev} !< {min}"
+                );
+            }
+            prev_round_max = Some(max);
+        }
     }
 }

@@ -62,10 +62,10 @@ pub use simple::{EpochSimpleOneShot, SimpleOneShot};
 pub use timestamp::Timestamp;
 pub use traits::{LongLivedTimestamp, OneShotTimestamp};
 pub use workload::{
-    GateError, GateProgress, GrowableWorkload, OneShotPool, OpHistory, ReplayGranularity, StepGate,
-    WorkloadOp, WorkloadTarget, WorkloadWorker,
+    CollectMaxFast, GateError, GateProgress, GrowableWorkload, OneShotPool, OpHistory,
+    ReplayGranularity, StepGate, WorkloadOp, WorkloadTarget, WorkloadWorker,
 };
 
-// Re-exported so downstream constructors can name backends without a
-// direct `ts-register` dependency.
-pub use ts_register::{EpochBackend, PackedBackend, RegisterBackend};
+// Re-exported so downstream constructors can name backends and layouts
+// without a direct `ts-register` dependency.
+pub use ts_register::{ArrayLayout, CachePadded, EpochBackend, PackedBackend, RegisterBackend};

@@ -1,0 +1,264 @@
+//! Model twin of the collect-max **cached-max fast path**.
+//!
+//! [`CollectMaxFastModel`] mirrors
+//! [`CollectMax::get_ts_fast_paused`](crate::CollectMax::get_ts_fast_paused)
+//! access-for-access: registers `0..n` are the per-process SWMR
+//! registers, register `n` is the shared cached maximum, and the cache
+//! advances through [`ts_model::Poised::Cas`] steps — the atomic RMW
+//! that makes the fast path sound (a read-then-write rendition would
+//! model a *different, broken* algorithm whose lost-update race the
+//! checker would rightly flag).
+//!
+//! The twin exists to *prove the fast path never returns a stale max*:
+//! the Explorer and PCT sweeps in `tests/model_check.rs` exhaust its
+//! interleavings — including a call stalling between its cache CAS and
+//! its register write while others complete — and the checked-in
+//! regression trace (`tests/traces/collect_max_fast_n2_stalled_cas.json`)
+//! replays one such adversarial schedule against the real object.
+
+use ts_model::{Algorithm, Machine, Poised, ProcId};
+
+use crate::timestamp::Timestamp;
+
+/// Step machine for one fast-path collect-max `getTS()` call.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CollectMaxFastMachine {
+    pid: usize,
+    n: usize,
+    phase: Phase,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Phase {
+    /// Load the cached maximum (register `n`).
+    ReadCache,
+    /// Try to advance the cache `m -> m + 1`.
+    TryFast {
+        m: u64,
+    },
+    /// CAS landed: publish `t` in the own register, then return.
+    WriteOwnFast {
+        t: u64,
+    },
+    /// CAS lost — classic collect over registers `0..n`.
+    Collect {
+        i: usize,
+        max: u64,
+    },
+    /// Collect done: write `t = max + 1` to the own register.
+    WriteOwnSlow {
+        t: u64,
+    },
+    /// Slow-path cache publication: load the cache once...
+    AdvanceRead {
+        t: u64,
+    },
+    /// ...then CAS it up to `t` until it is `>= t` (fetch-max spelled
+    /// out as a CAS retry chain, exactly like the implementation).
+    AdvanceCas {
+        expected: u64,
+        t: u64,
+    },
+    Finished {
+        t: u64,
+    },
+}
+
+impl CollectMaxFastMachine {
+    /// Creates the machine for process `pid` of an `n`-process object.
+    pub fn new(pid: ProcId, n: usize) -> Self {
+        assert!(pid < n);
+        Self {
+            pid,
+            n,
+            phase: Phase::ReadCache,
+        }
+    }
+}
+
+impl Machine for CollectMaxFastMachine {
+    type Value = u64;
+    type Output = Timestamp;
+
+    fn poised(&self) -> Poised<u64, Timestamp> {
+        match &self.phase {
+            Phase::ReadCache => Poised::Read { reg: self.n },
+            Phase::TryFast { m } => Poised::Cas {
+                reg: self.n,
+                expected: *m,
+                new: m + 1,
+            },
+            Phase::WriteOwnFast { t } | Phase::WriteOwnSlow { t } => Poised::Write {
+                reg: self.pid,
+                value: *t,
+            },
+            Phase::Collect { i, .. } => Poised::Read { reg: *i },
+            Phase::AdvanceRead { .. } => Poised::Read { reg: self.n },
+            Phase::AdvanceCas { expected, t } => Poised::Cas {
+                reg: self.n,
+                expected: *expected,
+                new: *t,
+            },
+            Phase::Finished { t } => Poised::Done(Timestamp::scalar(*t)),
+        }
+    }
+
+    fn observe(&mut self, observed: Option<u64>) {
+        self.phase = match (&self.phase, observed) {
+            (Phase::ReadCache, Some(m)) => Phase::TryFast { m },
+            (Phase::TryFast { m }, Some(prior)) => {
+                if prior == *m {
+                    // Swap landed: we own t = m + 1.
+                    Phase::WriteOwnFast { t: m + 1 }
+                } else {
+                    // Validation failed: full collect fallback, seeded
+                    // with the cache value the failed CAS observed —
+                    // the cache can transiently exceed every register
+                    // (a fast-path caller between its CAS and its
+                    // register write), and folding it in keeps every
+                    // observed cache value a floor for later outputs.
+                    Phase::Collect { i: 0, max: prior }
+                }
+            }
+            (Phase::WriteOwnFast { t }, None) => Phase::Finished { t: *t },
+            (Phase::Collect { i, max }, Some(v)) => {
+                let max = (*max).max(v);
+                if i + 1 < self.n {
+                    Phase::Collect { i: i + 1, max }
+                } else {
+                    Phase::WriteOwnSlow { t: max + 1 }
+                }
+            }
+            (Phase::WriteOwnSlow { t }, None) => Phase::AdvanceRead { t: *t },
+            (Phase::AdvanceRead { t }, Some(c)) => {
+                if c >= *t {
+                    Phase::Finished { t: *t }
+                } else {
+                    Phase::AdvanceCas { expected: c, t: *t }
+                }
+            }
+            (Phase::AdvanceCas { expected, t }, Some(prior)) => {
+                if prior == *expected || prior >= *t {
+                    // Swap landed, or someone else pushed the cache
+                    // past t — either way publication is done.
+                    Phase::Finished { t: *t }
+                } else {
+                    Phase::AdvanceCas {
+                        expected: prior,
+                        t: *t,
+                    }
+                }
+            }
+            (phase, obs) => panic!("invalid observe({obs:?}) in {phase:?}"),
+        };
+    }
+}
+
+/// Model algorithm: the cached-max fast path over `n` SWMR registers
+/// plus one shared cache register (index `n`).
+#[derive(Debug, Clone)]
+pub struct CollectMaxFastModel {
+    n: usize,
+}
+
+impl CollectMaxFastModel {
+    /// Creates the model for `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        Self { n }
+    }
+}
+
+impl Algorithm for CollectMaxFastModel {
+    type Machine = CollectMaxFastMachine;
+
+    fn processes(&self) -> usize {
+        self.n
+    }
+
+    fn registers(&self) -> usize {
+        self.n + 1 // n SWMR registers + the shared cache
+    }
+
+    fn initial_value(&self) -> u64 {
+        0
+    }
+
+    fn invoke(&self, pid: ProcId, _op_index: usize) -> CollectMaxFastMachine {
+        CollectMaxFastMachine::new(pid, self.n)
+    }
+
+    fn compare(&self, t1: &Timestamp, t2: &Timestamp) -> bool {
+        Timestamp::compare(t1, t2)
+    }
+
+    fn ops_per_process(&self) -> Option<usize> {
+        None // long-lived
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_model::{Explorer, RandomScheduler, System};
+
+    #[test]
+    fn solo_calls_take_the_fast_path_and_count_up() {
+        let mut sys = System::new(CollectMaxFastModel::new(2));
+        // Solo: read cache, CAS (succeeds), write own, return = 4 steps
+        // after the invoke.
+        assert_eq!(
+            sys.run_solo_to_completion(0, 10).unwrap(),
+            Timestamp::scalar(1)
+        );
+        assert_eq!(
+            sys.run_solo_to_completion(1, 10).unwrap(),
+            Timestamp::scalar(2)
+        );
+        assert_eq!(
+            sys.run_solo_to_completion(0, 10).unwrap(),
+            Timestamp::scalar(3)
+        );
+    }
+
+    #[test]
+    fn lost_cas_falls_back_to_the_collect() {
+        let mut sys = System::new(CollectMaxFastModel::new(2));
+        // p0: invoke, read cache (0), then stall before its CAS.
+        sys.step(0).unwrap();
+        sys.step(0).unwrap();
+        // p1 completes a whole fast-path op: cache is now 1.
+        sys.run_solo_to_completion(1, 10).unwrap();
+        // p0's CAS(0 -> 1) now fails; it must collect and finish with 2.
+        let out = sys.run_solo_to_completion(0, 20).unwrap();
+        assert_eq!(out, Timestamp::scalar(2));
+        assert!(sys.check_property().is_none());
+    }
+
+    #[test]
+    fn exhaustive_check_two_processes_two_ops_each() {
+        let report = Explorer::new(CollectMaxFastModel::new(2), 2).run();
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+    }
+
+    #[test]
+    fn exhaustive_check_three_processes_one_op() {
+        let report = Explorer::new(CollectMaxFastModel::new(3), 1).run();
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+    }
+
+    #[test]
+    fn random_long_lived_runs() {
+        for seed in 0..10 {
+            let report = RandomScheduler::new(seed)
+                .ops_per_process(3)
+                .run(CollectMaxFastModel::new(5));
+            assert!(report.violation.is_none(), "seed {seed}");
+            assert_eq!(report.completed_ops, 15);
+        }
+    }
+}

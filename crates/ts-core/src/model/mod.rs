@@ -11,9 +11,11 @@
 mod bounded;
 mod broken;
 mod collectmax;
+mod collectmax_fast;
 mod simple;
 
 pub use bounded::{BoundedMachine, BoundedModel};
 pub use broken::{BrokenCounterMachine, BrokenCounterModel};
 pub use collectmax::{CollectMaxMachine, CollectMaxModel};
+pub use collectmax_fast::{CollectMaxFastMachine, CollectMaxFastModel};
 pub use simple::{SimpleMachine, SimpleModel};

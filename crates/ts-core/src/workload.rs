@@ -59,7 +59,7 @@ use std::hint::black_box;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
-use ts_register::RegisterBackend;
+use ts_register::{ArrayLayout, CachePadded, RegisterBackend};
 
 use crate::broken::BrokenCounter;
 use crate::collectmax::CollectMax;
@@ -235,7 +235,12 @@ struct GateState {
 /// ```
 #[derive(Debug, Default)]
 pub struct StepGate {
-    state: Mutex<GateState>,
+    /// Cache-line padded: replay keeps one gate per worker in a `Vec`,
+    /// and each gate's released/finished counters are hammered by a
+    /// different worker thread plus the controller — without padding,
+    /// neighbouring workers' gate traffic bounces one shared line
+    /// between every thread in the replay.
+    state: CachePadded<Mutex<GateState>>,
     cv: Condvar,
 }
 
@@ -483,13 +488,26 @@ impl<B: RegisterBackend<u64>> WorkloadWorker for CollectMaxWorker<'_, B> {
     }
 }
 
+/// Report label for a backend × register-layout pair: the plain backend
+/// name for the default padded layout, a `_unpadded` suffix for the
+/// compact one (so padded-vs-unpadded cells are distinguishable in the
+/// workload grid).
+fn layout_label(backend: &'static str, layout: ArrayLayout) -> &'static str {
+    match (backend, layout) {
+        (_, ArrayLayout::Padded) => backend,
+        ("packed", ArrayLayout::Compact) => "packed_unpadded",
+        ("epoch", ArrayLayout::Compact) => "epoch_unpadded",
+        (_, ArrayLayout::Compact) => "custom_unpadded",
+    }
+}
+
 impl<B: RegisterBackend<u64>> WorkloadTarget for CollectMax<B> {
     fn object(&self) -> &'static str {
         "collect_max"
     }
 
     fn backend(&self) -> &'static str {
-        B::NAME
+        layout_label(B::NAME, self.layout())
     }
 
     fn slots(&self) -> usize {
@@ -500,6 +518,129 @@ impl<B: RegisterBackend<u64>> WorkloadTarget for CollectMax<B> {
         assert!(slot < self.slots(), "slot {slot} out of range");
         Box::new(CollectMaxWorker {
             obj: self,
+            slot,
+            history: OpHistory::new(),
+        })
+    }
+
+    fn replay_granularity(&self) -> ReplayGranularity {
+        ReplayGranularity::MemoryAccess
+    }
+}
+
+// ---------------------------------------------------------------------
+// CollectMaxFast: the same object replayed along its cached-max fast
+// path instead of the classic collect.
+// ---------------------------------------------------------------------
+
+/// [`CollectMax`] wrapped so that gated replay drives
+/// [`CollectMax::get_ts_fast_paused`] — the cached-max fast path with
+/// one announced sub-step per shared access — instead of the classic
+/// collect path the bare `CollectMax` target announces.
+///
+/// Two targets exist because their announced access sequences differ
+/// and each must match its own model twin: bare `CollectMax` ↔
+/// `CollectMaxModel` (the checked-in pre-fast-path traces), this
+/// wrapper ↔ `CollectMaxFastModel` (the fast-path regression traces).
+/// Ungated stepping is identical in both (`get_ts` *is* the fast path).
+#[derive(Debug)]
+pub struct CollectMaxFast<B: RegisterBackend<u64> = crate::PackedBackend>(CollectMax<B>);
+
+impl<B: RegisterBackend<u64>> CollectMaxFast<B> {
+    /// Wraps an object for fast-path-granular replay.
+    pub fn new(processes: usize) -> Self {
+        Self(CollectMax::with_backend(processes))
+    }
+
+    /// The wrapped object.
+    pub fn inner(&self) -> &CollectMax<B> {
+        &self.0
+    }
+}
+
+struct CollectMaxFastWorker<'a, B: RegisterBackend<u64>> {
+    obj: &'a CollectMax<B>,
+    slot: usize,
+    history: OpHistory<Timestamp>,
+}
+
+impl<B: RegisterBackend<u64>> WorkloadWorker for CollectMaxFastWorker<'_, B> {
+    fn step(&mut self, op: WorkloadOp) -> WorkloadOp {
+        match op {
+            WorkloadOp::GetTs => {
+                let t = self.obj.get_ts(self.slot).expect("slot < processes");
+                if let Some(p) = self.history.last() {
+                    assert!(
+                        Timestamp::compare(&p, &t),
+                        "collect_max_fast violated the timestamp property: {p} !< {t}"
+                    );
+                }
+                self.history.push(t);
+                WorkloadOp::GetTs
+            }
+            WorkloadOp::Scan => {
+                black_box(self.obj.read_max());
+                WorkloadOp::Scan
+            }
+            WorkloadOp::Compare => match self.history.pair() {
+                Some((a, b)) => {
+                    assert!(
+                        black_box(Timestamp::compare(&a, &b)),
+                        "collect_max_fast history out of order: {a} !< {b}"
+                    );
+                    WorkloadOp::Compare
+                }
+                None => self.step(WorkloadOp::GetTs),
+            },
+        }
+    }
+
+    fn step_gated(&mut self, op: WorkloadOp, gate: &StepGate) -> WorkloadOp {
+        match op {
+            WorkloadOp::GetTs => {
+                gate.pause(); // op start
+                let t = self
+                    .obj
+                    .get_ts_fast_paused(self.slot, || gate.pause())
+                    .expect("slot < processes");
+                if let Some(p) = self.history.last() {
+                    assert!(
+                        Timestamp::compare(&p, &t),
+                        "collect_max_fast violated the timestamp property: {p} !< {t}"
+                    );
+                }
+                self.history.push(t);
+                WorkloadOp::GetTs
+            }
+            other => {
+                gate.pause();
+                self.step(other)
+            }
+        }
+    }
+
+    fn last_ts(&self) -> Option<Timestamp> {
+        self.history.last()
+    }
+}
+
+impl<B: RegisterBackend<u64>> WorkloadTarget for CollectMaxFast<B> {
+    fn object(&self) -> &'static str {
+        "collect_max_fast"
+    }
+
+    fn backend(&self) -> &'static str {
+        layout_label(B::NAME, self.0.layout())
+    }
+
+    fn slots(&self) -> usize {
+        LongLivedTimestamp::processes(&self.0)
+    }
+
+    fn worker<'a>(&'a self, slot: usize) -> Box<dyn WorkloadWorker + 'a> {
+        assert!(slot < self.slots(), "slot {slot} out of range");
+        Box::new(CollectMaxFastWorker {
+            obj: &self.0,
             slot,
             history: OpHistory::new(),
         })

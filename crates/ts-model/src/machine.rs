@@ -23,15 +23,33 @@ pub enum Poised<V, R> {
         /// The value that will be written.
         value: V,
     },
+    /// The machine will compare-and-swap register `reg`: if it still
+    /// holds `expected`, `new` is installed; either way the machine
+    /// observes the prior value (and infers success by comparing it to
+    /// `expected`). One atomic step — this models the hardware RMW the
+    /// cached-max fast path is built on, which plain read-then-write
+    /// steps cannot express (the interleaving between them is exactly
+    /// the lost-update race CAS exists to close).
+    Cas {
+        /// Register index about to be compare-and-swapped.
+        reg: usize,
+        /// The value the register must still hold for the swap to land.
+        expected: V,
+        /// The value installed on success.
+        new: V,
+    },
     /// The method call is complete and returns `0`-indexed output.
     Done(R),
 }
 
 impl<V, R> Poised<V, R> {
-    /// The register this step covers, if it is a write.
+    /// The register this step covers, if it may write it. A poised CAS
+    /// covers its register: whether the write lands depends on the
+    /// register's current contents, but the step is a potential write
+    /// for covering purposes.
     pub fn covers(&self) -> Option<usize> {
         match self {
-            Poised::Write { reg, .. } => Some(*reg),
+            Poised::Write { reg, .. } | Poised::Cas { reg, .. } => Some(*reg),
             _ => None,
         }
     }
@@ -53,8 +71,12 @@ impl<V, R> Poised<V, R> {
 /// A machine's life cycle: inspect [`Machine::poised`]; if it is a
 /// [`Poised::Read`], the scheduler performs the read and hands the value
 /// to [`Machine::observe`]; if a [`Poised::Write`], the scheduler applies
-/// the write and calls `observe(None)`; if [`Poised::Done`], the call's
-/// output is recorded and the machine retired.
+/// the write and calls `observe(None)`; if a [`Poised::Cas`], the
+/// scheduler atomically applies the swap (when the register still holds
+/// `expected`) and hands the *prior* value to `observe` — the machine
+/// compares it to `expected` to learn whether its swap landed; if
+/// [`Poised::Done`], the call's output is recorded and the machine
+/// retired.
 ///
 /// `Clone + Eq + Hash` are required so that configurations can be
 /// compared for indistinguishability and hashed for state pruning.

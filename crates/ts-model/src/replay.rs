@@ -258,6 +258,24 @@ pub fn trace_from_schedule<A: Algorithm + Clone>(
                 reg: Some(reg),
                 output: None,
             },
+            // A CAS projects onto the v1 step grammar by its effect: a
+            // successful swap mutated the register (`Write`), a failed
+            // one only observed it (`Read`). Replay controllers gate
+            // one sub-step per recorded step either way, and a gated
+            // replay serializes all accesses in trace order, so the
+            // real CAS deterministically succeeds/fails exactly as
+            // recorded.
+            StepOutcome::Cased { reg, success, .. } => ReplayStep {
+                pid,
+                op_index: pending_op[pid],
+                kind: if success {
+                    StepKind::Write
+                } else {
+                    StepKind::Read
+                },
+                reg: Some(reg),
+                output: None,
+            },
             StepOutcome::Completed { output } => ReplayStep {
                 pid,
                 op_index: pending_op[pid],

@@ -30,6 +30,21 @@ pub enum StepOutcome<V, O> {
         /// Value written.
         value: V,
     },
+    /// The process compare-and-swapped register `reg` in one atomic
+    /// step: `new` was installed iff `prior == expected`.
+    Cased {
+        /// Register index.
+        reg: usize,
+        /// The value the swap required.
+        expected: V,
+        /// The value the swap would install.
+        new: V,
+        /// The register's value immediately before the step (what the
+        /// machine observed).
+        prior: V,
+        /// Whether the swap landed (`prior == expected`).
+        success: bool,
+    },
     /// The process's pending call returned `output` (a local action).
     Completed {
         /// The call's return value.
@@ -56,8 +71,10 @@ pub type SystemStepOutcome<A> = StepOutcome<
 ///
 /// - scheduling an idle process with invocations remaining *invokes* its
 ///   next `getTS()` — a local action that installs the call's machine;
-/// - scheduling a process poised on a read/write performs that shared
-///   memory step;
+/// - scheduling a process poised on a read/write/CAS performs that
+///   shared memory step (a CAS reads, compares and conditionally writes
+///   in the *same* step — it is one unit of time, like the hardware RMW
+///   it models);
 /// - scheduling a process poised on [`Poised::Done`] records the response
 ///   (a local action) and retires the machine.
 ///
@@ -230,6 +247,28 @@ impl<A: Algorithm> System<A> {
                 self.config.regs[reg] = value.clone();
                 self.write_counts[reg] += 1;
                 Ok(StepOutcome::Wrote { reg, value })
+            }
+            Poised::Cas { reg, expected, new } => {
+                if reg >= self.config.regs.len() {
+                    return Err(ModelError::RegisterOutOfRange {
+                        reg,
+                        registers: self.config.regs.len(),
+                    });
+                }
+                let prior = self.config.regs[reg].clone();
+                let success = prior == expected;
+                if success {
+                    self.config.regs[reg] = new.clone();
+                    self.write_counts[reg] += 1;
+                }
+                machine.observe(Some(prior.clone()));
+                Ok(StepOutcome::Cased {
+                    reg,
+                    expected,
+                    new,
+                    prior,
+                    success,
+                })
             }
             Poised::Done(output) => {
                 let op = self.pending_op[pid].expect("pending op recorded at invocation");

@@ -33,6 +33,19 @@ where
             Ok(StepOutcome::Wrote { reg, value }) => {
                 format!("p{pid} writes R[{}] := {value:?}", reg + 1)
             }
+            Ok(StepOutcome::Cased {
+                reg,
+                new,
+                prior,
+                success,
+                ..
+            }) => {
+                if success {
+                    format!("p{pid} CAS    R[{}] := {new:?} (was {prior:?})", reg + 1)
+                } else {
+                    format!("p{pid} CAS    R[{}] fails -> {prior:?}", reg + 1)
+                }
+            }
             Ok(StepOutcome::Completed { output }) => {
                 format!("p{pid} returns {output:?}")
             }

@@ -2,13 +2,172 @@
 
 use std::fmt;
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::backend::{BackendRegister, EpochBackend, PackedBackend, RegisterBackend};
 use crate::error::CapacityError;
 use crate::meter::SpaceMeter;
 use crate::packed::Packable;
-use crate::stamped::Stamped;
+use crate::pad::CachePadded;
+use crate::stamped::{Stamp, Stamped};
 use crate::traits::Register;
+
+/// How a [`RegisterArray`] lays its registers out in memory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ArrayLayout {
+    /// One register per cache line ([`CachePadded`]): writers to
+    /// different registers never invalidate each other's lines. The
+    /// default — the paper's algorithms assign one writer per register,
+    /// which is exactly the false-sharing pattern padding removes.
+    #[default]
+    Padded,
+    /// Registers packed contiguously. Smaller, but neighbouring
+    /// registers share cache lines; kept for memory-tight arrays and as
+    /// the A/B baseline the contention benchmarks compare against.
+    Compact,
+}
+
+impl ArrayLayout {
+    /// Short label for benchmark rows ("padded" / "compact").
+    pub fn label(self) -> &'static str {
+        match self {
+            ArrayLayout::Padded => "padded",
+            ArrayLayout::Compact => "compact",
+        }
+    }
+}
+
+/// Snapshot of a [`RegisterArray`]'s write-summary word.
+///
+/// The array maintains one `AtomicU64` beside the registers, packing
+/// two 32-bit counts: writes **begun** (high half, bumped immediately
+/// before the register store) and writes **completed** (low half,
+/// bumped immediately after). Two summary reads bracketing a collect
+/// let a reader prove the collect saw a quiescent array — see
+/// [`WriteSummary::no_writes_during`] — which is what lets the
+/// `ts-snapshot` scan skip its second collect in the uncontended case.
+///
+/// A *single* generation counter could not do this soundly: it detects
+/// writes that completed inside the window but not writes *in flight*
+/// across it, and an in-flight store landing mid-collect can tear the
+/// view even though the generation never moved. Counting begun and
+/// completed separately closes that hole: if every write begun by the
+/// end of the window had already completed before its start, no store
+/// landed inside it at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteSummary {
+    raw: u64,
+}
+
+impl WriteSummary {
+    /// Writes begun, mod 2³² (bumped before each register store).
+    pub fn begun(self) -> u32 {
+        (self.raw >> 32) as u32
+    }
+
+    /// Writes completed, mod 2³² (bumped after each register store).
+    pub fn completed(self) -> u32 {
+        self.raw as u32
+    }
+
+    /// The array's write generation: total completed writes, mod 2³².
+    /// Never decreases (modulo the 32-bit wrap).
+    pub fn generation(self) -> u32 {
+        self.completed()
+    }
+
+    /// Whether **no register store executed** between the moment
+    /// `start` was read and the moment `end` was read: every write
+    /// begun by `end` had already completed before `start`.
+    ///
+    /// Since `completed <= begun` at all times, the single equality
+    /// pins all four counts: nothing began, completed, or was in flight
+    /// inside the window. A collect bracketed by such a pair therefore
+    /// read a quiescent array and is trivially linearizable.
+    ///
+    /// Wrap caveat (same class as the packed stamp wrap): the counts
+    /// are 32-bit, so the check could be fooled only by ~2³² write
+    /// *begins* landing between the two summary reads — unreachable in
+    /// any real schedule. Both halves stay exact mod 2³² across wraps:
+    /// the begun bump wraps off the top of the word, and the writer
+    /// that wraps the completed half immediately cancels the carry it
+    /// pushed into `begun` (transiently inflating `begun` by one —
+    /// the safe, false-non-quiescence direction).
+    pub fn no_writes_during(start: WriteSummary, end: WriteSummary) -> bool {
+        start.completed() == end.begun()
+    }
+}
+
+/// One `begun` tick in the packed summary word (high half).
+const SUMMARY_BEGUN_ONE: u64 = 1 << 32;
+
+/// A fixed run of slots stored per an [`ArrayLayout`]: one slot per
+/// cache line ([`CachePadded`]) or packed contiguously.
+///
+/// This is the backing store of [`RegisterArray`], exported so other
+/// per-slot-contended structures (e.g. `ts-core`'s collect-max
+/// registers) share one layout-dispatch implementation instead of
+/// re-deriving it.
+pub enum Slots<T> {
+    /// One slot per cache line.
+    Padded(Vec<CachePadded<T>>),
+    /// Slots packed contiguously.
+    Compact(Vec<T>),
+}
+
+impl<T> Slots<T> {
+    /// Builds `capacity` slots with `mk(index)` under `layout`.
+    pub fn new(layout: ArrayLayout, capacity: usize, mut mk: impl FnMut(usize) -> T) -> Self {
+        match layout {
+            ArrayLayout::Padded => {
+                Slots::Padded((0..capacity).map(|i| CachePadded::new(mk(i))).collect())
+            }
+            ArrayLayout::Compact => Slots::Compact((0..capacity).map(mk).collect()),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        match self {
+            Slots::Padded(v) => v.len(),
+            Slots::Compact(v) => v.len(),
+        }
+    }
+
+    /// Whether there are zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The layout this run was built with.
+    pub fn layout(&self) -> ArrayLayout {
+        match self {
+            Slots::Padded(_) => ArrayLayout::Padded,
+            Slots::Compact(_) => ArrayLayout::Compact,
+        }
+    }
+
+    /// Borrows slot `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn get(&self, index: usize) -> &T {
+        match self {
+            Slots::Padded(v) => &v[index],
+            Slots::Compact(v) => &v[index],
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Slots<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Slots")
+            .field("layout", &self.layout())
+            .field("len", &self.len())
+            .finish()
+    }
+}
 
 /// A fixed array `R[0..m)` of stamped atomic registers with optional
 /// space metering, generic over the storage [`RegisterBackend`].
@@ -18,6 +177,21 @@ use crate::traits::Register;
 /// `⊥`). The array exposes indexed `read`/`write` plus a `collect` (one
 /// read of each register in index order), the building block of the
 /// double-collect scan.
+///
+/// # Memory layout and the write summary
+///
+/// Two contention-aware features live at the array level (see the
+/// "Hot paths & memory layout" section of `ARCHITECTURE.md`):
+///
+/// - registers are laid out **one per cache line** by default
+///   ([`ArrayLayout::Padded`]); [`with_layout`](RegisterArray::with_layout)
+///   opts into the compact layout for memory-tight arrays;
+/// - every write brackets its register store with bumps of a shared
+///   **write-summary word** (one padded `AtomicU64`), so readers can
+///   prove "nothing changed while I collected" from two one-word loads
+///   — see [`WriteSummary`] and [`RegisterArray::summary`]. The
+///   `ts-snapshot` scan uses this to skip its second collect whenever
+///   the array is quiescent.
 ///
 /// The default backend is [`EpochBackend`] (values of any size); arrays
 /// of small [`Packable`] values can opt into the word-inlined
@@ -35,6 +209,7 @@ use crate::traits::Register;
 /// assert_eq!(array.read(1).unwrap(), Some(42));
 /// let view = array.collect();
 /// assert_eq!(view.len(), 3);
+/// assert_eq!(array.summary().generation(), 1);
 ///
 /// // Same API, word-inlined storage:
 /// let packed: PackedRegisterArray<u32> = RegisterArray::new_packed(3, 0);
@@ -42,7 +217,10 @@ use crate::traits::Register;
 /// assert_eq!(packed.read(2).unwrap(), 7);
 /// ```
 pub struct RegisterArray<T, B: RegisterBackend<T> = EpochBackend> {
-    registers: Vec<B::Reg>,
+    registers: Slots<B::Reg>,
+    /// Packed begun/completed write counts; padded so summary bumps
+    /// never contend with register lines.
+    summary: CachePadded<AtomicU64>,
     meter: Option<SpaceMeter>,
     _value: PhantomData<fn(T) -> T>,
 }
@@ -78,13 +256,17 @@ impl<T: Packable> RegisterArray<T, PackedBackend> {
 
 impl<T: Clone + Send + Sync, B: RegisterBackend<T>> RegisterArray<T, B> {
     /// Creates an array of `capacity` registers, all holding `initial`,
-    /// on the backend `B`.
+    /// on the backend `B`, in the default cache-padded layout.
     pub fn with_backend(capacity: usize, initial: T) -> Self {
-        let registers = (0..capacity)
-            .map(|_| B::Reg::with_initial(initial.clone()))
-            .collect();
+        Self::with_layout(capacity, initial, ArrayLayout::Padded)
+    }
+
+    /// Creates an array on the backend `B` with an explicit
+    /// [`ArrayLayout`].
+    pub fn with_layout(capacity: usize, initial: T, layout: ArrayLayout) -> Self {
         Self {
-            registers,
+            registers: Slots::new(layout, capacity, |_| B::Reg::with_initial(initial.clone())),
+            summary: CachePadded::new(AtomicU64::new(0)),
             meter: None,
             _value: PhantomData,
         }
@@ -112,9 +294,24 @@ impl<T: Clone + Send + Sync, B: RegisterBackend<T>> RegisterArray<T, B> {
         self.registers.len()
     }
 
+    /// The memory layout this array was built with.
+    pub fn layout(&self) -> ArrayLayout {
+        self.registers.layout()
+    }
+
     /// Returns the meter attached to this array, if any.
     pub fn meter(&self) -> Option<&SpaceMeter> {
         self.meter.as_ref()
+    }
+
+    /// Reads the write-summary word (one `SeqCst` load).
+    ///
+    /// See [`WriteSummary`] for what two of these prove about a collect
+    /// bracketed between them.
+    pub fn summary(&self) -> WriteSummary {
+        WriteSummary {
+            raw: self.summary.load(Ordering::SeqCst),
+        }
     }
 
     fn check(&self, index: usize) -> Result<(), CapacityError> {
@@ -147,10 +344,26 @@ impl<T: Clone + Send + Sync, B: RegisterBackend<T>> RegisterArray<T, B> {
         if let Some(meter) = &self.meter {
             meter.record_read(index);
         }
-        Ok(self.registers[index].read_stamped())
+        Ok(self.registers.get(index).read_stamped())
     }
 
-    /// Writes `value` to register `index`.
+    /// Reads just the write stamp of register `index` — the cheapest
+    /// change probe a backend offers (no value clone on the epoch
+    /// backend). One register read for metering purposes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityError`] if `index` is out of range.
+    pub fn stamp(&self, index: usize) -> Result<Stamp, CapacityError> {
+        self.check(index)?;
+        if let Some(meter) = &self.meter {
+            meter.record_read(index);
+        }
+        Ok(self.registers.get(index).stamp())
+    }
+
+    /// Writes `value` to register `index`, bracketed by the
+    /// begun/completed bumps of the write-summary word.
     ///
     /// # Errors
     ///
@@ -160,7 +373,25 @@ impl<T: Clone + Send + Sync, B: RegisterBackend<T>> RegisterArray<T, B> {
         if let Some(meter) = &self.meter {
             meter.record_write(index);
         }
-        self.registers[index].write(value);
+        // `SeqCst` bumps so summary loads, register accesses and these
+        // RMWs order consistently; see the ordering contract in
+        // `crate::backend`. The begun bump (high half) wraps off the
+        // top of the word cleanly.
+        self.summary.fetch_add(SUMMARY_BEGUN_ONE, Ordering::SeqCst);
+        self.registers.get(index).write(value);
+        let prev = self.summary.fetch_add(1, Ordering::SeqCst);
+        if prev as u32 == u32::MAX {
+            // The completed half just wrapped and its +1 carried into
+            // the begun half; cancel the carry so both halves stay
+            // exact mod 2³². Between the two RMWs readers can see
+            // `begun` inflated by one — the safe direction (a spurious
+            // "write in flight" only costs a validation sweep, never a
+            // false quiescence claim). Without this, one wrap would
+            // leave `begun == completed + 1` at quiescence *forever*,
+            // permanently disabling the scan's summary short-circuit
+            // after 2³² writes.
+            self.summary.fetch_sub(SUMMARY_BEGUN_ONE, Ordering::SeqCst);
+        }
         Ok(())
     }
 
@@ -168,12 +399,23 @@ impl<T: Clone + Send + Sync, B: RegisterBackend<T>> RegisterArray<T, B> {
     /// values with their stamps.
     ///
     /// A single collect is *not* a linearizable view of the whole array
-    /// (writes may interleave between the per-register reads); use the
-    /// double-collect scan from `ts-snapshot` when an atomic view is
-    /// required.
+    /// (writes may interleave between the per-register reads) — unless
+    /// [`summary`](RegisterArray::summary) reads bracketing it satisfy
+    /// [`WriteSummary::no_writes_during`]. The `ts-snapshot` scan
+    /// packages that check; use it when an atomic view is required.
     pub fn collect(&self) -> Vec<Stamped<T>> {
         (0..self.capacity())
             .map(|i| self.read_stamped(i).expect("index in range"))
+            .collect()
+    }
+
+    /// Reads every register's stamp once, in index order — a collect
+    /// that only observes *whether* registers changed, at the cost of
+    /// one stamp read each (no value clones). The scan's validation
+    /// sweeps use this instead of a second full collect.
+    pub fn collect_stamps(&self) -> Vec<Stamp> {
+        (0..self.capacity())
+            .map(|i| self.stamp(i).expect("index in range"))
             .collect()
     }
 }
@@ -186,6 +428,7 @@ where
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("RegisterArray")
             .field("capacity", &self.capacity())
+            .field("layout", &self.layout())
             .field("values", &self.collect())
             .finish()
     }
@@ -198,6 +441,7 @@ mod tests {
     #[test]
     fn new_array_holds_initial_everywhere() {
         let array: RegisterArray<u32> = RegisterArray::new(4, 7);
+        assert_eq!(array.layout(), ArrayLayout::Padded);
         for i in 0..4 {
             assert_eq!(array.read(i).unwrap(), 7);
         }
@@ -209,6 +453,16 @@ mod tests {
         for i in 0..4 {
             assert_eq!(array.read(i).unwrap(), 7);
         }
+    }
+
+    #[test]
+    fn compact_layout_behaves_identically() {
+        let array: RegisterArray<u32> = RegisterArray::with_layout(3, 0, ArrayLayout::Compact);
+        assert_eq!(array.layout(), ArrayLayout::Compact);
+        assert_eq!(ArrayLayout::Compact.label(), "compact");
+        array.write(1, 9).unwrap();
+        assert_eq!(array.read(1).unwrap(), 9);
+        assert_eq!(array.summary().generation(), 1);
     }
 
     #[test]
@@ -246,9 +500,73 @@ mod tests {
             let after = array.read_stamped(0).unwrap();
             assert_eq!(before.value, after.value);
             assert_ne!(before.stamp, after.stamp, "ABA rewrite went undetected");
+            assert_eq!(array.stamp(0).unwrap(), after.stamp);
         }
         run(RegisterArray::<u32>::new(1, 5));
         run(RegisterArray::<u32, PackedBackend>::with_backend(1, 5));
+    }
+
+    #[test]
+    fn summary_counts_writes_and_detects_quiescence() {
+        let array: RegisterArray<u32> = RegisterArray::new(3, 0);
+        let s0 = array.summary();
+        assert_eq!(s0.begun(), 0);
+        assert_eq!(s0.completed(), 0);
+        let s1 = array.summary();
+        assert!(WriteSummary::no_writes_during(s0, s1));
+
+        array.write(0, 1).unwrap();
+        array.write(1, 2).unwrap();
+        let s2 = array.summary();
+        assert_eq!(s2.begun(), 2);
+        assert_eq!(s2.generation(), 2);
+        assert!(!WriteSummary::no_writes_during(s0, s2));
+        assert!(WriteSummary::no_writes_during(s2, array.summary()));
+    }
+
+    #[test]
+    fn summary_survives_the_completed_half_wrap() {
+        // Seed the word at begun == completed == u32::MAX (4 billion
+        // quiescent writes ago) and cross the wrap: the carry the
+        // completed bump pushes into begun must be cancelled, so the
+        // quiescence check keeps working on the far side.
+        let array: PackedRegisterArray<u32> = RegisterArray::new_packed(1, 0);
+        let seeded = (u64::from(u32::MAX) << 32) | u64::from(u32::MAX);
+        array.summary.store(seeded, Ordering::SeqCst);
+        array.write(0, 7).unwrap();
+        let s = array.summary();
+        assert_eq!(s.begun(), 0, "begun must wrap cleanly");
+        assert_eq!(s.completed(), 0, "completed must wrap cleanly");
+        assert!(
+            WriteSummary::no_writes_during(s, array.summary()),
+            "quiescence detection must survive the 2^32 wrap"
+        );
+        // And writes keep counting normally afterwards.
+        array.write(0, 8).unwrap();
+        assert_eq!(array.summary().generation(), 1);
+    }
+
+    #[test]
+    fn collect_stamps_matches_full_collect() {
+        let array: PackedRegisterArray<u32> = RegisterArray::new_packed(3, 0);
+        array.write(2, 5).unwrap();
+        let full: Vec<Stamp> = array.collect().into_iter().map(|s| s.stamp).collect();
+        assert_eq!(array.collect_stamps(), full);
+    }
+
+    #[test]
+    fn padded_registers_sit_on_distinct_cache_lines() {
+        let array: PackedRegisterArray<u32> = RegisterArray::new_packed(4, 0);
+        match &array.registers {
+            Slots::Padded(regs) => {
+                for pair in regs.windows(2) {
+                    let a = (&*pair[0]) as *const _ as usize;
+                    let b = (&*pair[1]) as *const _ as usize;
+                    assert!(b - a >= 128, "registers {a:#x}/{b:#x} share a line");
+                }
+            }
+            Slots::Compact(_) => panic!("default layout must be padded"),
+        }
     }
 
     #[test]
@@ -287,6 +605,7 @@ mod tests {
         let array: RegisterArray<u8> = RegisterArray::new(0, 0);
         assert_eq!(array.capacity(), 0);
         assert!(array.collect().is_empty());
+        assert!(array.collect_stamps().is_empty());
         assert!(array.read(0).is_err());
     }
 }

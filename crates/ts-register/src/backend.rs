@@ -28,6 +28,46 @@
 //! when values are unbounded or non-`Copy` — e.g. Algorithm 4's
 //! `⟨seq, rnd⟩` pairs. The contention benchmark (`bench_contention` in
 //! `ts-bench`) quantifies the gap.
+//!
+//! # Ordering contract (all backends, one place)
+//!
+//! Every register type in this crate — [`StampedRegister`],
+//! [`PackedRegister`], [`WordRegister`](crate::WordRegister) — obeys
+//! the same two-part memory-ordering contract, and every consumer
+//! (`RegisterArray`, the `ts-snapshot` scan, the `ts-core` algorithms)
+//! assumes exactly this much and no more:
+//!
+//! 1. **Per-register coherence.** All writes to one register form a
+//!    single modification order; a thread's reads of that register
+//!    never move backwards along it. Even `Relaxed` atomics provide
+//!    this; it is what "register values never decrease" arguments
+//!    (Lemma 5.1) consume.
+//! 2. **Acquire/Release publication.** `write` is (at least) `Release`
+//!    and `read`/`read_stamped`/`stamp` are (at least) `Acquire`: a
+//!    read that observes a write also observes everything its writer
+//!    did before it. This is the cross-register happens-before edge
+//!    the algorithms build on ("a getTS that sees my increment sees my
+//!    earlier writes too"). `SeqCst` — one total order over unrelated
+//!    registers — is used by none of the proofs and none of the
+//!    backends' data paths.
+//!
+//! Change detection is part of the same contract, routed through one
+//! accessor: [`BackendRegister::stamp`]. Two `stamp()` calls on the
+//! same register returning equal stamps observed the same write —
+//! exactly (`StampedRegister` global counter, `PackedRegister`
+//! per-register counter) or under the documented monotone-contents
+//! caveat (`WordRegister::stamp`, value-as-stamp). The scan compares
+//! stamps only register-wise and only through this accessor.
+//!
+//! Two pieces sit deliberately *outside* the Acquire/Release budget:
+//! the per-array write-summary word
+//! ([`RegisterArray::summary`](crate::RegisterArray::summary)) uses
+//! `SeqCst` bumps and loads, because its quiescence proof counts
+//! events across *different* threads' writes and must not let summary
+//! bumps reorder around the bracketed register accesses; and the
+//! collect-max cached maximum (`ts-core`) uses CAS/fetch-max RMWs,
+//! whose read-modify-write atomicity — not ordering — carries its
+//! monotonicity argument.
 
 use crate::packed::{Packable, PackedRegister};
 use crate::stamped::{Stamp, Stamped, StampedRegister};

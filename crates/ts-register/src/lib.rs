@@ -31,6 +31,16 @@
 //! `⟨seq, rnd⟩` sequences. [`RegisterArray`] and the `ts-snapshot` scan
 //! are generic over the choice; `ts-core` constructors expose it.
 //!
+//! # Contention-aware layout
+//!
+//! [`CachePadded`] puts contended state on its own cache line(s);
+//! [`RegisterArray`] lays registers out one-per-line by default
+//! ([`ArrayLayout`]) and maintains a [`WriteSummary`] word — begun and
+//! completed write counts in one `AtomicU64` — that lets the
+//! `ts-snapshot` scan prove "nothing changed while I collected" from
+//! two one-word loads and skip its second collect. The memory-ordering
+//! contract every backend obeys lives in the [`backend`] module docs.
+//!
 //! # Example
 //!
 //! ```
@@ -46,22 +56,24 @@
 
 mod array;
 mod atomic;
-mod backend;
+pub mod backend;
 mod error;
 mod meter;
 mod packed;
+mod pad;
 pub mod reclaim;
 mod stamped;
 mod swap;
 mod traits;
 mod word;
 
-pub use array::{PackedRegisterArray, RegisterArray};
+pub use array::{ArrayLayout, PackedRegisterArray, RegisterArray, Slots, WriteSummary};
 pub use atomic::AtomicRegister;
 pub use backend::{BackendRegister, EpochBackend, PackedBackend, RegisterBackend};
 pub use error::CapacityError;
 pub use meter::{MeterSnapshot, MeteredRegister, SpaceMeter};
 pub use packed::{Packable, PackedRegister};
+pub use pad::CachePadded;
 pub use stamped::{Stamp, Stamped, StampedRegister};
 pub use swap::SwapRegister;
 pub use traits::Register;

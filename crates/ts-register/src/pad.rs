@@ -1,0 +1,113 @@
+//! Cache-line padding for contended shared state.
+//!
+//! The hot paths of this suite are arrays of small atomics written by
+//! different threads: timestamp registers, gate counters, latency
+//! buckets. Laid out contiguously, neighbouring entries share a cache
+//! line, so a write by one thread invalidates the line for every
+//! thread touching a *different* entry — false sharing. [`CachePadded`]
+//! aligns (and therefore pads) its contents to 128 bytes so that two
+//! padded values never share a line.
+//!
+//! 128 bytes, not 64: modern x86 prefetchers pull cache lines in
+//! adjacent pairs, and Apple/ARM big cores use 128-byte lines outright,
+//! so 64-byte padding still ping-pongs on those parts. This matches
+//! the sizing used by crossbeam-utils' `CachePadded`.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Aligns its contents to 128 bytes so two `CachePadded` values never
+/// share (a prefetch-paired run of) cache lines.
+///
+/// `Deref`s to the inner value, so a `CachePadded<AtomicU64>` is used
+/// exactly like the bare atomic. The cost is space: a padded value
+/// occupies at least 128 bytes, which is why the suite pads *per-slot
+/// contended* state (one register per writer, per-worker gate state)
+/// and not bulk data.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use ts_register::CachePadded;
+///
+/// let counter = CachePadded::new(AtomicU64::new(0));
+/// counter.fetch_add(1, Ordering::Relaxed);
+/// assert_eq!(counter.load(Ordering::Relaxed), 1);
+/// assert_eq!(std::mem::align_of::<CachePadded<AtomicU64>>(), 128);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Pads `value` onto its own cache line(s).
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// Unwraps the padded value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("CachePadded").field(&self.value).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_128_byte_aligned_and_sized() {
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+        assert_eq!(std::mem::size_of::<CachePadded<u8>>(), 128);
+        // Larger-than-line contents round up to the next multiple.
+        assert_eq!(std::mem::size_of::<CachePadded<[u8; 130]>>(), 256);
+    }
+
+    #[test]
+    fn vec_of_padded_values_puts_each_on_its_own_line() {
+        let v: Vec<CachePadded<u64>> = (0..4).map(CachePadded::new).collect();
+        for pair in v.windows(2) {
+            let a = &*pair[0] as *const u64 as usize;
+            let b = &*pair[1] as *const u64 as usize;
+            assert!(b - a >= 128, "adjacent entries {a:#x}/{b:#x} share a line");
+        }
+    }
+
+    #[test]
+    fn deref_and_conversions_round_trip() {
+        let mut p = CachePadded::from(41u32);
+        *p += 1;
+        assert_eq!(*p, 42);
+        assert_eq!(p.into_inner(), 42);
+        assert_eq!(format!("{:?}", CachePadded::new(7)), "CachePadded(7)");
+    }
+}

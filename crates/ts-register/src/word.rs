@@ -80,6 +80,22 @@ impl WordRegister {
     pub fn write(&self, value: u64) {
         self.cell.store(value, Ordering::Release)
     }
+
+    /// The value *as* its own change stamp.
+    ///
+    /// A bare word register has no room for a write counter, so this is
+    /// the one backend where change detection is value-based: two reads
+    /// returning equal stamps observed the same write **only if the
+    /// register's contents are strictly monotone** (every write stores
+    /// a value larger than the last), which holds for every counter the
+    /// suite stores in a `WordRegister`. For non-monotone contents this
+    /// is ABA-unsafe — use [`PackedRegister`](crate::PackedRegister),
+    /// whose stamps are real per-write counters. The scan-facing
+    /// contract all three accessors share is documented in
+    /// [`crate::backend`].
+    pub fn stamp(&self) -> crate::Stamp {
+        crate::Stamp::from_raw(self.read())
+    }
 }
 
 impl Register<u64> for WordRegister {
@@ -129,5 +145,16 @@ mod tests {
     fn debug_shows_value() {
         let r = WordRegister::new(9);
         assert_eq!(format!("{r:?}"), "WordRegister(9)");
+    }
+
+    #[test]
+    fn stamp_tracks_monotone_values() {
+        let r = WordRegister::new(0);
+        let s0 = r.stamp();
+        r.write(3);
+        let s1 = r.stamp();
+        assert_ne!(s0, s1, "a monotone write must change the value-stamp");
+        assert_eq!(s1, r.stamp(), "no write, no stamp change");
+        assert_eq!(s1.as_u64(), 3);
     }
 }

@@ -68,6 +68,13 @@ fn bucket_lower_bound(index: usize) -> u64 {
 
 /// A fixed-size log-bucketed histogram of `u64` samples (nanoseconds).
 ///
+/// Cache-line padded ([`CachePadded`](ts_register::CachePadded)): the
+/// engine keeps one histogram per worker thread, each hammered on every
+/// recorded op, so both the inline counters and the heap bucket array
+/// are 128-byte aligned — neighbouring threads' histograms never share
+/// a line, and the controller reading one worker's progress cannot
+/// invalidate another worker's counters.
+///
 /// # Example
 ///
 /// ```
@@ -83,7 +90,12 @@ fn bucket_lower_bound(index: usize) -> u64 {
 /// ```
 #[derive(Clone)]
 pub struct LatencyHistogram {
-    buckets: Box<[u64; NUM_BUCKETS]>,
+    inner: ts_register::CachePadded<Hist>,
+}
+
+#[derive(Clone)]
+struct Hist {
+    buckets: Box<ts_register::CachePadded<[u64; NUM_BUCKETS]>>,
     count: u64,
     total: u64,
     max: u64,
@@ -95,11 +107,13 @@ impl LatencyHistogram {
     /// will ever make).
     pub fn new() -> Self {
         Self {
-            buckets: Box::new([0; NUM_BUCKETS]),
-            count: 0,
-            total: 0,
-            max: 0,
-            min: u64::MAX,
+            inner: ts_register::CachePadded::new(Hist {
+                buckets: Box::new(ts_register::CachePadded::new([0; NUM_BUCKETS])),
+                count: 0,
+                total: 0,
+                max: 0,
+                min: u64::MAX,
+            }),
         }
     }
 
@@ -109,47 +123,48 @@ impl LatencyHistogram {
     /// `2^59`-wide slice), so this never panics.
     #[inline]
     pub fn record(&mut self, value: u64) {
-        self.buckets[bucket_index(value)] += 1;
-        self.count += 1;
-        self.total = self.total.saturating_add(value);
-        if value > self.max {
-            self.max = value;
+        let h = &mut *self.inner;
+        h.buckets[bucket_index(value)] += 1;
+        h.count += 1;
+        h.total = h.total.saturating_add(value);
+        if value > h.max {
+            h.max = value;
         }
-        if value < self.min {
-            self.min = value;
+        if value < h.min {
+            h.min = value;
         }
     }
 
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
-        self.count
+        self.inner.count
     }
 
     /// Largest recorded sample (0 when empty).
     pub fn max_ns(&self) -> u64 {
-        if self.count == 0 {
+        if self.inner.count == 0 {
             0
         } else {
-            self.max
+            self.inner.max
         }
     }
 
     /// Smallest recorded sample (0 when empty).
     pub fn min_ns(&self) -> u64 {
-        if self.count == 0 {
+        if self.inner.count == 0 {
             0
         } else {
-            self.min
+            self.inner.min
         }
     }
 
     /// Mean of recorded samples, rounded down (0 when empty; saturated
     /// if the running total clamped).
     pub fn mean_ns(&self) -> u64 {
-        if self.count == 0 {
+        if self.inner.count == 0 {
             0
         } else {
-            self.total / self.count
+            self.inner.total / self.inner.count
         }
     }
 
@@ -160,13 +175,13 @@ impl LatencyHistogram {
     /// within `1/16` relative error of it. Returns 0 for an empty
     /// histogram; `p = 0` means the first sample's bucket.
     pub fn percentile(&self, p: f64) -> u64 {
-        if self.count == 0 {
+        if self.inner.count == 0 {
             return 0;
         }
         let p = p.clamp(0.0, 100.0);
-        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let rank = ((p / 100.0 * self.inner.count as f64).ceil() as u64).clamp(1, self.inner.count);
         let mut seen = 0u64;
-        for (index, &n) in self.buckets.iter().enumerate() {
+        for (index, &n) in self.inner.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
                 return bucket_lower_bound(index);
@@ -179,13 +194,15 @@ impl LatencyHistogram {
     /// Adds every sample of `other` into `self` (per-thread histograms
     /// → one report).
     pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+        let h = &mut *self.inner;
+        let o = &*other.inner;
+        for (a, b) in h.buckets.iter_mut().zip(o.buckets.iter()) {
             *a += b;
         }
-        self.count += other.count;
-        self.total = self.total.saturating_add(other.total);
-        self.max = self.max.max(other.max);
-        self.min = self.min.min(other.min);
+        h.count += o.count;
+        h.total = h.total.saturating_add(o.total);
+        h.max = h.max.max(o.max);
+        h.min = h.min.min(o.min);
     }
 }
 
@@ -198,7 +215,7 @@ impl Default for LatencyHistogram {
 impl std::fmt::Debug for LatencyHistogram {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LatencyHistogram")
-            .field("count", &self.count)
+            .field("count", &self.inner.count)
             .field("min_ns", &self.min_ns())
             .field("p50_ns", &self.percentile(50.0))
             .field("p99_ns", &self.percentile(99.0))

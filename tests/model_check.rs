@@ -2,7 +2,9 @@
 //! exploration for small instances, randomized schedules for larger
 //! ones, and detection checks against deliberately broken objects.
 
-use timestamp_suite::ts_core::model::{BoundedModel, CollectMaxModel, SimpleModel};
+use timestamp_suite::ts_core::model::{
+    BoundedModel, CollectMaxFastModel, CollectMaxModel, SimpleModel,
+};
 use timestamp_suite::ts_model::toy::{ConstantAlgorithm, CounterAlgorithm};
 use timestamp_suite::ts_model::{Explorer, PctScheduler, RandomScheduler};
 
@@ -59,6 +61,41 @@ fn collect_max_exhaustive_long_lived() {
 }
 
 #[test]
+fn collect_max_fast_path_exhaustive_long_lived() {
+    // The cached-max fast path (one cache read + one CAS, collect
+    // fallback on a lost race): exhaustively explored at 2 processes ×
+    // 2 ops and 3 × 1 op. The CAS is one atomic model step, so the
+    // explorer covers every stalled-CAS window — including a process
+    // parking between its cache advance and its register write while
+    // others complete — and any stale max would surface as a property
+    // violation here.
+    let report = Explorer::new(CollectMaxFastModel::new(2), 2).run();
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+    assert!(report.executions > 0, "vacuous exploration");
+    assert!(!report.truncated);
+    let report = Explorer::new(CollectMaxFastModel::new(3), 1).run();
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+}
+
+#[test]
+fn collect_max_fast_path_pct_sweep_three_processes() {
+    // PCT depth-3 on the fast-path twin, mirroring the classic-path
+    // sweep below: stalled-CAS overtakes are depth-2/3 ordering bugs,
+    // PCT's sweet spot.
+    for seed in 0..100u64 {
+        let report = PctScheduler::new(seed, 3)
+            .ops_per_process(2)
+            .run(CollectMaxFastModel::new(3));
+        assert!(report.steps > 0, "seed {seed}: empty run");
+        assert!(
+            report.violation.is_none(),
+            "seed {seed}: {:?}",
+            report.violation
+        );
+    }
+}
+
+#[test]
 fn collect_max_pct_sweep_three_processes() {
     // PCT (depth-3: two priority change points) at 3 processes × 2 ops,
     // matching the seeded-schedule coverage SimpleOneShot gets from
@@ -102,6 +139,10 @@ fn random_schedules_stay_clean_across_algorithms() {
             .ops_per_process(3)
             .run(CollectMaxModel::new(5));
         assert!(r.violation.is_none(), "collectmax seed {seed}");
+        let r = RandomScheduler::new(seed)
+            .ops_per_process(3)
+            .run(CollectMaxFastModel::new(5));
+        assert!(r.violation.is_none(), "collectmax-fast seed {seed}");
     }
 }
 
