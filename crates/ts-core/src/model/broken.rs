@@ -52,6 +52,20 @@ impl Machine for BrokenCounterMachine {
             (phase, obs) => panic!("invalid observe({obs:?}) in {phase:?}"),
         };
     }
+
+    fn may_read(&self) -> Option<Vec<usize>> {
+        Some(match self.phase {
+            Phase::Read => vec![0],
+            Phase::Write { .. } | Phase::Finished { .. } => vec![],
+        })
+    }
+
+    fn may_write(&self) -> Option<Vec<usize>> {
+        Some(match self.phase {
+            Phase::Read | Phase::Write { .. } => vec![0],
+            Phase::Finished { .. } => vec![],
+        })
+    }
 }
 
 /// Model algorithm for [`BrokenCounter`](crate::BrokenCounter): a
@@ -110,6 +124,14 @@ impl Algorithm for BrokenCounterModel {
 
     fn ops_per_process(&self) -> Option<usize> {
         Some(1)
+    }
+
+    fn op_may_read(&self, _pid: ProcId) -> Option<Vec<usize>> {
+        Some(vec![0])
+    }
+
+    fn op_may_write(&self, _pid: ProcId) -> Option<Vec<usize>> {
+        Some(vec![0])
     }
 }
 

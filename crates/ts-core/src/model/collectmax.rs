@@ -60,6 +60,22 @@ impl Machine for CollectMaxMachine {
             (phase, obs) => panic!("invalid observe({obs:?}) in {phase:?}"),
         };
     }
+
+    // DPOR footprints: the collect still reads registers i..n; the only
+    // write a call ever performs is to the caller's own SWMR register.
+    fn may_read(&self) -> Option<Vec<usize>> {
+        Some(match &self.phase {
+            Phase::Collect { i, .. } => (*i..self.n).collect(),
+            Phase::WriteOwn { .. } | Phase::Finished { .. } => vec![],
+        })
+    }
+
+    fn may_write(&self) -> Option<Vec<usize>> {
+        Some(match &self.phase {
+            Phase::Collect { .. } | Phase::WriteOwn { .. } => vec![self.pid],
+            Phase::Finished { .. } => vec![],
+        })
+    }
 }
 
 /// Model algorithm: long-lived collect-max over `n` SWMR registers.
@@ -105,6 +121,14 @@ impl Algorithm for CollectMaxModel {
 
     fn ops_per_process(&self) -> Option<usize> {
         None // long-lived
+    }
+
+    fn op_may_read(&self, _pid: ProcId) -> Option<Vec<usize>> {
+        Some((0..self.n).collect())
+    }
+
+    fn op_may_write(&self, pid: ProcId) -> Option<Vec<usize>> {
+        Some(vec![pid])
     }
 }
 

@@ -152,6 +152,34 @@ impl Machine for CollectMaxFastMachine {
             (phase, obs) => panic!("invalid observe({obs:?}) in {phase:?}"),
         };
     }
+
+    // DPOR footprints. A lost fast-path CAS falls back to the full
+    // collect, so any phase that can still reach `Collect` must list
+    // registers `0..n` as readable; every phase up to the own-register
+    // write keeps `pid` writable, and every phase that can still touch
+    // the cache (CAS chains included) keeps `n` on both sides.
+    fn may_read(&self) -> Option<Vec<usize>> {
+        Some(match &self.phase {
+            Phase::ReadCache | Phase::TryFast { .. } => (0..=self.n).collect(),
+            Phase::Collect { i, .. } => (*i..self.n).chain([self.n]).collect(),
+            Phase::WriteOwnSlow { .. } | Phase::AdvanceRead { .. } | Phase::AdvanceCas { .. } => {
+                vec![self.n]
+            }
+            Phase::WriteOwnFast { .. } | Phase::Finished { .. } => vec![],
+        })
+    }
+
+    fn may_write(&self) -> Option<Vec<usize>> {
+        Some(match &self.phase {
+            Phase::ReadCache
+            | Phase::TryFast { .. }
+            | Phase::Collect { .. }
+            | Phase::WriteOwnSlow { .. } => vec![self.pid, self.n],
+            Phase::AdvanceRead { .. } | Phase::AdvanceCas { .. } => vec![self.n],
+            Phase::WriteOwnFast { .. } => vec![self.pid],
+            Phase::Finished { .. } => vec![],
+        })
+    }
 }
 
 /// Model algorithm: the cached-max fast path over `n` SWMR registers
@@ -198,6 +226,14 @@ impl Algorithm for CollectMaxFastModel {
 
     fn ops_per_process(&self) -> Option<usize> {
         None // long-lived
+    }
+
+    fn op_may_read(&self, _pid: ProcId) -> Option<Vec<usize>> {
+        Some((0..=self.n).collect())
+    }
+
+    fn op_may_write(&self, pid: ProcId) -> Option<Vec<usize>> {
+        Some(vec![pid, self.n])
     }
 }
 

@@ -84,6 +84,25 @@ impl Machine for SimpleMachine {
             (phase, obs) => panic!("invalid observe({obs:?}) in {phase:?}"),
         };
     }
+
+    // DPOR footprints: the walk reads registers i..m (the own-register
+    // reread included), and the only write is to the own register —
+    // and only while the walk has not passed it yet.
+    fn may_read(&self) -> Option<Vec<usize>> {
+        Some(match &self.phase {
+            Phase::Walk { i } | Phase::OwnReread { i } => (*i..self.m).collect(),
+            Phase::OwnWrite { i, .. } => (*i..self.m).collect(),
+            Phase::Finished => vec![],
+        })
+    }
+
+    fn may_write(&self) -> Option<Vec<usize>> {
+        Some(match &self.phase {
+            Phase::Walk { i } if *i <= self.own => vec![self.own],
+            Phase::OwnWrite { .. } => vec![self.own],
+            _ => vec![],
+        })
+    }
 }
 
 /// Model algorithm: the Section 5 simple one-shot object for `n`
@@ -131,6 +150,14 @@ impl Algorithm for SimpleModel {
 
     fn ops_per_process(&self) -> Option<usize> {
         Some(1)
+    }
+
+    fn op_may_read(&self, _pid: ProcId) -> Option<Vec<usize>> {
+        Some((0..self.n.div_ceil(2)).collect())
+    }
+
+    fn op_may_write(&self, pid: ProcId) -> Option<Vec<usize>> {
+        Some(vec![pid / 2])
     }
 }
 

@@ -44,6 +44,29 @@ pub trait Algorithm {
     fn ops_per_process(&self) -> Option<usize> {
         None
     }
+
+    /// Over-approximation of the registers *any single* `getTS()` call
+    /// by `pid` may **read** (including CAS observations), from
+    /// invocation to response, for every op index. `None` means
+    /// "unknown — assume any register".
+    ///
+    /// The DPOR explorer uses this for processes that may still invoke
+    /// fresh operations (their machine-level
+    /// [`Machine::may_read`](crate::Machine::may_read) footprint covers
+    /// only the pending call). Same soundness contract: the returned
+    /// set must never miss a register a call can touch.
+    fn op_may_read(&self, pid: ProcId) -> Option<Vec<usize>> {
+        let _ = pid;
+        None
+    }
+
+    /// Over-approximation of the registers any single `getTS()` call by
+    /// `pid` may **write** (including CAS installations). `None` means
+    /// "unknown". Same contract as [`Algorithm::op_may_read`].
+    fn op_may_write(&self, pid: ProcId) -> Option<Vec<usize>> {
+        let _ = pid;
+        None
+    }
 }
 
 impl<A: Algorithm> Algorithm for &A {
@@ -75,5 +98,13 @@ impl<A: Algorithm> Algorithm for &A {
 
     fn ops_per_process(&self) -> Option<usize> {
         (**self).ops_per_process()
+    }
+
+    fn op_may_read(&self, pid: ProcId) -> Option<Vec<usize>> {
+        (**self).op_may_read(pid)
+    }
+
+    fn op_may_write(&self, pid: ProcId) -> Option<Vec<usize>> {
+        (**self).op_may_write(pid)
     }
 }

@@ -1,10 +1,13 @@
-//! Exhaustive interleaving exploration with state pruning.
+//! Exhaustive interleaving exploration with DPOR and state pruning.
 //!
 //! A purpose-grown, loom-style checker: starting from `C0`, branch on
-//! every enabled process at every step, and verify the timestamp property
-//! at every operation completion. Two explored states are merged when
-//! they agree on everything that can influence future behaviour *and*
-//! future property checks:
+//! enabled processes at every step, and verify the timestamp property
+//! at every operation completion. Three orthogonal throughput levers,
+//! all sound for the timestamp property:
+//!
+//! **State merging.** Two explored states are merged when they agree on
+//! everything that can influence future behaviour *and* future property
+//! checks:
 //!
 //! - every process's machine state and invocation count,
 //! - all register contents,
@@ -12,25 +15,86 @@
 //! - for each pending operation, the set of operations completed before
 //!   its invocation (its future happens-before predecessors).
 //!
+//! [`CacheMode`] selects how merged states are stored: exact keys
+//! ([`CacheMode::Exact`], collision-free, memory-heavy) or a 128-bit
+//! **state fingerprint** ([`CacheMode::Fingerprint`], the default —
+//! two independently-seeded 64-bit hashes of the same canonical state,
+//! so a false merge needs a 2⁻¹²⁸-scale collision; see the fingerprint
+//! note in ARCHITECTURE.md).
+//!
+//! **DPOR.** With [`Explorer::with_reduction`] (the default), the
+//! explorer applies dynamic partial-order reduction built on the
+//! [`StepEffect`] independence relation (reads commute; accesses to
+//! different registers commute; `Invoke`/`Return` of different
+//! processes do *not* — operation overlap is what the property is
+//! about):
+//!
+//! - **persistent sets**: at each state, a conservative dependency
+//!   closure over the enabled processes' *future* footprints
+//!   ([`Machine::may_read`]/[`Machine::may_write`] for the pending
+//!   call, [`Algorithm::op_may_read`]/[`Algorithm::op_may_write`] for
+//!   fresh invocations) picks a subset of enabled processes whose
+//!   exploration covers every behaviour — steps on registers nobody
+//!   else can touch commit immediately instead of branching;
+//! - **sleep sets**: after exploring process `p` at a state, `p` is put
+//!   to sleep for the sibling subtrees and stays asleep until a
+//!   dependent step runs, so each Mazurkiewicz trace is explored from
+//!   one representative interleaving instead of all of them.
+//!
+//! Both only ever *skip redundant interleavings*: every maximal
+//! execution of the full system remains trace-equivalent to an explored
+//! one, violations are trace-invariant (equivalent executions have
+//! identical happens-before relations and outputs), so a violation is
+//! found iff full enumeration finds one. `tests/explore_equivalence.rs`
+//! checks exactly this differentially, and the proptest in
+//! `tests/explore_proptest.rs` re-derives it on random programs.
+//!
+//! **Parallel exploration.** [`Explorer::with_threads`] switches to a
+//! partitioned mode: a deterministic BFS carves the tree into schedule
+//! prefixes, work items are claimed atomically by scoped worker
+//! threads, and results merge associatively — the lexicographically
+//! least violating schedule wins, so counterexamples are byte-stable
+//! regardless of thread count or scheduling (the report, counts
+//! included, is identical for 1 and N threads by construction; see
+//! `tests/explore_determinism.rs`).
+//!
 //! Violations are reported with the schedule that produced them, so
 //! counterexamples can be replayed with [`System::run`].
 
-use std::collections::HashSet;
-use std::hash::Hash;
+use std::collections::hash_map::{DefaultHasher, Entry};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::algorithm::Algorithm;
 use crate::history::{Event, OpId, PropertyViolation};
-use crate::machine::Machine;
+use crate::machine::{Machine, StepEffect};
 use crate::schedule::ProcId;
 use crate::system::System;
 
 /// A property violation found by the explorer.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation<O> {
     /// The schedule from `C0` that produces the violation.
     pub schedule: Vec<ProcId>,
     /// The offending pair of operations.
     pub property: PropertyViolation<O>,
+}
+
+/// How explored states are remembered for merging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheMode {
+    /// No state merging at all: raw tree enumeration. The ground-truth
+    /// oracle for differential tests; exponentially slower.
+    None,
+    /// Full state keys: collision-free merging, one deep-cloned key per
+    /// state (the pre-DPOR explorer's behaviour).
+    Exact,
+    /// 128-bit state fingerprints (two independently seeded 64-bit
+    /// hashes of the canonical state): ~16 bytes per state instead of a
+    /// deep clone. A false merge requires a 128-bit collision —
+    /// negligible against the ≤ 10⁹ states any feasible run visits.
+    Fingerprint,
 }
 
 /// Exploration statistics and result.
@@ -39,14 +103,97 @@ pub struct ExploreReport<O> {
     /// Number of maximal executions reached (terminal states, counting
     /// pruned subtrees once).
     pub executions: u64,
-    /// Number of distinct states visited.
+    /// Number of state expansions performed (distinct states for the
+    /// exact/fingerprint caches, plus re-expansions when a state is
+    /// revisited with a smaller sleep set).
     pub states: u64,
-    /// Number of states skipped because an equivalent one was seen.
+    /// Number of scheduled steps executed across all expansions.
+    pub transitions: u64,
+    /// Number of states skipped because an equivalent one was already
+    /// explored (with a covering sleep set).
     pub pruned: u64,
-    /// First violation found, if any.
+    /// Number of transitions suppressed by sleep sets (their traces are
+    /// covered by sibling subtrees).
+    pub sleep_skipped: u64,
+    /// First violation found, if any. In partitioned/parallel mode the
+    /// lexicographically least violating schedule wins, so the reported
+    /// counterexample does not depend on thread count or timing.
     pub violation: Option<Violation<O>>,
-    /// Whether exploration hit the step-depth safety bound anywhere.
+    /// Whether exploration was cut short anywhere (currently only ever
+    /// by the step-depth bound; see [`ExploreReport::depth_bounded`]).
     pub truncated: bool,
+    /// Whether the [`Explorer::with_max_depth`] step-depth safety bound
+    /// pruned at least one path. When this is `true` the exploration
+    /// was **not** exhaustive and "no violation" claims are conditional
+    /// on the bound — exhaustive tests must assert it is `false`.
+    pub depth_bounded: bool,
+    /// When requested via [`Explorer::record_outcomes`]: every distinct
+    /// terminal outcome, as the completed outputs sorted by operation
+    /// id. Trace-equivalent executions produce identical vectors, so
+    /// full and DPOR exploration must agree on this set — the
+    /// differential harness's strongest check.
+    pub outcomes: Option<HashSet<Vec<O>>>,
+}
+
+impl<O: Eq + Hash> PartialEq for ExploreReport<O> {
+    fn eq(&self, other: &Self) -> bool {
+        self.executions == other.executions
+            && self.states == other.states
+            && self.transitions == other.transitions
+            && self.pruned == other.pruned
+            && self.sleep_skipped == other.sleep_skipped
+            && self.violation == other.violation
+            && self.truncated == other.truncated
+            && self.depth_bounded == other.depth_bounded
+            && self.outcomes == other.outcomes
+    }
+}
+
+impl<O: Eq + Hash> Eq for ExploreReport<O> {}
+
+impl<O> ExploreReport<O> {
+    fn empty(record_outcomes: bool) -> Self {
+        Self {
+            executions: 0,
+            states: 0,
+            transitions: 0,
+            pruned: 0,
+            sleep_skipped: 0,
+            violation: None,
+            truncated: false,
+            depth_bounded: false,
+            outcomes: record_outcomes.then(HashSet::new),
+        }
+    }
+
+    /// Folds `other` into `self` (partitioned-mode merge): counters
+    /// add, flags or, outcome sets union, and the lexicographically
+    /// least violating schedule wins.
+    fn absorb(&mut self, other: ExploreReport<O>)
+    where
+        O: Clone + Eq + Hash,
+    {
+        self.executions += other.executions;
+        self.states += other.states;
+        self.transitions += other.transitions;
+        self.pruned += other.pruned;
+        self.sleep_skipped += other.sleep_skipped;
+        self.truncated |= other.truncated;
+        self.depth_bounded |= other.depth_bounded;
+        if let Some(v) = other.violation {
+            self.offer_violation(v);
+        }
+        if let (Some(mine), Some(theirs)) = (self.outcomes.as_mut(), other.outcomes) {
+            mine.extend(theirs);
+        }
+    }
+
+    fn offer_violation(&mut self, candidate: Violation<O>) {
+        match &self.violation {
+            Some(best) if best.schedule <= candidate.schedule => {}
+            _ => self.violation = Some(candidate),
+        }
+    }
 }
 
 #[derive(PartialEq, Eq, Hash)]
@@ -59,6 +206,12 @@ struct StateKey<M: Machine> {
 }
 
 /// Exhaustive interleaving explorer for an [`Algorithm`].
+///
+/// Defaults: DPOR reduction on, fingerprint state cache, single-tree
+/// sequential search. [`Explorer::with_reduction`]`(false)` +
+/// [`Explorer::with_cache`]`(`[`CacheMode::Exact`]`)` reproduces the
+/// pre-DPOR explorer step for step (the replay-trace corpus generators
+/// pin that mode so checked-in counterexamples stay byte-stable).
 ///
 /// # Example
 ///
@@ -76,6 +229,11 @@ pub struct Explorer<A: Algorithm + Clone> {
     algorithm: A,
     ops_per_process: usize,
     max_depth: usize,
+    reduction: bool,
+    cache: CacheMode,
+    threads: usize,
+    partitioned: bool,
+    record_outcomes: bool,
 }
 
 impl<A: Algorithm + Clone> Explorer<A> {
@@ -86,61 +244,89 @@ impl<A: Algorithm + Clone> Explorer<A> {
             algorithm,
             ops_per_process,
             max_depth: 100_000,
+            reduction: true,
+            cache: CacheMode::Fingerprint,
+            threads: 1,
+            partitioned: false,
+            record_outcomes: false,
         }
     }
 
-    /// Overrides the per-execution step-depth safety bound.
+    /// Overrides the per-execution step-depth safety bound. If the
+    /// bound ever fires, the report's
+    /// [`depth_bounded`](ExploreReport::depth_bounded) flag records it.
     pub fn with_max_depth(mut self, max_depth: usize) -> Self {
         self.max_depth = max_depth;
         self
     }
 
-    /// Runs the exhaustive exploration.
-    pub fn run(&self) -> ExploreReport<<A::Machine as Machine>::Output> {
-        let mut ctx = Ctx {
-            seen: HashSet::new(),
-            report: ExploreReport {
-                executions: 0,
-                states: 0,
-                pruned: 0,
-                violation: None,
-                truncated: false,
-            },
-            path: Vec::new(),
-            ops_per_process: self.ops_per_process,
-            max_depth: self.max_depth,
-        };
-        let sys = System::new(self.algorithm.clone());
-        ctx.dfs(&sys);
-        ctx.report
+    /// Enables or disables the DPOR reduction (persistent + sleep
+    /// sets). On by default; `false` reproduces plain full enumeration.
+    ///
+    /// # Panics
+    ///
+    /// [`Explorer::run`] panics if reduction is enabled for more than
+    /// 64 processes (sleep sets are a process bitmask; exploration at
+    /// that scale is infeasible regardless).
+    pub fn with_reduction(mut self, reduction: bool) -> Self {
+        self.reduction = reduction;
+        self
     }
-}
 
-struct Ctx<A: Algorithm + Clone> {
-    seen: HashSet<StateKey<A::Machine>>,
-    report: ExploreReport<<A::Machine as Machine>::Output>,
-    path: Vec<ProcId>,
-    ops_per_process: usize,
-    max_depth: usize,
-}
+    /// Selects the state-merging cache (default
+    /// [`CacheMode::Fingerprint`]).
+    pub fn with_cache(mut self, cache: CacheMode) -> Self {
+        self.cache = cache;
+        self
+    }
 
-impl<A: Algorithm + Clone> Ctx<A> {
+    /// Switches to partitioned parallel exploration on `threads` worker
+    /// threads (clamped to ≥ 1). A deterministic BFS carves the tree
+    /// into schedule-prefix work items; workers claim items atomically;
+    /// results merge associatively with the lexicographically least
+    /// violating schedule winning. The report — counts included — is
+    /// identical for any thread count, because each work item is
+    /// explored with its own state cache and items never exchange
+    /// information. (That per-item isolation means partitioned counts
+    /// can exceed single-tree counts when subtrees converge; the price
+    /// of determinism.)
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self.partitioned = true;
+        self
+    }
+
+    /// Records the set of distinct terminal outcomes in the report
+    /// (memory-heavy; meant for the differential tests).
+    pub fn record_outcomes(mut self, record: bool) -> Self {
+        self.record_outcomes = record;
+        self
+    }
+
+    /// Per-process invocation limit for this exploration.
+    fn limit(&self) -> usize {
+        self.algorithm
+            .ops_per_process()
+            .unwrap_or(self.ops_per_process)
+            .min(self.ops_per_process)
+    }
+
     fn enabled(&self, sys: &System<A>) -> Vec<ProcId> {
+        let limit = self.limit();
         (0..sys.config().processes())
-            .filter(|&p| {
-                if sys.config().procs[p].is_some() {
-                    return true;
-                }
-                let own_limit = sys
-                    .algorithm()
-                    .ops_per_process()
-                    .unwrap_or(self.ops_per_process);
-                sys.started(p) < own_limit.min(self.ops_per_process)
-            })
+            .filter(|&p| sys.config().procs[p].is_some() || sys.started(p) < limit)
             .collect()
     }
 
-    fn state_key(sys: &System<A>) -> StateKey<A::Machine> {
+    /// Canonical history component of the state: completed outputs and,
+    /// per pending op, its happens-before predecessors.
+    #[allow(clippy::type_complexity)]
+    fn canonical_history(
+        sys: &System<A>,
+    ) -> (
+        Vec<(OpId, <A::Machine as Machine>::Output)>,
+        Vec<(OpId, Vec<OpId>)>,
+    ) {
         let mut completed: Vec<(OpId, <A::Machine as Machine>::Output)> = sys
             .history()
             .completed()
@@ -173,7 +359,11 @@ impl<A: Algorithm + Clone> Ctx<A> {
             }
         }
         pending_predecessors.sort_by_key(|(op, _)| *op);
+        (completed, pending_predecessors)
+    }
 
+    fn state_key(sys: &System<A>) -> StateKey<A::Machine> {
+        let (completed, pending_predecessors) = Self::canonical_history(sys);
         StateKey {
             procs: sys.config().procs.clone(),
             regs: sys.config().regs.clone(),
@@ -185,46 +375,558 @@ impl<A: Algorithm + Clone> Ctx<A> {
         }
     }
 
-    fn dfs(&mut self, sys: &System<A>) {
-        if self.report.violation.is_some() {
-            return;
+    /// 128-bit state fingerprint: the canonical state streamed through
+    /// two independently seeded hashers. No key is stored, so a revisit
+    /// is detected at ~16 bytes per state; soundness rests on 128-bit
+    /// collision resistance (see the module docs).
+    fn fingerprint(sys: &System<A>) -> u128 {
+        fn feed<A: Algorithm + Clone, H: Hasher>(sys: &System<A>, state: &mut H) {
+            sys.config().procs.hash(state);
+            sys.config().regs.hash(state);
+            for p in 0..sys.config().processes() {
+                sys.started(p).hash(state);
+            }
+            let (completed, pending) = Explorer::<A>::canonical_history(sys);
+            completed.hash(state);
+            pending.hash(state);
         }
-        if self.path.len() >= self.max_depth {
-            self.report.truncated = true;
-            return;
-        }
-        let enabled = self.enabled(sys);
-        if enabled.is_empty() {
-            self.report.executions += 1;
-            return;
-        }
-        let key = Self::state_key(sys);
-        if !self.seen.insert(key) {
-            self.report.pruned += 1;
-            return;
-        }
-        self.report.states += 1;
+        let mut h1 = DefaultHasher::new();
+        feed(sys, &mut h1);
+        let mut h2 = DefaultHasher::new();
+        h2.write_u64(0x9e37_79b9_7f4a_7c15);
+        feed(sys, &mut h2);
+        ((h1.finish() as u128) << 64) | (h2.finish() as u128)
+    }
 
-        for pid in enabled {
-            let mut next = sys.clone();
+    /// Conservative persistent set at the current state: the dependency
+    /// closure of a seed process over every enabled process's *future*
+    /// footprint. Seeds are tried in pid order and the smallest closure
+    /// wins (ties to the lowest seed), so the choice is a pure function
+    /// of the state.
+    fn persistent_set(&self, sys: &System<A>, enabled: &[ProcId]) -> Vec<ProcId> {
+        if enabled.len() <= 1 {
+            return enabled.to_vec();
+        }
+        let limit = self.limit();
+
+        // Future capability of each enabled process: may it invoke
+        // fresh operations, and which registers may it still read or
+        // write (None = unknown, treated as "all").
+        struct FutureFootprint {
+            may_invoke: bool,
+            read: Option<Vec<usize>>,
+            write: Option<Vec<usize>>,
+        }
+        fn union(a: Option<Vec<usize>>, b: Option<Vec<usize>>) -> Option<Vec<usize>> {
+            match (a, b) {
+                (Some(mut a), Some(b)) => {
+                    a.extend(b);
+                    Some(a)
+                }
+                _ => None,
+            }
+        }
+        fn touches(set: &Option<Vec<usize>>, reg: usize) -> bool {
+            set.as_ref().is_none_or(|regs| regs.contains(&reg))
+        }
+
+        let futures: Vec<FutureFootprint> = enabled
+            .iter()
+            .map(|&q| {
+                let may_invoke = sys.started(q) < limit;
+                let (read, write) = match sys.config().procs[q].as_ref() {
+                    Some(m) if may_invoke => (
+                        union(m.may_read(), self.algorithm.op_may_read(q)),
+                        union(m.may_write(), self.algorithm.op_may_write(q)),
+                    ),
+                    Some(m) => (m.may_read(), m.may_write()),
+                    None => (
+                        self.algorithm.op_may_read(q),
+                        self.algorithm.op_may_write(q),
+                    ),
+                };
+                FutureFootprint {
+                    may_invoke,
+                    read,
+                    write,
+                }
+            })
+            .collect();
+        let effects: Vec<StepEffect> = enabled.iter().map(|&q| sys.next_effect(q)).collect();
+
+        // Does any future step of `q` (outside the candidate set)
+        // conflict with `e`, the next step of a member?
+        let conflicts = |e: &StepEffect, q_idx: usize| -> bool {
+            let fut = &futures[q_idx];
+            match e {
+                // q will eventually complete an operation, and Return
+                // is dependent with Invoke — an Invoke-poised member
+                // pulls in everyone.
+                StepEffect::Invoke => true,
+                StepEffect::Return => fut.may_invoke,
+                StepEffect::Read { reg } => touches(&fut.write, *reg),
+                StepEffect::Write { reg } => touches(&fut.write, *reg) || touches(&fut.read, *reg),
+            }
+        };
+
+        let mut best: Option<Vec<usize>> = None; // indices into `enabled`
+        for seed in 0..enabled.len() {
+            let mut in_set = vec![false; enabled.len()];
+            in_set[seed] = true;
+            let mut work = vec![seed];
+            while let Some(p) = work.pop() {
+                for q in 0..enabled.len() {
+                    if !in_set[q] && conflicts(&effects[p], q) {
+                        in_set[q] = true;
+                        work.push(q);
+                    }
+                }
+            }
+            let members: Vec<usize> = (0..enabled.len()).filter(|&i| in_set[i]).collect();
+            if members.len() == 1 {
+                return members.into_iter().map(|i| enabled[i]).collect();
+            }
+            match &best {
+                Some(b) if b.len() <= members.len() => {}
+                _ => best = Some(members),
+            }
+        }
+        best.expect("at least one seed")
+            .into_iter()
+            .map(|i| enabled[i])
+            .collect()
+    }
+
+    fn sleep_mask_check(&self, n: usize) {
+        assert!(
+            !self.reduction || n <= 64,
+            "DPOR sleep sets support at most 64 processes (got {n}); \
+             disable reduction with with_reduction(false)"
+        );
+    }
+}
+
+/// Per-(sub)tree exploration context: one state cache, one report.
+struct Ctx<'e, A: Algorithm + Clone> {
+    explorer: &'e Explorer<A>,
+    seen: Seen<A::Machine>,
+    report: ExploreReport<<A::Machine as Machine>::Output>,
+    path: Vec<ProcId>,
+}
+
+enum Seen<M: Machine> {
+    None,
+    Exact(HashMap<StateKey<M>, u64>),
+    Fingerprint(HashMap<u128, u64>),
+}
+
+impl<M: Machine> Seen<M> {
+    fn new(mode: CacheMode) -> Self {
+        match mode {
+            CacheMode::None => Seen::None,
+            CacheMode::Exact => Seen::Exact(HashMap::new()),
+            CacheMode::Fingerprint => Seen::Fingerprint(HashMap::new()),
+        }
+    }
+}
+
+/// Sleep-aware cache admission: prune when the stored sleep set is a
+/// subset of the arriving one (everything we would explore was already
+/// explored from the equivalent state); otherwise narrow the stored
+/// mask to the intersection and re-expand with it, which covers both
+/// visits.
+fn admit<K: Eq + Hash>(map: &mut HashMap<K, u64>, key: K, sleep: u64) -> Option<u64> {
+    match map.entry(key) {
+        Entry::Vacant(v) => {
+            v.insert(sleep);
+            Some(sleep)
+        }
+        Entry::Occupied(mut o) => {
+            let stored = *o.get();
+            if stored & !sleep == 0 {
+                None
+            } else {
+                let merged = stored & sleep;
+                o.insert(merged);
+                Some(merged)
+            }
+        }
+    }
+}
+
+impl<'e, A: Algorithm + Clone> Ctx<'e, A> {
+    fn new(explorer: &'e Explorer<A>, path: Vec<ProcId>) -> Self {
+        Self {
+            explorer,
+            seen: Seen::new(explorer.cache),
+            report: ExploreReport::empty(explorer.record_outcomes),
+            path,
+        }
+    }
+
+    fn record_terminal(&mut self, sys: &System<A>) {
+        self.report.executions += 1;
+        if let Some(outcomes) = self.report.outcomes.as_mut() {
+            let (completed, _) = Explorer::<A>::canonical_history(sys);
+            outcomes.insert(completed.into_iter().map(|(_, out)| out).collect());
+        }
+    }
+
+    fn dfs(&mut self, sys: &System<A>, sleep: u64) {
+        let base = self.path.len();
+        self.expand(sys, sleep);
+        self.path.truncate(base);
+    }
+
+    fn expand(&mut self, sys: &System<A>, sleep: u64) {
+        // Outcome recording needs the *complete* reachable-outcome set,
+        // so the early stop on a found violation only applies when
+        // outcomes are not being collected.
+        if self.report.violation.is_some() && !self.explorer.record_outcomes {
+            return;
+        }
+        if self.path.len() >= self.explorer.max_depth {
+            self.report.truncated = true;
+            self.report.depth_bounded = true;
+            return;
+        }
+        let mut enabled = self.explorer.enabled(sys);
+        if enabled.is_empty() {
+            self.record_terminal(sys);
+            return;
+        }
+        let mut sleep = match &mut self.seen {
+            Seen::None => sleep,
+            Seen::Exact(map) => match admit(map, Explorer::<A>::state_key(sys), sleep) {
+                Some(s) => s,
+                None => {
+                    self.report.pruned += 1;
+                    return;
+                }
+            },
+            Seen::Fingerprint(map) => match admit(map, Explorer::<A>::fingerprint(sys), sleep) {
+                Some(s) => s,
+                None => {
+                    self.report.pruned += 1;
+                    return;
+                }
+            },
+        };
+        self.report.states += 1;
+        let reduction = self.explorer.reduction;
+
+        // Commit singleton chains inline: a state whose persistent set
+        // is a singleton has exactly one successor worth exploring, so
+        // the whole deterministic chain is walked as part of this node —
+        // no per-link state counting or caching. (Convergent paths
+        // re-walk a chain instead of cache-hitting mid-chain; they
+        // deduplicate at the next branching state, so the duplicated
+        // work is linear in the chain length.)
+        let mut chain_sys: Option<System<A>> = None;
+        let domain = loop {
+            let cur: &System<A> = chain_sys.as_ref().unwrap_or(sys);
+            if !reduction {
+                break enabled;
+            }
+            let domain = self.explorer.persistent_set(cur, &enabled);
+            if domain.len() > 1 {
+                break domain;
+            }
+            let pid = domain[0];
+            if sleep & (1u64 << pid) != 0 {
+                // The only explorable process is asleep: every
+                // continuation is covered by an earlier sibling.
+                self.report.sleep_skipped += 1;
+                return;
+            }
+            if self.path.len() >= self.explorer.max_depth {
+                self.report.truncated = true;
+                self.report.depth_bounded = true;
+                return;
+            }
+            let effect = cur.next_effect(pid);
+            let mut next = cur.clone();
             let outcome = next.step(pid).expect("enabled process steps");
+            self.report.transitions += 1;
             self.path.push(pid);
             if outcome.is_completed() {
                 if let Some(property) = next.check_property() {
-                    self.report.violation = Some(Violation {
+                    self.report.offer_violation(Violation {
                         schedule: self.path.clone(),
                         property,
                     });
-                    self.path.pop();
-                    return;
+                    if !self.explorer.record_outcomes {
+                        return;
+                    }
                 }
             }
-            self.dfs(&next);
-            self.path.pop();
-            if self.report.violation.is_some() {
+            // Sleeping processes stay asleep across independent steps
+            // only (their own poised step is unchanged by pid's step).
+            let mut still_asleep = 0u64;
+            let mut rest = sleep;
+            while rest != 0 {
+                let q = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                if cur.next_effect(q).independent(&effect) {
+                    still_asleep |= 1u64 << q;
+                }
+            }
+            sleep = still_asleep;
+            enabled = self.explorer.enabled(&next);
+            if enabled.is_empty() {
+                self.record_terminal(&next);
                 return;
             }
+            chain_sys = Some(next);
+        };
+        let sys: &System<A> = chain_sys.as_ref().unwrap_or(sys);
+        let mut sleep_now = sleep;
+        for &pid in &domain {
+            if reduction && sleep_now & (1u64 << pid) != 0 {
+                self.report.sleep_skipped += 1;
+                continue;
+            }
+            let effect = sys.next_effect(pid);
+            let mut next = sys.clone();
+            let outcome = next.step(pid).expect("enabled process steps");
+            self.report.transitions += 1;
+            self.path.push(pid);
+            if outcome.is_completed() {
+                if let Some(property) = next.check_property() {
+                    self.report.offer_violation(Violation {
+                        schedule: self.path.clone(),
+                        property,
+                    });
+                    if !self.explorer.record_outcomes {
+                        self.path.pop();
+                        return;
+                    }
+                    // When collecting outcomes, fall through and keep
+                    // exploring the violating subtree to completion.
+                }
+            }
+            // Keep asleep only processes whose (unchanged) next step is
+            // independent of the one just taken.
+            let child_sleep = if sleep_now == 0 {
+                0
+            } else {
+                let mut mask = 0u64;
+                let mut rest = sleep_now;
+                while rest != 0 {
+                    let q = rest.trailing_zeros() as usize;
+                    rest &= rest - 1;
+                    if sys.next_effect(q).independent(&effect) {
+                        mask |= 1u64 << q;
+                    }
+                }
+                mask
+            };
+            self.dfs(&next, child_sleep);
+            self.path.pop();
+            if self.report.violation.is_some() && !self.explorer.record_outcomes {
+                return;
+            }
+            if reduction {
+                sleep_now |= 1u64 << pid;
+            }
         }
+    }
+}
+
+/// A schedule-prefix work item of the partitioned exploration.
+struct WorkItem<A: Algorithm> {
+    prefix: Vec<ProcId>,
+    sys: System<A>,
+    sleep: u64,
+}
+
+impl<A: Algorithm + Clone> Explorer<A> {
+    /// Runs the exploration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if DPOR reduction is enabled (the default) with more than
+    /// 64 processes.
+    pub fn run(&self) -> ExploreReport<<A::Machine as Machine>::Output>
+    where
+        A: Send + Sync,
+        A::Machine: Send + Sync,
+        <A::Machine as Machine>::Value: Send + Sync,
+        <A::Machine as Machine>::Output: Send + Sync,
+    {
+        self.sleep_mask_check(self.algorithm.processes());
+        if !self.partitioned {
+            let mut ctx = Ctx::new(self, Vec::new());
+            let sys = System::new(self.algorithm.clone());
+            ctx.dfs(&sys, 0);
+            return ctx.report;
+        }
+        self.run_partitioned()
+    }
+
+    /// Partitioned exploration: deterministic BFS frontier, per-item
+    /// caches, associative merge. Identical output for any thread
+    /// count.
+    fn run_partitioned(&self) -> ExploreReport<<A::Machine as Machine>::Output>
+    where
+        A: Send + Sync,
+        A::Machine: Send + Sync,
+        <A::Machine as Machine>::Value: Send + Sync,
+        <A::Machine as Machine>::Output: Send + Sync,
+    {
+        let mut report = ExploreReport::empty(self.record_outcomes);
+        // The frontier size is a constant — NOT a function of the
+        // thread count — so the work-item set, and therefore the merged
+        // report, is identical no matter how many workers execute it.
+        const PARTITION_TARGET: usize = 64;
+        let target = PARTITION_TARGET;
+
+        // Phase 1: breadth-first frontier in lexicographic order. No
+        // state cache here (a shared cache would make counts depend on
+        // expansion order); persistent/sleep sets apply as in the DFS.
+        let mut queue: VecDeque<WorkItem<A>> = VecDeque::new();
+        queue.push_back(WorkItem {
+            prefix: Vec::new(),
+            sys: System::new(self.algorithm.clone()),
+            sleep: 0,
+        });
+        while queue.len() < target {
+            let Some(item) = queue.pop_front() else { break };
+            if item.prefix.len() >= self.max_depth {
+                report.truncated = true;
+                report.depth_bounded = true;
+                continue;
+            }
+            let enabled = self.enabled(&item.sys);
+            if enabled.is_empty() {
+                report.executions += 1;
+                if let Some(outcomes) = report.outcomes.as_mut() {
+                    let (completed, _) = Self::canonical_history(&item.sys);
+                    outcomes.insert(completed.into_iter().map(|(_, out)| out).collect());
+                }
+                continue;
+            }
+            report.states += 1;
+            let reduction = self.reduction;
+            let domain = if reduction {
+                self.persistent_set(&item.sys, &enabled)
+            } else {
+                enabled
+            };
+            let mut sleep_now = item.sleep;
+            for &pid in &domain {
+                if reduction && sleep_now & (1u64 << pid) != 0 {
+                    report.sleep_skipped += 1;
+                    continue;
+                }
+                let effect = item.sys.next_effect(pid);
+                let mut next = item.sys.clone();
+                let outcome = next.step(pid).expect("enabled process steps");
+                report.transitions += 1;
+                let mut prefix = item.prefix.clone();
+                prefix.push(pid);
+                let mut violated = false;
+                if outcome.is_completed() {
+                    if let Some(property) = next.check_property() {
+                        // Record the candidate; the BFS keeps going so
+                        // counts stay thread-count-independent.
+                        report.offer_violation(Violation {
+                            schedule: prefix.clone(),
+                            property,
+                        });
+                        violated = true;
+                    }
+                }
+                if violated && !self.record_outcomes {
+                    if reduction {
+                        sleep_now |= 1u64 << pid;
+                    }
+                    continue;
+                }
+                let mut child_sleep = 0u64;
+                let mut rest = sleep_now;
+                while rest != 0 {
+                    let q = rest.trailing_zeros() as usize;
+                    rest &= rest - 1;
+                    if item.sys.next_effect(q).independent(&effect) {
+                        child_sleep |= 1u64 << q;
+                    }
+                }
+                queue.push_back(WorkItem {
+                    prefix,
+                    sys: next,
+                    sleep: child_sleep,
+                });
+                if reduction {
+                    sleep_now |= 1u64 << pid;
+                }
+            }
+        }
+
+        // Deduplicate equivalent frontier states: keep the
+        // lexicographically least prefix, intersect sleep sets (the
+        // merged exploration covers both arrivals).
+        let mut index: HashMap<StateKey<A::Machine>, usize> = HashMap::new();
+        let mut items: Vec<WorkItem<A>> = Vec::new();
+        for item in queue {
+            match index.entry(Self::state_key(&item.sys)) {
+                Entry::Vacant(v) => {
+                    v.insert(items.len());
+                    items.push(item);
+                }
+                Entry::Occupied(o) => {
+                    items[*o.get()].sleep &= item.sleep;
+                    report.pruned += 1;
+                }
+            }
+        }
+
+        // Phase 2: explore the items, each with a fresh cache. Items
+        // never exchange information, so the merged result is a pure
+        // function of the frontier — any thread count, same report.
+        let run_item = |item: &WorkItem<A>| -> ExploreReport<_> {
+            let mut ctx = Ctx::new(self, item.prefix.clone());
+            ctx.dfs(&item.sys, item.sleep);
+            ctx.report
+        };
+        let mut results: Vec<Option<ExploreReport<_>>> = Vec::new();
+        if self.threads <= 1 || items.len() <= 1 {
+            results.extend(items.iter().map(|item| Some(run_item(item))));
+        } else {
+            results.resize_with(items.len(), || None);
+            let next = AtomicUsize::new(0);
+            let items_ref = &items;
+            let next_ref = &next;
+            let collected: Vec<Vec<(usize, ExploreReport<_>)>> = crossbeam::scope(|s| {
+                let handles: Vec<_> = (0..self.threads)
+                    .map(|_| {
+                        s.spawn(move |_| {
+                            let mut out = Vec::new();
+                            loop {
+                                let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                                if i >= items_ref.len() {
+                                    break;
+                                }
+                                out.push((i, run_item(&items_ref[i])));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("exploration worker"))
+                    .collect()
+            })
+            .expect("exploration scope");
+            for (i, r) in collected.into_iter().flatten() {
+                results[i] = Some(r);
+            }
+        }
+        for result in results.into_iter().flatten() {
+            report.absorb(result);
+        }
+        report
     }
 }
 
@@ -239,6 +941,7 @@ mod tests {
         assert!(report.violation.is_none(), "{:?}", report.violation);
         assert!(report.executions > 0);
         assert!(!report.truncated);
+        assert!(!report.depth_bounded);
     }
 
     #[test]
@@ -269,8 +972,76 @@ mod tests {
     }
 
     #[test]
-    fn pruning_kicks_in() {
-        let report = Explorer::new(CounterAlgorithm::new(3), 1).run();
+    fn pruning_kicks_in_without_reduction() {
+        let report = Explorer::new(CounterAlgorithm::new(3), 1)
+            .with_reduction(false)
+            .run();
         assert!(report.pruned > 0, "expected state merging, got {report:?}");
+    }
+
+    #[test]
+    fn reduction_explores_fewer_transitions_than_full() {
+        let full = Explorer::new(CounterAlgorithm::new(3), 1)
+            .with_reduction(false)
+            .with_cache(CacheMode::Exact)
+            .run();
+        let dpor = Explorer::new(CounterAlgorithm::new(3), 1).run();
+        assert!(full.violation.is_none() && dpor.violation.is_none());
+        assert!(
+            dpor.transitions < full.transitions,
+            "DPOR {} vs full {} transitions",
+            dpor.transitions,
+            full.transitions
+        );
+    }
+
+    #[test]
+    fn exact_and_fingerprint_caches_agree() {
+        for reduction in [false, true] {
+            let exact = Explorer::new(CounterAlgorithm::new(3), 1)
+                .with_reduction(reduction)
+                .with_cache(CacheMode::Exact)
+                .run();
+            let fp = Explorer::new(CounterAlgorithm::new(3), 1)
+                .with_reduction(reduction)
+                .with_cache(CacheMode::Fingerprint)
+                .run();
+            assert_eq!(exact, fp, "reduction={reduction}");
+        }
+    }
+
+    #[test]
+    fn depth_bound_is_recorded_not_silent() {
+        let report = Explorer::new(CounterAlgorithm::new(3), 1)
+            .with_max_depth(3)
+            .run();
+        assert!(report.depth_bounded, "bound fired but was not recorded");
+        assert!(report.truncated);
+    }
+
+    #[test]
+    fn partitioned_mode_matches_itself_across_thread_counts() {
+        let one = Explorer::new(CounterAlgorithm::new(4), 1)
+            .with_threads(1)
+            .run();
+        let four = Explorer::new(CounterAlgorithm::new(4), 1)
+            .with_threads(4)
+            .run();
+        assert_eq!(one, four);
+        assert!(one.violation.is_some());
+    }
+
+    #[test]
+    fn partitioned_violation_is_lexicographically_stable() {
+        let a = Explorer::new(CounterAlgorithm::new(4), 1)
+            .with_threads(3)
+            .run();
+        let b = Explorer::new(CounterAlgorithm::new(4), 1)
+            .with_threads(3)
+            .run();
+        assert_eq!(
+            a.violation.as_ref().map(|v| &v.schedule),
+            b.violation.as_ref().map(|v| &v.schedule)
+        );
     }
 }

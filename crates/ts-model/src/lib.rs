@@ -47,6 +47,7 @@ mod explore;
 mod history;
 mod machine;
 mod pct;
+pub mod program;
 pub mod replay;
 mod schedule;
 mod shrink;
@@ -59,9 +60,9 @@ pub use adversary::{RandomRunReport, RandomScheduler};
 pub use algorithm::Algorithm;
 pub use config::Configuration;
 pub use error::ModelError;
-pub use explore::{ExploreReport, Explorer, Violation};
+pub use explore::{CacheMode, ExploreReport, Explorer, Violation};
 pub use history::{check_timestamp_property, CompletedOp, Event, History, OpId, PropertyViolation};
-pub use machine::{Machine, Poised};
+pub use machine::{Machine, Poised, StepEffect};
 pub use pct::{PctRunReport, PctScheduler};
 pub use replay::{minimized_trace, trace_from_schedule, ReplayStep, ReplayTrace, StepKind};
 pub use schedule::{block_write_schedule, ProcId, Schedule};

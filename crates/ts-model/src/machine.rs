@@ -58,6 +58,85 @@ impl<V, R> Poised<V, R> {
     pub fn is_done(&self) -> bool {
         matches!(self, Poised::Done(_))
     }
+
+    /// The step's [`StepEffect`] — the footprint class the independence
+    /// relation of the DPOR explorer is built on. A CAS classifies as a
+    /// [`StepEffect::Write`]: it both observes and may mutate its
+    /// register, so write-level conflict detection covers it.
+    pub fn effect(&self) -> StepEffect {
+        match self {
+            Poised::Read { reg } => StepEffect::Read { reg: *reg },
+            Poised::Write { reg, .. } | Poised::Cas { reg, .. } => StepEffect::Write { reg: *reg },
+            Poised::Done(_) => StepEffect::Return,
+        }
+    }
+}
+
+/// The footprint class of one scheduled step, abstracting away values:
+/// what the step touches, which is all the independence relation needs.
+///
+/// Two steps by *different* processes are **independent** when executing
+/// them in either order from the same configuration yields the same
+/// configuration, the same machine observations, *and* the same
+/// happens-before relation over completed operations (the timestamp
+/// property is a predicate on that relation, so swapping two steps must
+/// not flip any ordered pair). See [`StepEffect::independent`] for the
+/// exact relation and `ARCHITECTURE.md` for the soundness argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StepEffect {
+    /// A local invocation step: the process installs its next call's
+    /// machine. Touches no register but *does* append an `Invoke` event
+    /// to the history.
+    Invoke,
+    /// A shared-memory read of `reg`.
+    Read {
+        /// The register read.
+        reg: usize,
+    },
+    /// A shared-memory write of `reg` — plain writes *and* CAS steps
+    /// (a CAS observes the prior value and may install a new one, so it
+    /// conflicts like a write on both sides).
+    Write {
+        /// The register (potentially) written.
+        reg: usize,
+    },
+    /// A local completion step: the process records its call's response.
+    /// Touches no register but appends a `Respond` event to the history.
+    Return,
+}
+
+impl StepEffect {
+    /// Whether this effect names a shared-memory access (read or write).
+    pub fn is_memory(&self) -> bool {
+        matches!(self, StepEffect::Read { .. } | StepEffect::Write { .. })
+    }
+
+    /// The independence relation of the DPOR reduction:
+    ///
+    /// - two reads always commute, even on the same register (no state
+    ///   changes, identical observations either way);
+    /// - a write is dependent with every access (read, write, or CAS)
+    ///   to the *same* register and independent of everything else;
+    /// - memory steps are independent of local steps: they move no
+    ///   history event past another, so no happens-before pair flips;
+    /// - `Invoke` and `Return` of different processes are **dependent**:
+    ///   `Return(p); Invoke(q)` orders p's operation before q's, while
+    ///   `Invoke(q); Return(p)` makes them overlap — the timestamp
+    ///   property distinguishes the two histories;
+    /// - `Invoke`/`Invoke` and `Return`/`Return` commute (swapping two
+    ///   adjacent invocations, or two adjacent responses, flips no
+    ///   `responded < invoked` comparison).
+    pub fn independent(&self, other: &StepEffect) -> bool {
+        use StepEffect::{Invoke, Read, Return, Write};
+        match (self, other) {
+            (Invoke, Return) | (Return, Invoke) => false,
+            (Invoke, _) | (_, Invoke) | (Return, _) | (_, Return) => true,
+            (Read { .. }, Read { .. }) => true,
+            (Read { reg: a }, Write { reg: b })
+            | (Write { reg: a }, Read { reg: b })
+            | (Write { reg: a }, Write { reg: b }) => a != b,
+        }
+    }
 }
 
 /// A deterministic step machine describing one pending method call.
@@ -103,6 +182,30 @@ pub trait Machine: Clone + Eq + Hash + Debug {
     /// [`Poised::Done`], or if `observed` does not match the poised step
     /// kind.
     fn observe(&mut self, observed: Option<Self::Value>);
+
+    /// Over-approximation of the registers this machine may still
+    /// **read** (including CAS observations) between its current state
+    /// and the completion of its call, across *every* possible future
+    /// observation. `None` means "unknown — assume any register".
+    ///
+    /// This is the lookahead the persistent-set computation of the DPOR
+    /// explorer needs. The default is sound for every machine; override
+    /// it only with a genuine over-approximation — returning a set that
+    /// misses a register the machine can later read makes the reduction
+    /// unsound (the differential harness in `tests/explore_equivalence.rs`
+    /// exists to catch exactly that).
+    fn may_read(&self) -> Option<Vec<usize>> {
+        None
+    }
+
+    /// Over-approximation of the registers this machine may still
+    /// **write** (including CAS installations) before completing, across
+    /// every possible future observation. `None` means "unknown".
+    ///
+    /// Same contract as [`Machine::may_read`].
+    fn may_write(&self) -> Option<Vec<usize>> {
+        None
+    }
 }
 
 #[cfg(test)]
@@ -119,5 +222,42 @@ mod tests {
         assert_eq!(d.covers(), None);
         assert!(d.is_done());
         assert!(!q.is_done());
+    }
+
+    #[test]
+    fn effects_classify_steps() {
+        let r: Poised<u8, u8> = Poised::Read { reg: 2 };
+        assert_eq!(r.effect(), StepEffect::Read { reg: 2 });
+        let w: Poised<u8, u8> = Poised::Write { reg: 1, value: 9 };
+        assert_eq!(w.effect(), StepEffect::Write { reg: 1 });
+        let c: Poised<u8, u8> = Poised::Cas {
+            reg: 1,
+            expected: 0,
+            new: 1,
+        };
+        assert_eq!(c.effect(), StepEffect::Write { reg: 1 }, "CAS is a write");
+        let d: Poised<u8, u8> = Poised::Done(0);
+        assert_eq!(d.effect(), StepEffect::Return);
+    }
+
+    #[test]
+    fn independence_relation_is_symmetric_and_exact() {
+        use StepEffect::{Invoke, Read, Return, Write};
+        let cases = [
+            (Invoke, Invoke, true),
+            (Invoke, Return, false),
+            (Return, Return, true),
+            (Invoke, Read { reg: 0 }, true),
+            (Return, Write { reg: 0 }, true),
+            (Read { reg: 0 }, Read { reg: 0 }, true),
+            (Read { reg: 0 }, Write { reg: 0 }, false),
+            (Read { reg: 0 }, Write { reg: 1 }, true),
+            (Write { reg: 0 }, Write { reg: 0 }, false),
+            (Write { reg: 0 }, Write { reg: 1 }, true),
+        ];
+        for (a, b, expect) in cases {
+            assert_eq!(a.independent(&b), expect, "{a:?} vs {b:?}");
+            assert_eq!(b.independent(&a), expect, "symmetry: {b:?} vs {a:?}");
+        }
     }
 }

@@ -180,6 +180,22 @@ impl<A: Algorithm> System<A> {
             .collect()
     }
 
+    /// The [`StepEffect`](crate::machine::StepEffect) scheduling `pid`
+    /// *right now* would have: `Invoke` for an idle process (the caller
+    /// is responsible for checking it still has invocations left),
+    /// otherwise the effect of its poised step.
+    ///
+    /// This is the independence hook the DPOR explorer drives: the
+    /// effect abstracts the step down to what it touches, which is all
+    /// the [`independent`](crate::machine::StepEffect::independent)
+    /// relation needs.
+    pub fn next_effect(&self, pid: ProcId) -> crate::machine::StepEffect {
+        match self.config.procs.get(pid).and_then(|m| m.as_ref()) {
+            Some(machine) => machine.poised().effect(),
+            None => crate::machine::StepEffect::Invoke,
+        }
+    }
+
     /// Whether the whole system is quiescent (no pending calls).
     ///
     /// This matches the paper's quiescence: no process has started but

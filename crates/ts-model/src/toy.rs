@@ -59,6 +59,20 @@ impl Machine for CounterMachine {
             (phase, obs) => panic!("invalid observe({obs:?}) in phase {phase:?}"),
         };
     }
+
+    fn may_read(&self) -> Option<Vec<usize>> {
+        Some(match self.phase {
+            Phase::Start => vec![self.reg],
+            Phase::Write(_) | Phase::Done(_) => vec![],
+        })
+    }
+
+    fn may_write(&self) -> Option<Vec<usize>> {
+        Some(match self.phase {
+            Phase::Start | Phase::Write(_) => vec![self.reg],
+            Phase::Done(_) => vec![],
+        })
+    }
 }
 
 /// One-shot "timestamp" from a single shared counter register.
@@ -105,6 +119,14 @@ impl Algorithm for CounterAlgorithm {
     fn ops_per_process(&self) -> Option<usize> {
         Some(1)
     }
+
+    fn op_may_read(&self, _pid: ProcId) -> Option<Vec<usize>> {
+        Some(vec![0])
+    }
+
+    fn op_may_write(&self, _pid: ProcId) -> Option<Vec<usize>> {
+        Some(vec![0])
+    }
 }
 
 /// A blatantly broken one-shot timestamp: every call returns `0`.
@@ -139,6 +161,14 @@ impl Machine for ConstantMachine {
     fn observe(&mut self, _observed: Option<u64>) {
         panic!("ConstantMachine has no steps to advance past");
     }
+
+    fn may_read(&self) -> Option<Vec<usize>> {
+        Some(vec![])
+    }
+
+    fn may_write(&self) -> Option<Vec<usize>> {
+        Some(vec![])
+    }
 }
 
 impl Algorithm for ConstantAlgorithm {
@@ -166,6 +196,14 @@ impl Algorithm for ConstantAlgorithm {
 
     fn ops_per_process(&self) -> Option<usize> {
         Some(1)
+    }
+
+    fn op_may_read(&self, _pid: ProcId) -> Option<Vec<usize>> {
+        Some(vec![])
+    }
+
+    fn op_may_write(&self, _pid: ProcId) -> Option<Vec<usize>> {
+        Some(vec![])
     }
 }
 

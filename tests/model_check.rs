@@ -15,6 +15,7 @@ fn simple_model_exhaustive_up_to_four_processes() {
         assert!(report.violation.is_none(), "n={n}: {:?}", report.violation);
         assert!(report.executions > 0, "n={n}");
         assert!(!report.truncated, "n={n}");
+        assert!(!report.depth_bounded, "n={n}: exploration was depth-cut");
     }
 }
 
@@ -22,7 +23,10 @@ fn simple_model_exhaustive_up_to_four_processes() {
 fn bounded_model_exhaustive_two_processes() {
     let report = Explorer::new(BoundedModel::new(2), 1).run();
     assert!(report.violation.is_none(), "{:?}", report.violation);
-    assert!(report.states > 100, "suspiciously small exploration");
+    // DPOR counts only branching states (deterministic chains collapse),
+    // so the vacuousness floor is on transitions, not states.
+    assert!(report.transitions > 100, "suspiciously small exploration");
+    assert!(!report.depth_bounded);
 }
 
 #[test]
@@ -30,6 +34,7 @@ fn bounded_model_exhaustive_three_processes() {
     let report = Explorer::new(BoundedModel::new(3), 1).run();
     assert!(report.violation.is_none(), "{:?}", report.violation);
     assert!(report.pruned > 0, "state merging must engage");
+    assert!(!report.depth_bounded);
 }
 
 #[test]
@@ -56,8 +61,10 @@ fn collect_max_exhaustive_long_lived() {
     assert!(report.violation.is_none(), "{:?}", report.violation);
     assert!(report.executions > 0, "vacuous exploration");
     assert!(!report.truncated);
+    assert!(!report.depth_bounded);
     let report = Explorer::new(CollectMaxModel::new(3), 1).run();
     assert!(report.violation.is_none(), "{:?}", report.violation);
+    assert!(!report.depth_bounded);
 }
 
 #[test]
@@ -73,17 +80,33 @@ fn collect_max_fast_path_exhaustive_long_lived() {
     assert!(report.violation.is_none(), "{:?}", report.violation);
     assert!(report.executions > 0, "vacuous exploration");
     assert!(!report.truncated);
+    assert!(!report.depth_bounded);
     let report = Explorer::new(CollectMaxFastModel::new(3), 1).run();
     assert!(report.violation.is_none(), "{:?}", report.violation);
+    assert!(!report.depth_bounded);
+}
+
+#[test]
+fn collect_max_fast_exhaustive_three_processes_two_ops() {
+    // 3 processes × 2 ops each: the configuration where a stalled CAS
+    // from a *previous* operation can overlap a later fast-path read.
+    // Out of reach for plain enumeration; the DPOR reduction brings it
+    // into the CI budget.
+    let report = Explorer::new(CollectMaxFastModel::new(3), 2).run();
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+    assert!(report.executions > 0, "vacuous exploration");
+    assert!(!report.truncated);
+    assert!(!report.depth_bounded);
 }
 
 #[test]
 fn collect_max_fast_path_pct_sweep_three_processes() {
-    // PCT depth-3 on the fast-path twin, mirroring the classic-path
-    // sweep below: stalled-CAS overtakes are depth-2/3 ordering bugs,
-    // PCT's sweet spot.
+    // PCT depth-6 on the fast-path twin, mirroring the classic-path
+    // sweep below. Stalled-CAS overtakes are depth-2/3 ordering bugs;
+    // depth 6 also covers chained overtakes across consecutive ops, and
+    // the DPOR-era exhaustive gates freed enough budget to double it.
     for seed in 0..100u64 {
-        let report = PctScheduler::new(seed, 3)
+        let report = PctScheduler::new(seed, 6)
             .ops_per_process(2)
             .run(CollectMaxFastModel::new(3));
         assert!(report.steps > 0, "seed {seed}: empty run");
@@ -97,14 +120,14 @@ fn collect_max_fast_path_pct_sweep_three_processes() {
 
 #[test]
 fn collect_max_pct_sweep_three_processes() {
-    // PCT (depth-3: two priority change points) at 3 processes × 2 ops,
-    // matching the seeded-schedule coverage SimpleOneShot gets from
-    // `random_schedules_stay_clean_across_algorithms`. Depth-2/3
+    // PCT (depth-6: five priority change points) at 3 processes × 2
+    // ops, matching the seeded-schedule coverage SimpleOneShot gets
+    // from `random_schedules_stay_clean_across_algorithms`. Depth-2/3
     // ordering bugs — a stalled collector overtaken by writers — are
-    // exactly PCT's sweet spot, so a clean 100-seed sweep is real
-    // evidence, not schedule noise.
+    // PCT's sweet spot and remain covered; depth 6 additionally probes
+    // multi-op overtake chains, and stays in the same CI budget.
     for seed in 0..100u64 {
-        let report = PctScheduler::new(seed, 3)
+        let report = PctScheduler::new(seed, 6)
             .ops_per_process(2)
             .run(CollectMaxModel::new(3));
         assert!(report.steps > 0, "seed {seed}: empty run");
@@ -121,9 +144,9 @@ fn pct_sweeps_stay_clean_suite_wide() {
     // The same PCT coverage for the other real algorithm models, so
     // every model twin gets exhaustive + random + PCT checking.
     for seed in 0..40u64 {
-        let report = PctScheduler::new(seed, 3).run(SimpleModel::new(8));
+        let report = PctScheduler::new(seed, 6).run(SimpleModel::new(8));
         assert!(report.violation.is_none(), "simple seed {seed}");
-        let report = PctScheduler::new(seed, 3).run(BoundedModel::new(6));
+        let report = PctScheduler::new(seed, 6).run(BoundedModel::new(6));
         assert!(report.violation.is_none(), "bounded seed {seed}");
     }
 }
