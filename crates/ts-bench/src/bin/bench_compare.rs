@@ -19,8 +19,11 @@
 //!
 //! Output: a markdown table (one JSON line per row under
 //! `TS_BENCH_JSON`) with old/new throughput, the `new/old` ratio, and —
-//! for workloads files — old/new p99 ns. The summary line counts
-//! improved (≥ 1.05x), unchanged, and regressed (≤ 0.95x) rows.
+//! for workloads files — old/new p99 ns plus a `stamps ratio` column
+//! for rows where both files record the service layer's
+//! `stamps_per_sec` (informational; the gate stays on ops/sec). The
+//! summary line counts improved (≥ 1.05x), unchanged, and regressed
+//! (≤ 0.95x) rows.
 //!
 //! `--threshold R` (e.g. `0.5x` or `0.5`) turns the diff into a gate:
 //! if any joined row's throughput ratio falls below `R`, the process
@@ -50,6 +53,11 @@ struct CompareRow {
     ratio: f64,
     old_p99_ns: Option<u64>,
     new_p99_ns: Option<u64>,
+    /// `new/old` per-stamp throughput ratio, when both files record
+    /// `stamps_per_sec` for the row (service-layer grid cells). Not
+    /// part of the threshold gate — `ratio` (ops/sec) gates; this
+    /// column shows whether batching amortization moved.
+    stamps_ratio: Option<f64>,
 }
 
 struct Config {
@@ -102,8 +110,8 @@ struct BenchFile {
     /// file records it — the threshold gate only arms when both files
     /// were recorded at the same parallelism.
     host_threads: Option<u64>,
-    /// key -> (throughput, p99_ns?)
-    rows: Vec<(String, f64, Option<u64>)>,
+    /// key -> (throughput, p99_ns?, stamps_per_sec?)
+    rows: Vec<(String, f64, Option<u64>, Option<f64>)>,
 }
 
 fn load(path: &str) -> BenchFile {
@@ -153,7 +161,8 @@ fn load(path: &str) -> BenchFile {
                 .and_then(Value::as_f64)
                 .unwrap_or_else(|| panic!("row {key} in {path:?} lacks {throughput_field}"));
             let p99 = row.get("p99_ns").and_then(Value::as_u64);
-            (key, throughput, p99)
+            let stamps = row.get("stamps_per_sec").and_then(Value::as_f64);
+            (key, throughput, p99, stamps)
         })
         .collect();
     BenchFile {
@@ -196,22 +205,25 @@ fn main() {
         old.schema, new.schema
     );
 
-    let old_keyed: std::collections::HashMap<&str, (f64, Option<u64>)> = old
+    let old_keyed: std::collections::HashMap<&str, (f64, Option<u64>, Option<f64>)> = old
         .rows
         .iter()
-        .map(|(k, t, p)| (k.as_str(), (*t, *p)))
+        .map(|(k, t, p, s)| (k.as_str(), (*t, *p, *s)))
         .collect();
     let mut joined: Vec<CompareRow> = Vec::new();
     let mut only_new = 0usize;
-    for (key, new_tp, new_p99) in &new.rows {
+    for (key, new_tp, new_p99, new_stamps) in &new.rows {
         match old_keyed.get(key.as_str()) {
-            Some(&(old_tp, old_p99)) => joined.push(CompareRow {
+            Some(&(old_tp, old_p99, old_stamps)) => joined.push(CompareRow {
                 key: key.clone(),
                 old_ops_per_sec: old_tp,
                 new_ops_per_sec: *new_tp,
                 ratio: new_tp / old_tp.max(f64::MIN_POSITIVE),
                 old_p99_ns: old_p99,
                 new_p99_ns: *new_p99,
+                stamps_ratio: old_stamps
+                    .zip(*new_stamps)
+                    .map(|(o, n)| n / o.max(f64::MIN_POSITIVE)),
             }),
             None => only_new += 1,
         }
@@ -228,6 +240,7 @@ fn main() {
             "old ops/s",
             "new ops/s",
             "ratio",
+            "stamps ratio",
             "old p99",
             "new p99",
         ],
@@ -238,6 +251,7 @@ fn main() {
             fmt_ops(row.old_ops_per_sec),
             fmt_ops(row.new_ops_per_sec),
             format!("{:.2}x", row.ratio),
+            row.stamps_ratio.map_or("-".into(), |r| format!("{r:.2}x")),
             row.old_p99_ns.map_or("-".into(), |p| format!("{p}ns")),
             row.new_p99_ns.map_or("-".into(), |p| format!("{p}ns")),
         ]);

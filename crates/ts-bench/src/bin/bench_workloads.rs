@@ -12,6 +12,16 @@
 //! (backend label `packed_unpadded`), so every scenario doubles as a
 //! padded-vs-unpadded A/B cell.
 //!
+//! The `ts-service` layer joins the grid as `sharded_s{S}_{mode}` cells
+//! (`S ∈ {1,4,16}` shard domains × `{single, batch16, combining}`
+//! issue modes) under the pure-issue scenarios (`closed_getts`,
+//! `open_bursty`). Service rows carry extra columns from the unified
+//! [`ServiceStats`] snapshot — `stamps_per_sec` (the per-stamp
+//! throughput; batch cells issue 16 stamps per op so `ops/sec` alone
+//! would hide the amortization), fast-hit ratio, batch/combine fill,
+//! shard imbalance and lease waits; the columns are `null` on rows
+//! whose target has no stats hook.
+//!
 //! Each cell reports throughput and log-bucketed latency percentiles
 //! (p50/p90/p99/p999/max). Output: a markdown table normally, one JSON
 //! object **per cell** under `TS_BENCH_JSON` (pure JSON lines, like
@@ -37,10 +47,11 @@ use ts_bench::Table;
 use ts_core::workload::WorkloadTarget;
 use ts_core::{
     ArrayLayout, BoundedTimestamp, CollectMax, EpochBackend, GrowableWorkload, OneShotPool,
-    PackedBackend, SimpleOneShot,
+    PackedBackend, ServiceStats, SimpleOneShot,
 };
+use ts_service::{IssueMode, ServiceConfig};
 use ts_workloads::replay::{case_target, corpus_cases, corpus_traces, replay_trace, ReplayReport};
-use ts_workloads::{catalog, run_scenario, RunConfig, Scenario, ScenarioReport};
+use ts_workloads::{catalog, run_scenario, RunConfig, Scenario, ScenarioReport, ServiceTarget};
 
 /// One measured (object × backend × scenario × threads) cell.
 #[derive(Debug, Clone, Serialize)]
@@ -62,6 +73,17 @@ struct WorkloadRow {
     p99_ns: u64,
     p999_ns: u64,
     max_ns: u64,
+    // Service-layer columns, `null` for targets without `ServiceStats`.
+    // `stamps_per_sec` is the per-stamp throughput: for batch cells one
+    // GetTs op issues the whole batch, so `ops/sec` counts issue calls
+    // while this column counts stamps — the figure comparable across
+    // issue modes and with the single-issue paper objects.
+    stamps_per_sec: Option<f64>,
+    fast_hit_ratio: Option<f64>,
+    avg_batch_fill: Option<f64>,
+    avg_combine_fill: Option<f64>,
+    shard_imbalance: Option<f64>,
+    lease_waits: Option<u64>,
 }
 
 impl WorkloadRow {
@@ -88,10 +110,16 @@ impl WorkloadRow {
             p99_ns: r.step_latency.percentile(99.0),
             p999_ns: r.step_latency.percentile(99.9),
             max_ns: r.step_latency.max_ns(),
+            stamps_per_sec: None,
+            fast_hit_ratio: None,
+            avg_batch_fill: None,
+            avg_combine_fill: None,
+            shard_imbalance: None,
+            lease_waits: None,
         }
     }
 
-    fn from_report(r: &ScenarioReport) -> Self {
+    fn from_report(r: &ScenarioReport, stats: Option<&ServiceStats>) -> Self {
         Self {
             object: r.object.to_string(),
             backend: r.backend.to_string(),
@@ -110,6 +138,14 @@ impl WorkloadRow {
             p99_ns: r.latency.percentile(99.0),
             p999_ns: r.latency.percentile(99.9),
             max_ns: r.latency.max_ns(),
+            stamps_per_sec: stats.and_then(|s| {
+                (s.stamps > 0).then(|| s.stamps as f64 / r.elapsed_secs.max(f64::MIN_POSITIVE))
+            }),
+            fast_hit_ratio: stats.and_then(ServiceStats::fast_hit_ratio),
+            avg_batch_fill: stats.and_then(ServiceStats::avg_batch_fill),
+            avg_combine_fill: stats.and_then(ServiceStats::avg_combine_fill),
+            shard_imbalance: stats.and_then(ServiceStats::shard_imbalance),
+            lease_waits: stats.map(|s| s.lease_waits),
         }
     }
 }
@@ -226,6 +262,42 @@ fn targets(threads: usize, pool_size: usize) -> Vec<Box<dyn WorkloadTarget>> {
     ]
 }
 
+/// The service grid: `sharded{S}` × issue mode, all on the packed
+/// backend. Labels are the report's object column; slot budget per
+/// shard is derived from the thread count at run time
+/// (`ceil(threads / shards)`, so total slots ≈ threads regardless of
+/// `S` and the A/B compares sharding, not register count).
+const SERVICE_CELLS: &[(usize, IssueMode, &str)] = &[
+    (1, IssueMode::Single, "sharded_s1_single"),
+    (1, IssueMode::Batch(16), "sharded_s1_batch16"),
+    (1, IssueMode::Combining, "sharded_s1_combining"),
+    (4, IssueMode::Single, "sharded_s4_single"),
+    (4, IssueMode::Batch(16), "sharded_s4_batch16"),
+    (4, IssueMode::Combining, "sharded_s4_combining"),
+    (16, IssueMode::Single, "sharded_s16_single"),
+    (16, IssueMode::Batch(16), "sharded_s16_batch16"),
+    (16, IssueMode::Combining, "sharded_s16_combining"),
+];
+
+/// Service cells run only under the pure-issue scenarios: the service's
+/// `Scan`/`Compare` semantics differ from the paper objects', so mixed
+/// cells would not be like-for-like rows.
+const SERVICE_SCENARIOS: &[&str] = &["closed_getts", "open_bursty"];
+
+fn service_targets(threads: usize) -> Vec<Box<dyn WorkloadTarget>> {
+    SERVICE_CELLS
+        .iter()
+        .map(|&(shards, mode, label)| {
+            let slots_per_shard = threads.div_ceil(shards).max(1);
+            Box::new(ServiceTarget::new(
+                label,
+                ServiceConfig::new(shards, slots_per_shard),
+                mode,
+            )) as Box<dyn WorkloadTarget>
+        })
+        .collect()
+}
+
 fn main() {
     let cfg = parse_args();
     // Per-cell budgets; smoke cuts ~20x for CI.
@@ -245,9 +317,13 @@ fn main() {
         for scenario in &scenarios {
             // Fresh targets per scenario so cells don't contaminate each
             // other (register contents, pool generations, vpids).
-            for target in targets(threads, pool_size) {
+            let mut cell_targets = targets(threads, pool_size);
+            if SERVICE_SCENARIOS.contains(&scenario.name) {
+                cell_targets.extend(service_targets(threads));
+            }
+            for target in cell_targets {
                 let report = run_scenario(target.as_ref(), scenario, &run_cfg);
-                let row = WorkloadRow::from_report(&report);
+                let row = WorkloadRow::from_report(&report, target.service_stats().as_ref());
                 if ts_bench::json_mode() {
                     println!("{}", serde_json::to_string(&row).expect("rows serialize"));
                 }
@@ -290,8 +366,17 @@ fn main() {
         let mut table = Table::new(
             "bench_workloads — scenario grid: throughput + latency percentiles",
             &[
-                "object", "backend", "scenario", "threads", "ops", "ops/sec", "p50 ns", "p99 ns",
-                "p999 ns", "max ns",
+                "object",
+                "backend",
+                "scenario",
+                "threads",
+                "ops",
+                "ops/sec",
+                "stamps/sec",
+                "p50 ns",
+                "p99 ns",
+                "p999 ns",
+                "max ns",
             ],
         );
         for r in &rows {
@@ -302,6 +387,8 @@ fn main() {
                 r.threads.to_string(),
                 r.ops.to_string(),
                 format!("{:.0}", r.throughput_ops_per_sec),
+                r.stamps_per_sec
+                    .map_or_else(|| "-".to_string(), |s| format!("{s:.0}")),
                 r.p50_ns.to_string(),
                 r.p99_ns.to_string(),
                 r.p999_ns.to_string(),
@@ -313,7 +400,9 @@ fn main() {
     ts_bench::note(
         "expectations: packed beats epoch on closed-loop getTS; open-loop sojourn\n\
          p99 tracks burst size; churn cells match closed_getts within noise (the\n\
-         orphan handoff is off the hot path).",
+         orphan handoff is off the hot path); sharded/batched service cells beat\n\
+         unsharded collect_max on stamps/sec (batch cells amortize one CAS over\n\
+         16 stamps, so compare stamps/sec, not ops/sec).",
     );
 
     if let Some(path) = &cfg.out {

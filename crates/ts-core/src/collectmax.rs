@@ -46,8 +46,65 @@ use ts_register::{
 };
 
 use crate::error::GetTsError;
+use crate::stats::ServiceStats;
 use crate::timestamp::Timestamp;
 use crate::traits::LongLivedTimestamp;
+
+/// A reservation of `k` consecutive timestamps from one
+/// [`CollectMax::get_ts_batch`] call — an iterator yielding
+/// `first..=last` as [`Timestamp`]s.
+///
+/// The whole range was reserved by a single successful CAS on the
+/// cached maximum, so distinct batches (and fast-path singles) never
+/// overlap; see `get_ts_batch` for the exact uniqueness contract.
+#[derive(Debug, Clone)]
+pub struct StampBatch {
+    next: u64,
+    last: u64,
+}
+
+impl StampBatch {
+    fn new(first: u64, last: u64) -> Self {
+        Self { next: first, last }
+    }
+
+    /// The smallest stamp in the batch (named to avoid shadowing
+    /// [`Iterator::last`], which consumes the iterator).
+    pub fn first_stamp(&self) -> Timestamp {
+        Timestamp::scalar(self.next)
+    }
+
+    /// The largest stamp in the batch (what the issuer published to its
+    /// register).
+    pub fn last_stamp(&self) -> Timestamp {
+        Timestamp::scalar(self.last)
+    }
+
+    /// Stamps remaining to be yielded.
+    pub fn remaining(&self) -> usize {
+        (self.last + 1 - self.next) as usize
+    }
+}
+
+impl Iterator for StampBatch {
+    type Item = Timestamp;
+
+    fn next(&mut self) -> Option<Timestamp> {
+        if self.next > self.last {
+            return None;
+        }
+        let t = Timestamp::scalar(self.next);
+        self.next += 1;
+        Some(t)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for StampBatch {}
 
 /// Long-lived timestamp object over `n` single-writer registers, generic
 /// over the register storage backend.
@@ -84,6 +141,8 @@ pub struct CollectMax<B: RegisterBackend<u64> = PackedBackend> {
     meter: SpaceMeter,
     calls: AtomicU64,
     fast_hits: AtomicU64,
+    batches: AtomicU64,
+    batched_stamps: AtomicU64,
 }
 
 /// [`CollectMax`] over epoch-reclaimed heap-cell registers — same
@@ -129,6 +188,8 @@ impl<B: RegisterBackend<u64>> CollectMax<B> {
             meter: SpaceMeter::new(processes),
             calls: AtomicU64::new(0),
             fast_hits: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_stamps: AtomicU64::new(0),
         }
     }
 
@@ -154,6 +215,103 @@ impl<B: RegisterBackend<u64>> CollectMax<B> {
     /// collect fallback.
     pub fn fast_path_hits(&self) -> u64 {
         self.fast_hits.load(Ordering::Relaxed)
+    }
+
+    /// Unified hot-path counter snapshot (the [`ServiceStats`] fold of
+    /// the PR-5 `fast_path_hits` pattern): calls, stamps, fast hits and
+    /// batch fill in one struct, so reports show *ratios* instead of
+    /// opaque throughput. Combining counters stay zero — this object
+    /// has no combiner; `shard_stamps` is the single-shard vector.
+    pub fn stats(&self) -> ServiceStats {
+        let calls = self.calls.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched = self.batched_stamps.load(Ordering::Relaxed);
+        // Non-batch calls issue one stamp each (saturating: a racing
+        // snapshot may observe a call's batch bump before its call
+        // bump — the counters are Relaxed by design).
+        let stamps = calls.saturating_sub(batches) + batched;
+        ServiceStats {
+            calls,
+            stamps,
+            fast_hits: self.fast_hits.load(Ordering::Relaxed),
+            batches,
+            batched_stamps: batched,
+            shard_stamps: vec![stamps],
+            ..Default::default()
+        }
+    }
+
+    /// Reserves `k` **consecutive** timestamps with a single successful
+    /// CAS on the cached maximum — the batched `getTS` amortization:
+    /// one atomic RMW (plus one register write) hands out `k` stamps,
+    /// so the per-stamp contention cost shrinks by `k`.
+    ///
+    /// The call CAS-loops `m -> m + k` on the cached maximum (the loop
+    /// is the only retry — there is no collect fallback on this path),
+    /// then writes `m + k` to the caller's register and returns the
+    /// batch `m+1 ..= m+k`.
+    ///
+    /// # Uniqueness and ordering
+    ///
+    /// Every reservation wins its interval `(m, m+k]` with a CAS from
+    /// `m`: no two successful CASes share a starting value, and the
+    /// cache is monotone (I1), so intervals from *all* batch calls and
+    /// all fast-path singles are pairwise disjoint — the stamps they
+    /// issue are globally unique, not merely ordered. Only the
+    /// collect fallback of [`get_ts`](LongLivedTimestamp::get_ts) (and
+    /// the replay-only classic path) can duplicate a concurrent
+    /// reservation's value, exactly as two concurrent collect calls
+    /// could before; the timestamp property is indifferent to it.
+    ///
+    /// The invariants I1–I4 of
+    /// [`get_ts_fast_paused`](Self::get_ts_fast_paused) carry over with
+    /// `k` in place of 1: completion publishes (the winning CAS itself
+    /// made the cache `>= m+k`, I2), the register covers the batch top
+    /// (I3; the write is monotone because the reservation base `m` is
+    /// at least the cache value this process's previous call
+    /// published), so a `getTS` starting after this call returns
+    /// strictly more than `m + k` — every stamp in the batch is
+    /// ordered before it.
+    ///
+    /// # Errors
+    ///
+    /// [`GetTsError::PidOutOfRange`] if `pid >= processes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` (an empty reservation is a caller bug).
+    pub fn get_ts_batch(&self, pid: usize, k: u32) -> Result<StampBatch, GetTsError> {
+        let n = self.registers.len();
+        if pid >= n {
+            return Err(GetTsError::PidOutOfRange { pid, processes: n });
+        }
+        assert!(k >= 1, "batch reservation needs k >= 1");
+        let k = u64::from(k);
+        let mut m = self.cached_max.load(Ordering::Acquire);
+        let mut first_attempt = true;
+        loop {
+            match self
+                .cached_max
+                .compare_exchange(m, m + k, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => break,
+                Err(now) => {
+                    m = now;
+                    first_attempt = false;
+                }
+            }
+        }
+        self.meter.record_write(pid);
+        ts_register::Register::write(self.registers.get(pid), m + k);
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        if first_attempt {
+            self.fast_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        if k > 1 {
+            self.batches.fetch_add(1, Ordering::Relaxed);
+            self.batched_stamps.fetch_add(k, Ordering::Relaxed);
+        }
+        Ok(StampBatch::new(m + 1, m + k))
     }
 
     /// `getTS` along the **classic collect path** with a pause hook:
@@ -527,6 +685,80 @@ mod tests {
         }
         run::<PackedBackend>();
         run::<EpochBackend>();
+    }
+
+    #[test]
+    fn batch_reserves_consecutive_stamps_after_the_current_max() {
+        let ts = CollectMax::new(2);
+        let a = ts.get_ts(0).unwrap(); // 1
+        let batch: Vec<Timestamp> = ts.get_ts_batch(1, 4).unwrap().collect();
+        assert_eq!(
+            batch,
+            (2..=5).map(Timestamp::scalar).collect::<Vec<_>>(),
+            "batch must be consecutive starting above the completed call"
+        );
+        assert!(Timestamp::compare(&a, &batch[0]));
+        // A later single call starts above the whole batch.
+        let b = ts.get_ts(0).unwrap();
+        assert_eq!(b, Timestamp::scalar(6));
+        assert_eq!(ts.calls(), 3);
+        let stats = ts.stats();
+        assert_eq!(stats.stamps, 6);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.avg_batch_fill(), Some(4.0));
+        assert_eq!(stats.fast_hit_ratio(), Some(1.0), "solo: every CAS wins");
+    }
+
+    #[test]
+    fn batch_of_one_matches_single_issue_semantics() {
+        let ts = CollectMax::new(1);
+        let only: Vec<Timestamp> = ts.get_ts_batch(0, 1).unwrap().collect();
+        assert_eq!(only, vec![Timestamp::scalar(1)]);
+        // k = 1 is not counted as a batch (no amortization happened).
+        assert_eq!(ts.stats().batches, 0);
+        assert_eq!(ts.read_max(), Timestamp::scalar(1));
+    }
+
+    #[test]
+    fn batch_rejects_bad_pid_and_publishes_its_top() {
+        let ts = CollectMax::new(2);
+        assert!(ts.get_ts_batch(2, 4).is_err());
+        let batch = ts.get_ts_batch(0, 3).unwrap();
+        assert_eq!(batch.first_stamp(), Timestamp::scalar(1));
+        assert_eq!(batch.last_stamp(), Timestamp::scalar(3));
+        assert_eq!(batch.remaining(), 3);
+        // The register and cache both cover the batch top, so a
+        // collector started after the call sees all three stamps.
+        assert_eq!(ts.read_max(), Timestamp::scalar(3));
+        assert_eq!(ts.read_max_collect(), Timestamp::scalar(3));
+    }
+
+    #[test]
+    fn concurrent_batches_never_overlap() {
+        use std::collections::HashSet;
+        let n = 4;
+        let per_thread = 200u32;
+        let ts = Arc::new(CollectMax::<PackedBackend>::with_backend(n));
+        let all: Vec<Vec<u64>> = crossbeam::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|p| {
+                    let ts = Arc::clone(&ts);
+                    s.spawn(move |_| {
+                        let mut got = Vec::new();
+                        for i in 0..per_thread {
+                            let k = 1 + ((p as u32 + i) % 5);
+                            got.extend(ts.get_ts_batch(p, k).unwrap().map(|t| t.rnd));
+                        }
+                        got
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+        let flat: Vec<u64> = all.into_iter().flatten().collect();
+        let unique: HashSet<u64> = flat.iter().copied().collect();
+        assert_eq!(unique.len(), flat.len(), "batch reservations overlapped");
     }
 
     #[test]

@@ -47,23 +47,25 @@ mod ids;
 pub mod model;
 mod recorder;
 mod simple;
+mod stats;
 mod timestamp;
 mod traits;
 pub mod workload;
 
 pub use bounded::{BoundedTimestamp, OverwritePolicy, PhaseStats};
 pub use broken::{BrokenConstant, BrokenCounter, BrokenStaleRead};
-pub use collectmax::{CollectMax, EpochCollectMax};
+pub use collectmax::{CollectMax, EpochCollectMax, StampBatch};
 pub use error::{GetTsError, UsedError};
 pub use growable::GrowableTimestamp;
 pub use ids::GetTsId;
 pub use recorder::{HistoryRecorder, RecordedCall, RecordedViolation};
 pub use simple::{EpochSimpleOneShot, SimpleOneShot};
-pub use timestamp::Timestamp;
+pub use stats::ServiceStats;
+pub use timestamp::{ShardedTimestamp, Timestamp};
 pub use traits::{LongLivedTimestamp, OneShotTimestamp};
 pub use workload::{
     CollectMaxFast, GateError, GateProgress, GrowableWorkload, OneShotPool, OpHistory,
-    ReplayGranularity, StepGate, WorkloadOp, WorkloadTarget, WorkloadWorker,
+    ReplayGranularity, StepGate, VpidAllocator, WorkloadOp, WorkloadTarget, WorkloadWorker,
 };
 
 // Re-exported so downstream constructors can name backends and layouts

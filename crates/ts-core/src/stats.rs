@@ -1,0 +1,176 @@
+//! Unified hot-path statistics for timestamp issuers.
+//!
+//! PR 5 gave `CollectMax` an ad-hoc `fast_path_hits()` counter so the
+//! cached-max fast path could be observed instead of inferred from
+//! throughput. The service layer multiplies the number of interesting
+//! counters — batch reservations, flat-combining passes, per-shard
+//! issue counts — so this module folds them all into one snapshot
+//! struct, [`ServiceStats`], that every
+//! [`WorkloadTarget`](crate::workload::WorkloadTarget) can surface via
+//! [`service_stats`](crate::workload::WorkloadTarget::service_stats).
+//! Bench rows then report *ratios* (fast-hit rate, mean batch fill,
+//! shard imbalance) next to throughput, instead of opaque ops/sec.
+
+/// A point-in-time snapshot of an issuer's hot-path counters.
+///
+/// All counts are cumulative since object creation. Counters that an
+/// object does not have (e.g. `combine_passes` on a plain
+/// [`CollectMax`](crate::CollectMax)) stay zero; the derived-ratio
+/// methods return `None` when their denominator is zero, so reports
+/// can distinguish "no batching configured" from "batch fill of 0".
+///
+/// # Example
+///
+/// ```
+/// use ts_core::{CollectMax, LongLivedTimestamp};
+///
+/// let ts = CollectMax::new(2);
+/// ts.get_ts(0).unwrap();
+/// ts.get_ts_batch(0, 4).unwrap().count();
+/// let stats = ts.stats();
+/// assert_eq!(stats.calls, 2);
+/// assert_eq!(stats.stamps, 5);
+/// assert_eq!(stats.avg_batch_fill(), Some(4.0));
+/// assert_eq!(stats.fast_hit_ratio(), Some(1.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Issue operations served (one per `getTS`/batch/combined call).
+    pub calls: u64,
+    /// Timestamps issued (`>= calls` once batching is in play).
+    pub stamps: u64,
+    /// Calls served by a one-CAS fast path: the cached-max CAS for
+    /// `CollectMax`, a first-attempt shard-word reservation for the
+    /// service.
+    pub fast_hits: u64,
+    /// Batch reservations (`get_ts_batch` calls that reserved `k > 1`).
+    pub batches: u64,
+    /// Stamps issued through batch reservations.
+    pub batched_stamps: u64,
+    /// Requests whose stamps were issued by a *combiner pass* (the
+    /// flat-combining publication-array drain), including the
+    /// combiner's own request.
+    pub combined_ops: u64,
+    /// Combiner passes that served at least one request.
+    pub combine_passes: u64,
+    /// Calls that had to wait for a slot lease before issuing (the
+    /// vpid-multiplexing contention signal: `M` clients over `n` slots).
+    pub lease_waits: u64,
+    /// Stamps issued per shard (a single-element vec for unsharded
+    /// issuers). The spread is the shard-imbalance signal.
+    pub shard_stamps: Vec<u64>,
+}
+
+impl ServiceStats {
+    /// Fraction of calls served by the one-CAS fast path, or `None`
+    /// before any call.
+    pub fn fast_hit_ratio(&self) -> Option<f64> {
+        (self.calls > 0).then(|| self.fast_hits as f64 / self.calls as f64)
+    }
+
+    /// Mean stamps per batch reservation, or `None` if no batch was
+    /// ever reserved.
+    pub fn avg_batch_fill(&self) -> Option<f64> {
+        (self.batches > 0).then(|| self.batched_stamps as f64 / self.batches as f64)
+    }
+
+    /// Mean requests served per combiner pass, or `None` without
+    /// combining. A fill near the thread count means one CAS is
+    /// amortized over a full complement of waiting peers.
+    pub fn avg_combine_fill(&self) -> Option<f64> {
+        (self.combine_passes > 0).then(|| self.combined_ops as f64 / self.combine_passes as f64)
+    }
+
+    /// Hottest shard's issue count over the per-shard mean (1.0 =
+    /// perfectly balanced), or `None` until some shard issued a stamp.
+    pub fn shard_imbalance(&self) -> Option<f64> {
+        let total: u64 = self.shard_stamps.iter().sum();
+        if total == 0 || self.shard_stamps.is_empty() {
+            return None;
+        }
+        let max = *self.shard_stamps.iter().max().expect("non-empty") as f64;
+        let mean = total as f64 / self.shard_stamps.len() as f64;
+        Some(max / mean)
+    }
+
+    /// Folds another snapshot into this one (summing counters and
+    /// concatenating shard counts) — used when a service aggregates
+    /// per-shard snapshots.
+    pub fn absorb(&mut self, other: &ServiceStats) {
+        self.calls += other.calls;
+        self.stamps += other.stamps;
+        self.fast_hits += other.fast_hits;
+        self.batches += other.batches;
+        self.batched_stamps += other.batched_stamps;
+        self.combined_ops += other.combined_ops;
+        self.combine_passes += other.combine_passes;
+        self.lease_waits += other.lease_waits;
+        self.shard_stamps.extend_from_slice(&other.shard_stamps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_are_none_without_denominators() {
+        let empty = ServiceStats::default();
+        assert_eq!(empty.fast_hit_ratio(), None);
+        assert_eq!(empty.avg_batch_fill(), None);
+        assert_eq!(empty.avg_combine_fill(), None);
+        assert_eq!(empty.shard_imbalance(), None);
+    }
+
+    #[test]
+    fn ratios_divide_the_right_counters() {
+        let stats = ServiceStats {
+            calls: 10,
+            stamps: 40,
+            fast_hits: 8,
+            batches: 4,
+            batched_stamps: 32,
+            combined_ops: 6,
+            combine_passes: 2,
+            lease_waits: 1,
+            shard_stamps: vec![30, 10],
+        };
+        assert_eq!(stats.fast_hit_ratio(), Some(0.8));
+        assert_eq!(stats.avg_batch_fill(), Some(8.0));
+        assert_eq!(stats.avg_combine_fill(), Some(3.0));
+        // max 30 over mean 20.
+        assert_eq!(stats.shard_imbalance(), Some(1.5));
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_concatenates_shards() {
+        let mut a = ServiceStats {
+            calls: 1,
+            stamps: 2,
+            shard_stamps: vec![2],
+            ..Default::default()
+        };
+        let b = ServiceStats {
+            calls: 3,
+            stamps: 4,
+            fast_hits: 3,
+            shard_stamps: vec![4],
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.calls, 4);
+        assert_eq!(a.stamps, 6);
+        assert_eq!(a.fast_hits, 3);
+        assert_eq!(a.shard_stamps, vec![2, 4]);
+    }
+
+    #[test]
+    fn perfectly_balanced_shards_report_one() {
+        let stats = ServiceStats {
+            stamps: 20,
+            shard_stamps: vec![5, 5, 5, 5],
+            ..Default::default()
+        };
+        assert_eq!(stats.shard_imbalance(), Some(1.0));
+    }
+}

@@ -62,6 +62,111 @@ impl fmt::Display for Timestamp {
     }
 }
 
+/// A sharded-service timestamp `(epoch, local, shard)` as issued by
+/// `ts-service`'s `ShardedCollectMax`.
+///
+/// The service partitions the timestamp space into `S` independent
+/// shards, each advancing its own packed `(epoch, local)` word. Stamps
+/// are ordered **lexicographically** by `(epoch, local, shard)`:
+///
+/// - `epoch` is the shard epoch — a coarse phase counter that only
+///   advances (on administrative rebalances, on per-epoch `local`
+///   exhaustion, and when a migrating client folds a higher-epoch floor
+///   into its new shard);
+/// - `local` is the stamp index within `(epoch, shard)`, reserved by a
+///   single CAS on the shard word and hence unique per shard;
+/// - `shard` is the issuing shard — a tie-breaker that makes the order
+///   *total* on issued stamps: `(epoch, local)` pairs can coincide
+///   across shards, the full triple cannot.
+///
+/// This is the same shape as a distributed register's
+/// `(seqno, client_id)` timestamp: lexicographic order over a counter
+/// plus an origin id. The order is total, antisymmetric and transitive
+/// on the type (it is exactly the derived [`Ord`]), which the proptest
+/// suite in `tests/service_properties.rs` checks alongside per-client
+/// monotonicity across shard migrations.
+///
+/// **What the order means.** Within one shard, non-overlapping `getTS`
+/// calls are ordered exactly as [`Timestamp`] calls on a `CollectMax`
+/// are. *Across* shards, the service guarantees the timestamp property
+/// **per client**: each client carries its last stamp as a floor, and
+/// every later stamp it obtains — on any shard, after any migration —
+/// is strictly larger. Two different clients on different shards whose
+/// calls never exchange a floor are ordered only by the (arbitrary but
+/// total) lexicographic rule; that relaxation is what lets the shard
+/// words scale independently instead of racing on one global maximum.
+///
+/// # Example
+///
+/// ```
+/// use ts_core::ShardedTimestamp;
+///
+/// let a = ShardedTimestamp::new(1, 9, 3);
+/// let b = ShardedTimestamp::new(2, 0, 0);
+/// assert!(ShardedTimestamp::compare(&a, &b)); // epoch dominates
+/// let c = ShardedTimestamp::new(2, 0, 1);
+/// assert!(ShardedTimestamp::compare(&b, &c)); // shard tie-breaks
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ShardedTimestamp {
+    /// The shard epoch (monotone, coarse).
+    pub epoch: u32,
+    /// The stamp index within `(epoch, shard)` (unique per shard).
+    pub local: u32,
+    /// The issuing shard (tie-breaker; makes issued stamps unique).
+    pub shard: u32,
+}
+
+impl ShardedTimestamp {
+    /// Creates a stamp with the given epoch, local index and shard.
+    pub fn new(epoch: u32, local: u32, shard: u32) -> Self {
+        Self {
+            epoch,
+            local,
+            shard,
+        }
+    }
+
+    /// Lexicographic comparison, shared-memory-free like
+    /// [`Timestamp::compare`]: `(e1, l1, s1) < (e2, l2, s2)`.
+    pub fn compare(t1: &ShardedTimestamp, t2: &ShardedTimestamp) -> bool {
+        t1 < t2
+    }
+
+    /// The packed `epoch << 32 | local` word the service shards CAS on.
+    /// Word order equals `(epoch, local)` order, which is why a single
+    /// `fetch_max`/CAS on the word implements the floor fold.
+    pub fn word(&self) -> u64 {
+        (u64::from(self.epoch) << 32) | u64::from(self.local)
+    }
+
+    /// Rebuilds a stamp from a packed shard word plus the issuing shard.
+    pub fn from_word(word: u64, shard: u32) -> Self {
+        Self {
+            epoch: (word >> 32) as u32,
+            local: word as u32,
+            shard,
+        }
+    }
+
+    /// Embeds the ordered `(epoch, local)` prefix as a flat
+    /// [`Timestamp`] for consumers that only understand pairs (the
+    /// workload engine's per-worker monotonicity asserts). The shard
+    /// tie-breaker is dropped: per-client stamp sequences strictly
+    /// increase in `(epoch, local)` alone, so the embedding preserves
+    /// exactly the order those asserts rely on.
+    pub fn flatten(&self) -> Timestamp {
+        Timestamp::new(u64::from(self.epoch), u64::from(self.local))
+    }
+}
+
+impl fmt::Display for ShardedTimestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})@s{}", self.epoch, self.local, self.shard)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,5 +219,54 @@ mod tests {
     #[test]
     fn display_formats_pair() {
         assert_eq!(Timestamp::new(3, 1).to_string(), "(3, 1)");
+    }
+
+    #[test]
+    fn sharded_compare_is_lexicographic_with_shard_tiebreak() {
+        let cases = [
+            (
+                ShardedTimestamp::new(1, 9, 9),
+                ShardedTimestamp::new(2, 0, 0),
+            ),
+            (
+                ShardedTimestamp::new(2, 0, 5),
+                ShardedTimestamp::new(2, 1, 0),
+            ),
+            (
+                ShardedTimestamp::new(2, 1, 0),
+                ShardedTimestamp::new(2, 1, 1),
+            ),
+        ];
+        for (a, b) in cases {
+            assert!(ShardedTimestamp::compare(&a, &b), "{a} !< {b}");
+            assert!(!ShardedTimestamp::compare(&b, &a), "{b} < {a}");
+        }
+        let t = ShardedTimestamp::new(3, 3, 3);
+        assert!(!ShardedTimestamp::compare(&t, &t), "irreflexive");
+    }
+
+    #[test]
+    fn sharded_word_round_trips_and_orders_like_the_pair() {
+        let a = ShardedTimestamp::new(7, 42, 3);
+        assert_eq!(ShardedTimestamp::from_word(a.word(), 3), a);
+        let b = ShardedTimestamp::new(8, 0, 3);
+        // Word order must equal (epoch, local) order — the fetch_max
+        // floor fold depends on it.
+        assert!(a.word() < b.word());
+        let c = ShardedTimestamp::new(7, 43, 3);
+        assert!(a.word() < c.word() && c.word() < b.word());
+    }
+
+    #[test]
+    fn flatten_preserves_epoch_local_order() {
+        let a = ShardedTimestamp::new(1, 9, 2);
+        let b = ShardedTimestamp::new(2, 0, 0);
+        assert!(Timestamp::compare(&a.flatten(), &b.flatten()));
+        assert!(!Timestamp::compare(&b.flatten(), &a.flatten()));
+    }
+
+    #[test]
+    fn sharded_display_shows_shard() {
+        assert_eq!(ShardedTimestamp::new(2, 7, 1).to_string(), "(2, 7)@s1");
     }
 }

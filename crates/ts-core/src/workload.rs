@@ -66,8 +66,52 @@ use crate::collectmax::CollectMax;
 use crate::error::GetTsError;
 use crate::growable::GrowableTimestamp;
 use crate::ids::GetTsId;
+use crate::stats::ServiceStats;
 use crate::timestamp::Timestamp;
 use crate::traits::{LongLivedTimestamp, OneShotTimestamp};
+
+/// Hands out globally unique virtual process ids (vpids).
+///
+/// This is the machinery behind `M` clients over `n` physical slots:
+/// identity (the vpid, never reused, never bounded) is decoupled from
+/// storage (the slot, leased while an operation runs). It started life
+/// inline in [`GrowableWorkload`], which mints a fresh vpid per churn
+/// life so `GetTsId`s stay unique across worker replacements; the
+/// `ts-service` crate reuses it to key client sessions, so slot count
+/// stops scaling with client count.
+///
+/// # Example
+///
+/// ```
+/// use ts_core::workload::VpidAllocator;
+///
+/// let vpids = VpidAllocator::new();
+/// let a = vpids.next();
+/// let b = vpids.next();
+/// assert_ne!(a, b);
+/// assert_eq!(vpids.issued(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct VpidAllocator {
+    next: AtomicU32,
+}
+
+impl VpidAllocator {
+    /// Creates an allocator starting at vpid 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mints the next vpid (never reused).
+    pub fn next(&self) -> u32 {
+        self.next.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Vpids handed out so far.
+    pub fn issued(&self) -> u32 {
+        self.next.load(Ordering::Relaxed)
+    }
+}
 
 /// One kind of operation a workload worker can perform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -414,6 +458,15 @@ pub trait WorkloadTarget: Send + Sync {
     fn replay_granularity(&self) -> ReplayGranularity {
         ReplayGranularity::Op
     }
+
+    /// A snapshot of the object's unified hot-path counters
+    /// ([`ServiceStats`]), if it keeps any. Bench reports use this to
+    /// print fast-hit / batch-fill / shard-imbalance ratios next to a
+    /// cell's throughput. `None` (the default) means the object has no
+    /// such counters, not that they are all zero.
+    fn service_stats(&self) -> Option<ServiceStats> {
+        None
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -525,6 +578,10 @@ impl<B: RegisterBackend<u64>> WorkloadTarget for CollectMax<B> {
 
     fn replay_granularity(&self) -> ReplayGranularity {
         ReplayGranularity::MemoryAccess
+    }
+
+    fn service_stats(&self) -> Option<ServiceStats> {
+        Some(self.stats())
     }
 }
 
@@ -649,6 +706,10 @@ impl<B: RegisterBackend<u64>> WorkloadTarget for CollectMaxFast<B> {
     fn replay_granularity(&self) -> ReplayGranularity {
         ReplayGranularity::MemoryAccess
     }
+
+    fn service_stats(&self) -> Option<ServiceStats> {
+        Some(self.0.stats())
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -657,12 +718,13 @@ impl<B: RegisterBackend<u64>> WorkloadTarget for CollectMaxFast<B> {
 // ---------------------------------------------------------------------
 
 /// [`GrowableTimestamp`] wrapped for the workload engine: hands every
-/// worker (including churn replacements) a fresh virtual process id so
-/// `GetTsId`s stay globally unique across worker lives.
+/// worker (including churn replacements) a fresh virtual process id
+/// from a [`VpidAllocator`] so `GetTsId`s stay globally unique across
+/// worker lives.
 #[derive(Debug, Default)]
 pub struct GrowableWorkload {
     inner: GrowableTimestamp,
-    next_vpid: AtomicU32,
+    vpids: VpidAllocator,
 }
 
 impl GrowableWorkload {
@@ -738,7 +800,7 @@ impl WorkloadTarget for GrowableWorkload {
     }
 
     fn worker<'a>(&'a self, _slot: usize) -> Box<dyn WorkloadWorker + 'a> {
-        let vpid = self.next_vpid.fetch_add(1, Ordering::Relaxed);
+        let vpid = self.vpids.next();
         Box::new(GrowableWorker {
             obj: &self.inner,
             vpid,
@@ -1084,7 +1146,7 @@ mod tests {
             }
         }
         assert_eq!(target.inner().calls(), 15);
-        assert_eq!(target.next_vpid.load(Ordering::Relaxed), 3);
+        assert_eq!(target.vpids.issued(), 3);
     }
 
     #[test]

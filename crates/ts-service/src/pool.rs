@@ -1,0 +1,136 @@
+//! [`SlotPool`]: physical register slots leased per call.
+//!
+//! This is the storage half of virtual-pid multiplexing: a client
+//! session's *identity* is its vpid (never reused, unbounded), but its
+//! *storage* — the single-writer register it publishes stamps to — is
+//! borrowed from a fixed pool only while an issue call runs. The lease
+//! serializes writers per slot, so each register keeps exactly one
+//! writer at a time (the SWMR discipline the substrate assumes) even
+//! with `M >> n` clients.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// A fixed set of slot ids (`0..n`) handed out one lease at a time.
+///
+/// Blocking is deliberate: a caller that cannot get a slot *waits*
+/// rather than spinning on shared memory, and every such wait is
+/// counted — the pool's wait count is the service's signal that the
+/// client population has outgrown the shard's slot budget.
+#[derive(Debug)]
+pub(crate) struct SlotPool {
+    /// Free slot ids, LIFO (reuse the warmest slot's cache lines).
+    free: Mutex<Vec<usize>>,
+    cv: Condvar,
+    waits: AtomicU64,
+}
+
+impl SlotPool {
+    /// A pool over slots `0..n`.
+    pub(crate) fn new(n: usize) -> Self {
+        assert!(n >= 1, "need at least one slot");
+        Self {
+            free: Mutex::new((0..n).rev().collect()),
+            cv: Condvar::new(),
+            waits: AtomicU64::new(0),
+        }
+    }
+
+    /// Leases a slot, blocking until one is free. The lease releases
+    /// the slot on drop.
+    pub(crate) fn lease(&self) -> Lease<'_> {
+        let mut free = self.free.lock().expect("slot pool lock");
+        if free.is_empty() {
+            self.waits.fetch_add(1, Ordering::Relaxed);
+            while free.is_empty() {
+                free = self.cv.wait(free).expect("slot pool lock");
+            }
+        }
+        let slot = free.pop().expect("non-empty free list");
+        Lease { pool: self, slot }
+    }
+
+    /// Leases that had to block because every slot was taken.
+    pub(crate) fn waits(&self) -> u64 {
+        self.waits.load(Ordering::Relaxed)
+    }
+}
+
+/// An exclusive hold on one slot id; returns it to the pool on drop.
+#[derive(Debug)]
+pub(crate) struct Lease<'a> {
+    pool: &'a SlotPool,
+    slot: usize,
+}
+
+impl Lease<'_> {
+    /// The leased slot id.
+    pub(crate) fn slot(&self) -> usize {
+        self.slot
+    }
+}
+
+impl Drop for Lease<'_> {
+    fn drop(&mut self) {
+        self.pool
+            .free
+            .lock()
+            .expect("slot pool lock")
+            .push(self.slot);
+        self.pool.cv.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leases_are_exclusive_and_returned_on_drop() {
+        let pool = SlotPool::new(2);
+        let a = pool.lease();
+        let b = pool.lease();
+        assert_ne!(a.slot(), b.slot());
+        let freed = a.slot();
+        drop(a);
+        let c = pool.lease();
+        assert_eq!(c.slot(), freed, "LIFO reuse of the freed slot");
+        drop(b);
+        drop(c);
+        assert_eq!(pool.waits(), 0, "no lease ever had to block");
+    }
+
+    #[test]
+    fn oversubscribed_pool_blocks_and_counts_waits() {
+        let pool = SlotPool::new(1);
+        std::thread::scope(|s| {
+            let held = pool.lease();
+            let waiter = s.spawn(|| pool.lease().slot());
+            // Give the waiter time to block on the empty free list.
+            while pool.waits() == 0 {
+                std::thread::yield_now();
+            }
+            drop(held);
+            assert_eq!(waiter.join().expect("waiter"), 0);
+        });
+        assert_eq!(pool.waits(), 1);
+    }
+
+    #[test]
+    fn many_threads_never_share_a_slot() {
+        let pool = SlotPool::new(3);
+        let in_use = [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..200 {
+                        let lease = pool.lease();
+                        let claims = in_use[lease.slot()].fetch_add(1, Ordering::SeqCst);
+                        assert_eq!(claims, 0, "two leases held slot {}", lease.slot());
+                        in_use[lease.slot()].fetch_sub(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,414 @@
+//! One shard domain: a packed `(epoch, local)` reservation word, a bank
+//! of single-writer registers, a slot pool and a combining array.
+//!
+//! # The reservation word
+//!
+//! Each shard issues stamps from a single `AtomicU64` holding
+//! `epoch << 32 | local` — packed exactly so that *word order equals
+//! `(epoch, local)` order* ([`ShardedTimestamp::word`]). Everything the
+//! shard does is a monotone operation on that word:
+//!
+//! - **reserve** (`k` stamps): CAS from `w` to `advance(max(w, floor), k)`
+//!   — the winner owns the exclusive word range
+//!   `(base, advance(base, k)]`;
+//! - **floor fold** (client carries a stamp from elsewhere):
+//!   `fetch_max(w, floor)` — after which any reservation exceeds the
+//!   folded floor;
+//! - **epoch bump** (`local` about to overflow 32 bits, or an
+//!   administrative rebalance): jump to `(epoch + 1, k)` — still a
+//!   plain word increase, because epoch sits in the high half.
+//!
+//! Uniqueness of reserved ranges needs only CAS atomicity: every
+//! successful CAS reads the word it replaces, so successful
+//! reservations form a chain of disjoint intervals. There is no collect
+//! fallback on this path — reservation-issued stamps are globally
+//! unique, not merely ordered.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use ts_register::{
+    ArrayLayout, BackendRegister, CachePadded, Register, RegisterBackend, Slots, SpaceMeter,
+};
+
+use crate::combining::{backoff, PubCell};
+use crate::pool::SlotPool;
+
+/// Largest value of the packed word's `local` half.
+const LOCAL_MAX: u64 = u32::MAX as u64;
+
+/// Advances a packed `(epoch, local)` word by `k` stamps, bumping the
+/// epoch instead of letting `local` overflow its 32-bit half. The
+/// result is always strictly greater than `base` (word order), and the
+/// reserved range `(base-or-bump, result]` never spans an epoch.
+pub(crate) fn advance(base: u64, k: u64) -> u64 {
+    debug_assert!(k >= 1 && k <= LOCAL_MAX, "batch size must fit local space");
+    let local = base & LOCAL_MAX;
+    if local + k > LOCAL_MAX {
+        let epoch = base >> 32;
+        assert!(epoch < LOCAL_MAX, "epoch space exhausted");
+        ((epoch + 1) << 32) | k
+    } else {
+        base + k
+    }
+}
+
+/// The word range one successful reservation CAS won: stamps
+/// `first..=last` (packed words, one epoch), plus whether the CAS
+/// succeeded on its first attempt (the fast-path signal).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Reservation {
+    pub(crate) first: u64,
+    pub(crate) last: u64,
+    pub(crate) fast: bool,
+}
+
+/// What a combining call produced: the granted range, plus pass
+/// accounting if *this* caller became the combiner (`served` requests
+/// drained — including its own — and whether the pass's one reservation
+/// CAS hit on the first attempt).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CombinedGrant {
+    pub(crate) first: u64,
+    pub(crate) last: u64,
+    pub(crate) pass: Option<Pass>,
+}
+
+/// Accounting for one combiner pass.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Pass {
+    pub(crate) served: u64,
+    pub(crate) fast: bool,
+}
+
+/// One shard domain. See the module docs for the word protocol; the
+/// register bank, slot pool and publication array are all sized to the
+/// same `slots_per_shard`.
+pub(crate) struct Shard<B: RegisterBackend<u64>> {
+    /// The packed `(epoch, local)` reservation word. Padded: this is
+    /// the shard's contention point and must not share a line with any
+    /// register or a neighbouring shard's word.
+    word: CachePadded<AtomicU64>,
+    /// Single-writer `local` registers, one per slot: the lease holder
+    /// publishes the low half of the last word it issued. Register
+    /// contents stay within the packed backend's 32-bit budget because
+    /// the word is published as an `(epoch, local)` *pair* — see
+    /// [`Shard::publish`] for the write ordering that keeps observed
+    /// pairs from over-reporting the frontier.
+    locals: Slots<B::Reg>,
+    /// Single-writer `epoch` registers, paired with `locals`.
+    epochs: Slots<B::Reg>,
+    meter: SpaceMeter,
+    /// Slot leases (also gate the publication cells: cell `i` is owned
+    /// by the lease of slot `i`).
+    pub(crate) pool: SlotPool,
+    /// Flat-combining publication cells, one per slot.
+    pubs: Vec<CachePadded<PubCell>>,
+    /// The combiner try-lock.
+    combiner: CachePadded<AtomicBool>,
+    /// Stamps issued by this shard (the imbalance signal).
+    stamps: CachePadded<AtomicU64>,
+}
+
+impl<B: RegisterBackend<u64>> Shard<B> {
+    pub(crate) fn new(slots: usize) -> Self {
+        assert!(slots >= 1, "need at least one slot");
+        Self {
+            word: CachePadded::new(AtomicU64::new(0)),
+            locals: Slots::new(ArrayLayout::Padded, slots, |_| B::Reg::with_initial(0)),
+            epochs: Slots::new(ArrayLayout::Padded, slots, |_| B::Reg::with_initial(0)),
+            // Meter indexes: `slot` for the local register, `slots +
+            // slot` for its epoch partner.
+            meter: SpaceMeter::new(2 * slots),
+            pool: SlotPool::new(slots),
+            pubs: (0..slots)
+                .map(|_| CachePadded::new(PubCell::default()))
+                .collect(),
+            combiner: CachePadded::new(AtomicBool::new(false)),
+            stamps: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The current packed word (diagnostics; the frontier of issued
+    /// stamps).
+    pub(crate) fn word(&self) -> u64 {
+        self.word.load(Ordering::Acquire)
+    }
+
+    /// Folds an external floor into the word: afterwards every
+    /// reservation on this shard returns stamps strictly above `floor`.
+    pub(crate) fn raise_floor(&self, floor: u64) {
+        self.word.fetch_max(floor, Ordering::AcqRel);
+    }
+
+    /// Reserves `k` consecutive stamps above both the current word and
+    /// `floor` with one successful CAS.
+    pub(crate) fn reserve(&self, floor: u64, k: u64) -> Reservation {
+        let mut cur = self.word.load(Ordering::Acquire);
+        let mut fast = true;
+        loop {
+            let base = cur.max(floor);
+            let next = advance(base, k);
+            match self
+                .word
+                .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire)
+            {
+                // `next - k + 1` is the range's first word in both
+                // shapes: plain advance (base + 1) and epoch bump
+                // ((epoch+1, 1)).
+                Ok(_) => {
+                    return Reservation {
+                        first: next - k + 1,
+                        last: next,
+                        fast,
+                    }
+                }
+                Err(now) => {
+                    cur = now;
+                    fast = false;
+                }
+            }
+        }
+    }
+
+    /// Publishes `word` to the slot's `(epoch, local)` register pair
+    /// if it exceeds the pair's current value. The lease serializes
+    /// writers per slot, so the read-check-write is safe; skipping
+    /// non-advances keeps the published word monotone even though
+    /// different clients (with different floors) time-share the slot.
+    ///
+    /// Write ordering: `local` lands **before** `epoch`. Combined with
+    /// the collect's epoch-before-local read order, every observed pair
+    /// `(e_r, l_r)` satisfies `e_r <= ` the epoch `l_r` was issued
+    /// under, so no collect ever reports a stamp above the reservation
+    /// frontier — without any read-retry loop.
+    fn publish(&self, slot: usize, word: u64) {
+        let (epoch, local) = (word >> 32, word & LOCAL_MAX);
+        self.meter.record_read(self.locals.len() + slot);
+        let cur_epoch = Register::read(self.epochs.get(slot));
+        if cur_epoch > epoch {
+            return;
+        }
+        if cur_epoch == epoch {
+            self.meter.record_read(slot);
+            if Register::read(self.locals.get(slot)) >= local {
+                return;
+            }
+        }
+        self.meter.record_write(slot);
+        Register::write(self.locals.get(slot), local);
+        if cur_epoch < epoch {
+            self.meter.record_write(self.locals.len() + slot);
+            Register::write(self.epochs.get(slot), epoch);
+        }
+    }
+
+    /// Reserves `k` stamps above `floor` and publishes the range's top
+    /// to the leased slot's register.
+    pub(crate) fn get_batch(&self, slot: usize, floor: u64, k: u64) -> Reservation {
+        let res = self.reserve(floor, k);
+        self.publish(slot, res.last);
+        self.stamps.fetch_add(k, Ordering::Relaxed);
+        res
+    }
+
+    /// Requests `k` stamps through the flat-combining array: publishes
+    /// the request in the leased slot's cell, then either a peer
+    /// combiner serves it or this caller wins the combiner lock and
+    /// drains every published request with one reservation.
+    pub(crate) fn get_combined(&self, slot: usize, floor: u64, k: u64) -> CombinedGrant {
+        // Pre-raise the floor so *whichever* combiner serves this
+        // request reserves above it.
+        if floor != 0 {
+            self.raise_floor(floor);
+        }
+        self.pubs[slot].publish(k);
+        let mut pass = None;
+        let mut spins = 0;
+        let first = loop {
+            if let Some(first) = self.pubs[slot].poll() {
+                break first;
+            }
+            if !self.combiner.load(Ordering::Relaxed)
+                && self
+                    .combiner
+                    .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                pass = self.combine_pass();
+                self.combiner.store(false, Ordering::Release);
+                // Our request was either drained by this pass or served
+                // by the previous lock holder before we acquired it;
+                // either way the grant is visible now.
+                let first = self.pubs[slot].poll().expect("combiner pass serves itself");
+                break first;
+            }
+            backoff(&mut spins);
+        };
+        let last = first + (k - 1);
+        self.publish(slot, last);
+        CombinedGrant { first, last, pass }
+    }
+
+    /// One combiner pass (lock held by the caller): drains every
+    /// published request, reserves the sum with one CAS, distributes
+    /// consecutive sub-ranges. Returns `None` if no request was pending
+    /// (the caller's own was served by the previous lock holder).
+    fn combine_pass(&self) -> Option<Pass> {
+        let mut requests: Vec<(usize, u64)> = Vec::with_capacity(self.pubs.len());
+        let mut total = 0u64;
+        for (i, cell) in self.pubs.iter().enumerate() {
+            let k = cell.pending();
+            if k > 0 {
+                requests.push((i, k));
+                total += k;
+            }
+        }
+        if total == 0 {
+            return None;
+        }
+        // Floors were folded by each peer before publishing, so the
+        // pass reserves with floor 0.
+        let res = self.reserve(0, total);
+        let mut next = res.first;
+        for (i, k) in requests.iter().copied() {
+            self.pubs[i].serve(next);
+            next += k;
+        }
+        self.stamps.fetch_add(total, Ordering::Relaxed);
+        Some(Pass {
+            served: requests.len() as u64,
+            fast: res.fast,
+        })
+    }
+
+    /// Collect over the register bank: the largest published word, or
+    /// `None` if nothing was published yet. A read-only observation
+    /// pass (`2n` metered reads), lower-bounding the reservation
+    /// frontier [`Shard::word`] — reading each pair epoch-before-local
+    /// (see [`Shard::publish`] for why that never over-reports).
+    pub(crate) fn collect_max_word(&self) -> Option<u64> {
+        let mut max = 0;
+        for slot in 0..self.locals.len() {
+            self.meter.record_read(self.locals.len() + slot);
+            let epoch = Register::read(self.epochs.get(slot));
+            self.meter.record_read(slot);
+            let local = Register::read(self.locals.get(slot));
+            max = max.max((epoch << 32) | local);
+        }
+        (max > 0).then_some(max)
+    }
+
+    /// Stamps issued by this shard so far.
+    pub(crate) fn stamps(&self) -> u64 {
+        self.stamps.load(Ordering::Relaxed)
+    }
+
+    /// The shard's register-traffic meter.
+    pub(crate) fn meter(&self) -> &SpaceMeter {
+        &self.meter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_register::PackedBackend;
+
+    fn word(epoch: u32, local: u32) -> u64 {
+        (u64::from(epoch) << 32) | u64::from(local)
+    }
+
+    #[test]
+    fn advance_adds_within_an_epoch() {
+        assert_eq!(advance(word(0, 0), 1), word(0, 1));
+        assert_eq!(advance(word(3, 10), 16), word(3, 26));
+    }
+
+    #[test]
+    fn advance_bumps_the_epoch_instead_of_overflowing_local() {
+        assert_eq!(advance(word(2, u32::MAX), 1), word(3, 1));
+        assert_eq!(advance(word(2, u32::MAX - 3), 16), word(3, 16));
+        // The bumped result is still a plain word increase.
+        assert!(advance(word(2, u32::MAX - 3), 16) > word(2, u32::MAX - 3));
+    }
+
+    #[test]
+    fn reserve_returns_disjoint_ranges_above_the_floor() {
+        let shard = Shard::<PackedBackend>::new(2);
+        let a = shard.reserve(0, 4);
+        assert_eq!((a.first, a.last), (word(0, 1), word(0, 4)));
+        assert!(a.fast);
+        let floor = word(5, 100);
+        let b = shard.reserve(floor, 2);
+        assert_eq!((b.first, b.last), (word(5, 101), word(5, 102)));
+        assert!(b.first > floor, "strictly above the folded floor");
+    }
+
+    #[test]
+    fn get_batch_publishes_the_top_to_the_slot_register() {
+        let shard = Shard::<PackedBackend>::new(2);
+        let res = shard.get_batch(1, 0, 3);
+        assert_eq!(res.last, word(0, 3));
+        assert_eq!(shard.collect_max_word(), Some(word(0, 3)));
+        assert_eq!(shard.stamps(), 3);
+        // A lower floor on the same slot must not regress the register.
+        shard.get_batch(1, 0, 1);
+        assert_eq!(shard.collect_max_word(), Some(word(0, 4)));
+    }
+
+    #[test]
+    fn reservations_bump_epochs_near_local_exhaustion() {
+        let shard = Shard::<PackedBackend>::new(1);
+        shard.raise_floor(word(7, u32::MAX - 2));
+        let res = shard.reserve(0, 8);
+        assert_eq!((res.first, res.last), (word(8, 1), word(8, 8)));
+        // All stamps of the reservation share the bumped epoch.
+        assert_eq!(res.first >> 32, res.last >> 32);
+    }
+
+    #[test]
+    fn solo_combining_call_combines_itself() {
+        let shard = Shard::<PackedBackend>::new(2);
+        let grant = shard.get_combined(0, 0, 1);
+        assert_eq!((grant.first, grant.last), (word(0, 1), word(0, 1)));
+        let pass = grant.pass.expect("no peer: the caller must combine");
+        assert_eq!(pass.served, 1);
+        assert!(pass.fast);
+        // The grant was published to the slot register.
+        assert_eq!(shard.collect_max_word(), Some(word(0, 1)));
+        // A second call with the first stamp as floor lands above it.
+        let grant = shard.get_combined(1, word(0, 1), 1);
+        assert_eq!(grant.first, word(0, 2));
+    }
+
+    #[test]
+    fn concurrent_combining_grants_unique_consecutive_ranges() {
+        let shard = std::sync::Arc::new(Shard::<PackedBackend>::new(4));
+        let threads = 4;
+        let rounds = 200;
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let shard = std::sync::Arc::clone(&shard);
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::with_capacity(rounds);
+                for i in 0..rounds {
+                    let k = 1 + (i % 3) as u64;
+                    let lease = shard.pool.lease();
+                    let grant = shard.get_combined(lease.slot(), 0, k);
+                    drop(lease);
+                    got.push((grant.first, grant.last));
+                }
+                got
+            }));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for handle in handles {
+            for (first, last) in handle.join().expect("combining thread") {
+                for w in first..=last {
+                    assert!(seen.insert(w), "stamp word {w:#x} granted twice");
+                }
+            }
+        }
+        assert_eq!(seen.len() as u64, shard.stamps());
+    }
+}

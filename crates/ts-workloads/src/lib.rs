@@ -59,8 +59,10 @@ pub mod engine;
 pub mod histogram;
 pub mod replay;
 pub mod scenario;
+pub mod service;
 
 pub use engine::{run_scenario, OpCounts, RunConfig, ScenarioReport};
 pub use histogram::{LatencyHistogram, NUM_BUCKETS, SUB_BUCKETS};
 pub use replay::{replay_trace, ReplayReport, ReplayViolation, ReplayedOp};
 pub use scenario::{catalog, Arrival, Churn, OpMix, Scenario};
+pub use service::ServiceTarget;
