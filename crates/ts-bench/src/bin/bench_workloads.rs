@@ -22,6 +22,13 @@
 //! shard imbalance and lease waits; the columns are `null` on rows
 //! whose target has no stats hook.
 //!
+//! The `ts-replica` layer joins under the closed-loop issue scenarios
+//! as `replicated_f{0,1,2}` cells (collect-max over quorum-replicated
+//! registers, fault-free) plus seeded faulty-network profiles
+//! (`replicated_f1_lossy`, `replicated_f1_jitter`); their rows carry
+//! `quorum_rounds_per_call` and `quorum_repair_ratio` from the
+//! cluster's counters.
+//!
 //! Each cell reports throughput and log-bucketed latency percentiles
 //! (p50/p90/p99/p999/max). Output: a markdown table normally, one JSON
 //! object **per cell** under `TS_BENCH_JSON` (pure JSON lines, like
@@ -49,6 +56,7 @@ use ts_core::{
     ArrayLayout, BoundedTimestamp, CollectMax, EpochBackend, GrowableWorkload, OneShotPool,
     PackedBackend, ServiceStats, SimpleOneShot,
 };
+use ts_replica::{FaultPlan, ReplicatedCollectMax};
 use ts_service::{IssueMode, ServiceConfig};
 use ts_workloads::replay::{case_target, corpus_cases, corpus_traces, replay_trace, ReplayReport};
 use ts_workloads::{catalog, run_scenario, RunConfig, Scenario, ScenarioReport, ServiceTarget};
@@ -84,6 +92,12 @@ struct WorkloadRow {
     avg_combine_fill: Option<f64>,
     shard_imbalance: Option<f64>,
     lease_waits: Option<u64>,
+    // Replicated-backend columns, `null` unless the cell's registers
+    // ran the quorum protocol: average quorum round trips per object
+    // call and the fraction of rounds that were read-repair
+    // write-backs.
+    quorum_rounds_per_call: Option<f64>,
+    quorum_repair_ratio: Option<f64>,
 }
 
 impl WorkloadRow {
@@ -116,6 +130,8 @@ impl WorkloadRow {
             avg_combine_fill: None,
             shard_imbalance: None,
             lease_waits: None,
+            quorum_rounds_per_call: None,
+            quorum_repair_ratio: None,
         }
     }
 
@@ -146,6 +162,8 @@ impl WorkloadRow {
             avg_combine_fill: stats.and_then(ServiceStats::avg_combine_fill),
             shard_imbalance: stats.and_then(ServiceStats::shard_imbalance),
             lease_waits: stats.map(|s| s.lease_waits),
+            quorum_rounds_per_call: stats.and_then(ServiceStats::rounds_per_call),
+            quorum_repair_ratio: stats.and_then(ServiceStats::repair_ratio),
         }
     }
 }
@@ -284,6 +302,51 @@ const SERVICE_CELLS: &[(usize, IssueMode, &str)] = &[
 /// cells would not be like-for-like rows.
 const SERVICE_SCENARIOS: &[&str] = &["closed_getts", "open_bursty"];
 
+/// Replicated cells run only under the closed-loop issue scenarios:
+/// every register access is a quorum protocol run (orders of magnitude
+/// slower than an atomic load), so the open-loop and churn cells would
+/// measure backpressure, not the replication cost being compared.
+const REPLICATED_SCENARIOS: &[&str] = &["closed_getts", "closed_getts_heavy"];
+
+/// The replicated grid: `CollectMax` over quorum-replicated registers,
+/// one cell per fault tolerance level (fault-free f ∈ {0, 1, 2} —
+/// 1, 3, 5 replicas) plus two faulty-network profiles at f = 1
+/// (seeded, so every run measures the same fault schedule). Rows carry
+/// `quorum_rounds_per_call` / `quorum_repair_ratio` from the cluster's
+/// counters.
+fn replicated_targets(threads: usize) -> Vec<Box<dyn WorkloadTarget>> {
+    let lossy = FaultPlan {
+        seed: 0x5EED,
+        drop_permille: 50,
+        dup_permille: 20,
+        delay_max: 3,
+        ..FaultPlan::default()
+    };
+    let jitter = FaultPlan {
+        seed: 0x5EED,
+        delay_max: 8,
+        reorder: true,
+        ..FaultPlan::default()
+    };
+    vec![
+        Box::new(ReplicatedCollectMax::new(threads, 0, "replicated_f0")),
+        Box::new(ReplicatedCollectMax::new(threads, 1, "replicated_f1")),
+        Box::new(ReplicatedCollectMax::new(threads, 2, "replicated_f2")),
+        Box::new(ReplicatedCollectMax::with_plan(
+            threads,
+            1,
+            "replicated_f1_lossy",
+            lossy,
+        )),
+        Box::new(ReplicatedCollectMax::with_plan(
+            threads,
+            1,
+            "replicated_f1_jitter",
+            jitter,
+        )),
+    ]
+}
+
 fn service_targets(threads: usize) -> Vec<Box<dyn WorkloadTarget>> {
     SERVICE_CELLS
         .iter()
@@ -320,6 +383,9 @@ fn main() {
             let mut cell_targets = targets(threads, pool_size);
             if SERVICE_SCENARIOS.contains(&scenario.name) {
                 cell_targets.extend(service_targets(threads));
+            }
+            if REPLICATED_SCENARIOS.contains(&scenario.name) {
+                cell_targets.extend(replicated_targets(threads));
             }
             for target in cell_targets {
                 let report = run_scenario(target.as_ref(), scenario, &run_cfg);

@@ -59,6 +59,18 @@ pub struct ServiceStats {
     /// Stamps issued per shard (a single-element vec for unsharded
     /// issuers). The spread is the shard-imbalance signal.
     pub shard_stamps: Vec<u64>,
+    /// Quorum round-trips performed by a replicated backend: one per
+    /// protocol phase that gathered a quorum of replies (a plain ABD
+    /// read is one round, a read that repaired is two, a write is two).
+    pub quorum_rounds: u64,
+    /// Read-repair write-backs: quorum reads whose replies disagreed
+    /// and had to push the maximum back onto a write quorum before
+    /// returning. The replica-divergence signal.
+    pub quorum_repairs: u64,
+    /// Retransmission attempts by quorum clients whose pending round
+    /// ran out of deliverable messages (dropped, duplicated-away or
+    /// partitioned traffic). The fault-pressure signal.
+    pub quorum_retries: u64,
 }
 
 impl ServiceStats {
@@ -93,6 +105,19 @@ impl ServiceStats {
         Some(max / mean)
     }
 
+    /// Mean quorum round-trips per issue call, or `None` for
+    /// non-replicated issuers (no rounds recorded).
+    pub fn rounds_per_call(&self) -> Option<f64> {
+        (self.quorum_rounds > 0 && self.calls > 0)
+            .then(|| self.quorum_rounds as f64 / self.calls as f64)
+    }
+
+    /// Fraction of quorum rounds that were read-repair write-backs, or
+    /// `None` without any rounds.
+    pub fn repair_ratio(&self) -> Option<f64> {
+        (self.quorum_rounds > 0).then(|| self.quorum_repairs as f64 / self.quorum_rounds as f64)
+    }
+
     /// Folds another snapshot into this one (summing counters and
     /// concatenating shard counts) — used when a service aggregates
     /// per-shard snapshots.
@@ -106,6 +131,9 @@ impl ServiceStats {
         self.combine_passes += other.combine_passes;
         self.lease_waits += other.lease_waits;
         self.shard_stamps.extend_from_slice(&other.shard_stamps);
+        self.quorum_rounds += other.quorum_rounds;
+        self.quorum_repairs += other.quorum_repairs;
+        self.quorum_retries += other.quorum_retries;
     }
 }
 
@@ -120,6 +148,8 @@ mod tests {
         assert_eq!(empty.avg_batch_fill(), None);
         assert_eq!(empty.avg_combine_fill(), None);
         assert_eq!(empty.shard_imbalance(), None);
+        assert_eq!(empty.rounds_per_call(), None);
+        assert_eq!(empty.repair_ratio(), None);
     }
 
     #[test]
@@ -134,12 +164,17 @@ mod tests {
             combine_passes: 2,
             lease_waits: 1,
             shard_stamps: vec![30, 10],
+            quorum_rounds: 20,
+            quorum_repairs: 5,
+            quorum_retries: 2,
         };
         assert_eq!(stats.fast_hit_ratio(), Some(0.8));
         assert_eq!(stats.avg_batch_fill(), Some(8.0));
         assert_eq!(stats.avg_combine_fill(), Some(3.0));
         // max 30 over mean 20.
         assert_eq!(stats.shard_imbalance(), Some(1.5));
+        assert_eq!(stats.rounds_per_call(), Some(2.0));
+        assert_eq!(stats.repair_ratio(), Some(0.25));
     }
 
     #[test]

@@ -35,9 +35,16 @@ impl Stamp {
         self.0
     }
 
-    /// Builds a stamp from a raw counter value (used by the packed
-    /// backend, whose stamps live inside the register word).
-    pub(crate) fn from_raw(raw: u64) -> Self {
+    /// Builds a stamp from a raw counter value.
+    ///
+    /// Used by backends whose stamps live outside the process-wide
+    /// counter: the packed backend keeps them inside the register word,
+    /// and third-party [`RegisterBackend`](crate::RegisterBackend)
+    /// implementations (e.g. a quorum-replicated register whose stamps
+    /// are `(seq, writer)` pairs) encode their own write identifiers.
+    /// The caller owns the contract that equal raw values denote the
+    /// same write *of the same register*.
+    pub fn from_raw(raw: u64) -> Self {
         Stamp(raw)
     }
 }

@@ -1,0 +1,747 @@
+//! The replica cluster: `2f + 1` replicas, one router, and the ABD
+//! client operations that read and write registers through them.
+//!
+//! # Client operations
+//!
+//! [`Cluster::abd_read`] and [`Cluster::abd_write`] are the classic
+//! two-phase majority protocol:
+//!
+//! * **read** — query `f + 1` replicas for their `(stamp, word)`;
+//!   take the lexicographic maximum. If the replies *diverged*, push
+//!   the maximum back onto `f + 1` replicas (read-repair) before
+//!   returning, so a later read can never observe an older value.
+//!   When the replies agree, `f + 1` replicas already hold the
+//!   maximum and the write-back is skipped.
+//! * **write** — query `f + 1` replicas for stamps, pick
+//!   `(max.seq + 1, self)`, then install on `f + 1` replicas and
+//!   return only once all acks arrive — the ack set is the durability
+//!   proof.
+//!
+//! Any two `f + 1` subsets of `2f + 1` intersect, which is the whole
+//! correctness argument; replica choice is a rotation preference, not
+//! a requirement, so clients widen their target set on retry and
+//! survive any minority of unreachable replicas.
+//!
+//! # Determinism
+//!
+//! All nondeterminism lives in the router's seeded
+//! [`FaultPlan`] plus the thread schedule.
+//! Single-threaded clients over a seeded plan replay **bit-identically**
+//! (see `delivery_log`); multi-threaded runs stay linearizable but not
+//! schedule-stable, exactly like the shared-memory objects upstream.
+//!
+//! # Ambient wiring
+//!
+//! [`RegisterBackend`](ts_register::RegisterBackend) construction has
+//! no context parameter, so the generic seams
+//! (`RegisterArray::with_backend`, `CollectMax::with_backend`, …) are
+//! wired through a thread-local scope: build objects inside
+//! [`with_cluster`] and every quorum register they create joins that
+//! cluster. Outside any scope a register gets its own private
+//! fault-free `f = 1` cluster, which keeps doc-tests and quick probes
+//! zero-ceremony.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ts_core::workload::VpidAllocator;
+use ts_core::{ServiceStats, Timestamp};
+
+use crate::net::{FaultPlan, NetStats, Pumped, Router};
+use crate::proto::{Message, MsgKind, WriteStamp};
+use crate::replica::Replica;
+
+/// Retransmission attempts before a client declares itself cut off.
+/// Only reachable when a quorum stays partitioned away forever.
+const MAX_ATTEMPTS: usize = 100_000;
+
+/// Shape and fault schedule of a [`Cluster`].
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Tolerated replica failures; the cluster runs `2f + 1` replicas
+    /// and quorums are `f + 1`.
+    pub f: usize,
+    /// The router's seeded fault schedule.
+    pub plan: FaultPlan,
+}
+
+impl ClusterConfig {
+    /// Fault-free config tolerating `f` failures.
+    pub fn new(f: usize) -> Self {
+        Self {
+            f,
+            plan: FaultPlan::default(),
+        }
+    }
+
+    /// Replaces the fault plan.
+    pub fn with_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Replica count (`2f + 1`).
+    pub fn replicas(&self) -> usize {
+        2 * self.f + 1
+    }
+}
+
+thread_local! {
+    /// Stack of ambient clusters (innermost last); see [`with_cluster`].
+    static AMBIENT: RefCell<Vec<Arc<Cluster>>> = const { RefCell::new(Vec::new()) };
+    /// This thread's client id per cluster uid.
+    static CLIENT_IDS: RefCell<HashMap<u64, u32>> = RefCell::new(HashMap::new());
+}
+
+static NEXT_CLUSTER_UID: AtomicU64 = AtomicU64::new(0);
+
+/// Runs `f` with `cluster` as the ambient cluster: every
+/// [`QuorumBackend`](crate::QuorumBackend) register created inside
+/// (directly or through a generic seam like
+/// `CollectMax::with_backend`) joins it.
+///
+/// Scopes nest (innermost wins) and unwind safely on panic.
+pub fn with_cluster<R>(cluster: &Arc<Cluster>, f: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            AMBIENT.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+    AMBIENT.with(|s| s.borrow_mut().push(Arc::clone(cluster)));
+    let _guard = Guard;
+    f()
+}
+
+/// The innermost ambient cluster on this thread, if any.
+pub(crate) fn ambient_cluster() -> Option<Arc<Cluster>> {
+    AMBIENT.with(|s| s.borrow().last().cloned())
+}
+
+/// `2f + 1` [`Replica`]s behind one fault-injecting
+/// [`Router`]. See the module docs for the protocol and wiring.
+pub struct Cluster {
+    uid: u64,
+    config: ClusterConfig,
+    replicas: Vec<Replica>,
+    router: Router,
+    next_reg: AtomicU32,
+    next_op: AtomicU64,
+    client_vpids: VpidAllocator,
+    /// Reply mailboxes keyed by client id, filled by whichever thread
+    /// pumps a client-bound delivery.
+    mailboxes: Mutex<HashMap<u32, Vec<Message>>>,
+    rounds: AtomicU64,
+    repairs: AtomicU64,
+    retries: AtomicU64,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("f", &self.config.f)
+            .field("replicas", &self.replicas.len())
+            .field("plan", &self.config.plan)
+            .field("registers", &self.next_reg.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Cluster {
+    /// Builds a cluster of `2f + 1` replicas running `config.plan`.
+    pub fn new(config: ClusterConfig) -> Arc<Self> {
+        Arc::new(Self {
+            uid: NEXT_CLUSTER_UID.fetch_add(1, Ordering::Relaxed),
+            config,
+            replicas: (0..config.replicas() as u32).map(Replica::new).collect(),
+            router: Router::new(config.plan),
+            next_reg: AtomicU32::new(0),
+            next_op: AtomicU64::new(0),
+            client_vpids: VpidAllocator::new(),
+            mailboxes: Mutex::new(HashMap::new()),
+            rounds: AtomicU64::new(0),
+            repairs: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+        })
+    }
+
+    /// The cluster's shape and plan.
+    pub fn config(&self) -> ClusterConfig {
+        self.config
+    }
+
+    /// Tolerated failures `f`.
+    pub fn f(&self) -> usize {
+        self.config.f
+    }
+
+    /// Replica count (`2f + 1`).
+    pub fn replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Quorum size (`f + 1`).
+    pub fn quorum(&self) -> usize {
+        self.config.f + 1
+    }
+
+    /// Direct access to a replica (durability probes, invariants).
+    pub fn replica(&self, id: usize) -> &Replica {
+        &self.replicas[id]
+    }
+
+    /// The fault-injecting router (partition/heal knobs, step hook,
+    /// delivery log).
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// Network-level counters.
+    pub fn net_stats(&self) -> NetStats {
+        self.router.stats()
+    }
+
+    /// Quorum round-trips performed (one per completed phase).
+    pub fn quorum_rounds(&self) -> u64 {
+        self.rounds.load(Ordering::Relaxed)
+    }
+
+    /// Read-repair write-backs performed.
+    pub fn quorum_repairs(&self) -> u64 {
+        self.repairs.load(Ordering::Relaxed)
+    }
+
+    /// Client retransmission attempts (fault pressure).
+    pub fn quorum_retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Copies the quorum counters into a [`ServiceStats`] snapshot.
+    pub fn fill_stats(&self, stats: &mut ServiceStats) {
+        stats.quorum_rounds = self.quorum_rounds();
+        stats.quorum_repairs = self.quorum_repairs();
+        stats.quorum_retries = self.quorum_retries();
+    }
+
+    /// Allocates a fresh register initialized to `word` on every
+    /// replica.
+    pub fn alloc_register(self: &Arc<Self>, word: u64) -> u32 {
+        let reg = self.next_reg.fetch_add(1, Ordering::Relaxed);
+        for replica in &self.replicas {
+            replica.init_register(reg, word);
+        }
+        reg
+    }
+
+    /// Registers allocated so far.
+    pub fn registers(&self) -> u32 {
+        self.next_reg.load(Ordering::Relaxed)
+    }
+
+    /// This thread's client id on this cluster (minted on first use).
+    pub fn client_id(&self) -> u32 {
+        CLIENT_IDS.with(|m| {
+            *m.borrow_mut()
+                .entry(self.uid)
+                .or_insert_with(|| Message::CLIENT_BASE + self.client_vpids.next())
+        })
+    }
+
+    /// ABD read: returns the quorum-maximum `(stamp, word)`, repairing
+    /// divergent replicas on the way out.
+    pub fn abd_read(&self, reg: u32) -> (WriteStamp, u64) {
+        self.rounds.fetch_add(1, Ordering::Relaxed);
+        let need = self.quorum();
+        let replies = self.quorum_rpc(need, |op, from, to| Message {
+            kind: MsgKind::ReadQuery,
+            op,
+            from,
+            to,
+            reg,
+            seq: 0,
+            writer: 0,
+            word: 0,
+            expected: 0,
+        });
+        let best = replies
+            .iter()
+            .max_by_key(|m| m.stamp())
+            .expect("quorum_rpc returns a full quorum");
+        let (stamp, word) = (best.stamp(), best.word);
+        if replies.iter().any(|m| m.stamp() < stamp) {
+            // Read-repair: the replies diverged, so the maximum may be
+            // durable on fewer than f + 1 replicas. Write it back
+            // before returning or a later read could go backwards.
+            self.repairs.fetch_add(1, Ordering::Relaxed);
+            self.write_back(reg, stamp, word);
+        }
+        (stamp, word)
+    }
+
+    /// ABD write: two phases (stamp query, quorum install). Returns
+    /// the stamp the write landed under; when the ack quorum is in,
+    /// `f + 1` replicas hold a stamp `>=` it.
+    pub fn abd_write(&self, reg: u32, word: u64) -> WriteStamp {
+        self.rounds.fetch_add(1, Ordering::Relaxed);
+        let need = self.quorum();
+        let replies = self.quorum_rpc(need, |op, from, to| Message {
+            kind: MsgKind::ReadQuery,
+            op,
+            from,
+            to,
+            reg,
+            seq: 0,
+            writer: 0,
+            word: 0,
+            expected: 0,
+        });
+        let max = replies
+            .iter()
+            .map(|m| m.stamp())
+            .max()
+            .expect("quorum_rpc returns a full quorum");
+        let stamp = max.next(self.client_id());
+        self.write_back(reg, stamp, word);
+        stamp
+    }
+
+    /// One quorum write phase: install `(stamp, word)` on `f + 1`
+    /// replicas and wait for all acks.
+    fn write_back(&self, reg: u32, stamp: WriteStamp, word: u64) {
+        self.rounds.fetch_add(1, Ordering::Relaxed);
+        let need = self.quorum();
+        let acks = self.quorum_rpc(need, |op, from, to| Message {
+            kind: MsgKind::Write,
+            op,
+            from,
+            to,
+            reg,
+            seq: stamp.seq,
+            writer: stamp.writer,
+            word,
+            expected: 0,
+        });
+        debug_assert!(acks.iter().all(|a| a.kind == MsgKind::WriteAck));
+    }
+
+    /// Sends one request per target replica and collects `need`
+    /// replies from distinct replicas, retransmitting (with a fresh op
+    /// id and a widened target set) whenever the network runs dry.
+    fn quorum_rpc(&self, need: usize, build: impl Fn(u64, u32, u32) -> Message) -> Vec<Message> {
+        let client = self.client_id();
+        let n = self.replicas.len();
+        debug_assert!(need <= n);
+        let mut attempt = 0usize;
+        loop {
+            let op = self.next_op.fetch_add(1, Ordering::Relaxed);
+            // Rotate the window by client id (load spreading) and by
+            // attempt, widening until every replica is targeted.
+            let width = (need + attempt).min(n);
+            let start = (client as usize + attempt) % n;
+            let direct = self.config.plan.is_fault_free();
+            let mut replies: Vec<Message> = Vec::with_capacity(need);
+            if direct {
+                for i in 0..width {
+                    let to = ((start + i) % n) as u32;
+                    if let Some(reply) = self.interact_direct(build(op, client, to)) {
+                        replies.push(reply);
+                        if replies.len() == need {
+                            return replies;
+                        }
+                    }
+                }
+            } else {
+                for i in 0..width {
+                    let to = ((start + i) % n) as u32;
+                    self.router.send(build(op, client, to));
+                }
+                if self.collect_replies(client, op, need, &mut replies) {
+                    return replies;
+                }
+            }
+            attempt += 1;
+            self.retries.fetch_add(1, Ordering::Relaxed);
+            assert!(
+                attempt < MAX_ATTEMPTS,
+                "client {client} cannot reach a quorum ({need} of {n} replicas) \
+                 after {attempt} attempts — partitioned forever?"
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    /// Fault-free synchronous interaction: applies the handler inline
+    /// (no queue), honoring partitions and the step hook. Returns
+    /// `None` when either endpoint is isolated.
+    fn interact_direct(&self, msg: Message) -> Option<Message> {
+        if !self.router.no_partition_fast()
+            && (self.router.is_blocked(msg.from) || self.router.is_blocked(msg.to))
+        {
+            return None;
+        }
+        self.router.fire_hook(&msg);
+        let reply = self.replicas[msg.to as usize].handle(&msg);
+        self.router.fire_hook(&reply);
+        Some(reply)
+    }
+
+    /// Pumps the router until `need` distinct replicas answered `op`,
+    /// or the network runs dry (returns `false`: time to retransmit).
+    fn collect_replies(
+        &self,
+        client: u32,
+        op: u64,
+        need: usize,
+        replies: &mut Vec<Message>,
+    ) -> bool {
+        loop {
+            self.drain_mailbox(client, op, replies);
+            if replies.len() >= need {
+                return true;
+            }
+            match self.router.pump() {
+                Pumped::Deliver(msg) => {
+                    if msg.to < Message::CLIENT_BASE {
+                        let reply = self.replicas[msg.to as usize].handle(&msg);
+                        self.router.send(reply);
+                    } else {
+                        self.mailboxes
+                            .lock()
+                            .expect("mailbox lock")
+                            .entry(msg.to)
+                            .or_default()
+                            .push(msg);
+                    }
+                }
+                Pumped::Discarded => {}
+                Pumped::Idle => {
+                    // Another pumping thread may have deposited our
+                    // replies between the drain and the pump.
+                    self.drain_mailbox(client, op, replies);
+                    return replies.len() >= need;
+                }
+            }
+        }
+    }
+
+    /// Moves this client's current-op replies out of its mailbox,
+    /// deduplicating by replica and dropping stale-op leftovers.
+    fn drain_mailbox(&self, client: u32, op: u64, replies: &mut Vec<Message>) {
+        let drained = {
+            let mut boxes = self.mailboxes.lock().expect("mailbox lock");
+            match boxes.get_mut(&client) {
+                Some(inbox) if !inbox.is_empty() => std::mem::take(inbox),
+                _ => return,
+            }
+        };
+        for msg in drained {
+            if msg.op == op && !replies.iter().any(|r| r.from == msg.from) {
+                replies.push(msg);
+            }
+        }
+    }
+
+    // ---- step-addressed single-replica access (the QuorumTs path) ----
+
+    /// Reads replica `replica`'s word for `reg` — one protocol step,
+    /// delivered synchronously (the step hook still fires).
+    pub(crate) fn replica_fetch(&self, replica: u32, reg: u32) -> u64 {
+        let msg = Message {
+            kind: MsgKind::ReadQuery,
+            op: self.next_op.fetch_add(1, Ordering::Relaxed),
+            from: self.client_id(),
+            to: replica,
+            reg,
+            seq: 0,
+            writer: 0,
+            word: 0,
+            expected: 0,
+        };
+        self.router.fire_hook(&msg);
+        let reply = self.replicas[replica as usize].handle(&msg);
+        self.router.fire_hook(&reply);
+        reply.word
+    }
+
+    /// Conditionally installs `new` over `expected` on one replica —
+    /// one protocol step. Returns the word held before (equality with
+    /// `expected` means it landed).
+    pub(crate) fn replica_install(&self, replica: u32, reg: u32, expected: u64, new: u64) -> u64 {
+        let msg = Message {
+            kind: MsgKind::Install,
+            op: self.next_op.fetch_add(1, Ordering::Relaxed),
+            from: self.client_id(),
+            to: replica,
+            reg,
+            seq: new as u32,
+            writer: 0,
+            word: new,
+            expected,
+        };
+        self.router.fire_hook(&msg);
+        let reply = self.replicas[replica as usize].handle(&msg);
+        self.router.fire_hook(&reply);
+        reply.word
+    }
+}
+
+/// The replicated timestamp object whose steps are **messages**: the
+/// real twin of [`QuorumModel`](crate::QuorumModel).
+///
+/// Each `getTS` reads `f + 1` replicas (rotating by pid), proposes
+/// `max + 1`, then conditionally installs it on its write quorum —
+/// every replica interaction is one gated step, so the model
+/// checker's message interleavings replay against these real replicas
+/// through the usual
+/// [`StepGate`](ts_core::workload::StepGate) pacing.
+///
+/// [`QuorumTs::broken`] shrinks the write quorum to a single replica:
+/// reads and writes then no longer intersect, and the explorer finds
+/// the duplicate-timestamp interleaving — which replays here, on real
+/// replicas, as the acceptance counterexample.
+#[derive(Debug)]
+pub struct QuorumTs {
+    cluster: Arc<Cluster>,
+    reg: u32,
+    write_quorum: usize,
+}
+
+impl QuorumTs {
+    /// Correct protocol: read and write quorums of `f + 1`.
+    pub fn new(f: usize) -> Self {
+        Self::with_write_quorum(Cluster::new(ClusterConfig::new(f)), f + 1)
+    }
+
+    /// Deliberately broken protocol: writes land on one replica only.
+    pub fn broken(f: usize) -> Self {
+        Self::with_write_quorum(Cluster::new(ClusterConfig::new(f)), 1)
+    }
+
+    /// A timestamp object on an existing cluster with an explicit
+    /// write-quorum size (`1..=f + 1`).
+    pub fn with_write_quorum(cluster: Arc<Cluster>, write_quorum: usize) -> Self {
+        assert!(
+            (1..=cluster.quorum()).contains(&write_quorum),
+            "write quorum must be in 1..=f+1"
+        );
+        let reg = cluster.alloc_register(0);
+        Self {
+            cluster,
+            reg,
+            write_quorum,
+        }
+    }
+
+    /// The cluster the object lives on.
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    /// Whether this instance runs the intersecting (correct) quorums.
+    pub fn is_correct(&self) -> bool {
+        self.write_quorum == self.cluster.quorum()
+    }
+
+    /// `getTS` without gating.
+    pub fn get_ts(&self, pid: usize) -> Timestamp {
+        self.get_ts_paused(pid, || {})
+    }
+
+    /// `getTS` with a pause before **every replica interaction** (the
+    /// message-step granularity the replayer schedules).
+    pub fn get_ts_paused(&self, pid: usize, mut pause: impl FnMut()) -> Timestamp {
+        let n = self.cluster.replicas();
+        let read_quorum = self.cluster.quorum();
+        let mut observed = Vec::with_capacity(read_quorum);
+        for i in 0..read_quorum {
+            pause();
+            observed.push(self.cluster.replica_fetch(((pid + i) % n) as u32, self.reg));
+        }
+        let proposal = observed.iter().copied().max().expect("non-empty quorum") + 1;
+        for (j, expected) in observed.iter().copied().take(self.write_quorum).enumerate() {
+            let replica = ((pid + j) % n) as u32;
+            let mut expected = expected;
+            loop {
+                pause();
+                let prior = self
+                    .cluster
+                    .replica_install(replica, self.reg, expected, proposal);
+                if prior == expected || prior >= proposal {
+                    // Landed, or someone already installed >= ours.
+                    break;
+                }
+                expected = prior;
+            }
+        }
+        Timestamp::scalar(proposal)
+    }
+
+    /// Largest word any replica holds (observation probe for tests).
+    pub fn read_max(&self) -> u64 {
+        (0..self.cluster.replicas())
+            .map(|r| self.cluster.replica(r).stored(self.reg).1)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_read_write_round_trips() {
+        let cluster = Cluster::new(ClusterConfig::new(1));
+        let reg = cluster.alloc_register(7);
+        assert_eq!(cluster.abd_read(reg), (WriteStamp::INITIAL, 7));
+        let stamp = cluster.abd_write(reg, 42);
+        assert_eq!(stamp.seq, 1);
+        let (read_stamp, word) = cluster.abd_read(reg);
+        assert_eq!((read_stamp, word), (stamp, 42));
+        // Fault-free reads of agreeing replicas never repair.
+        assert_eq!(cluster.quorum_repairs(), 0);
+    }
+
+    #[test]
+    fn writes_survive_any_minority_partition() {
+        let cluster = Cluster::new(ClusterConfig::new(1));
+        let reg = cluster.alloc_register(0);
+        // This thread's client id rotates its quorum window to start at
+        // replica 1 — partition exactly that replica, so the write must
+        // retry and widen past its preferred window.
+        let start = cluster.client_id() as usize % cluster.replicas();
+        cluster.router().partition(&[start as u32]);
+        let stamp = cluster.abd_write(reg, 5);
+        // f + 1 = 2 replicas hold the write despite the partition.
+        let holders = (0..3)
+            .filter(|&r| cluster.replica(r).stored(reg) == (stamp, 5))
+            .count();
+        assert!(holders >= 2, "only {holders} replicas hold the write");
+        assert!(
+            !cluster.router().isolated().is_empty(),
+            "partition still active"
+        );
+        assert!(cluster.quorum_retries() > 0, "the partition forced retries");
+        cluster.router().heal();
+        assert_eq!(cluster.abd_read(reg).1, 5);
+    }
+
+    #[test]
+    fn divergent_replicas_are_read_repaired() {
+        let cluster = Cluster::new(ClusterConfig::new(1));
+        let reg = cluster.alloc_register(0);
+        // Pick the replica just *outside* this client's preferred
+        // window, partition it, write: it stays stale.
+        let n = cluster.replicas();
+        let start = cluster.client_id() as usize % n;
+        let stale = ((start + 2) % n) as u32;
+        cluster.router().partition(&[stale]);
+        cluster.abd_write(reg, 9);
+        cluster.router().heal();
+        assert_eq!(cluster.replica(stale as usize).stored(reg).1, 0, "stale");
+        // A reader whose window covers the stale replica observes
+        // divergent replies and repairs before returning. Client ids
+        // are per-thread, so mint readers until one's window hits it.
+        let repaired = std::thread::scope(|s| {
+            let mut hit = false;
+            for _ in 0..n {
+                hit |= s
+                    .spawn(|| {
+                        let me = cluster.client_id() as usize % n;
+                        assert_eq!(cluster.abd_read(reg).1, 9, "no stale read, ever");
+                        me == stale as usize || (me + 1) % n == stale as usize
+                    })
+                    .join()
+                    .expect("reader thread");
+            }
+            hit
+        });
+        assert!(repaired, "some reader's window covered the stale replica");
+        assert!(cluster.quorum_repairs() >= 1);
+        assert_eq!(cluster.replica(stale as usize).stored(reg).1, 9, "repaired");
+    }
+
+    #[test]
+    fn lossy_network_still_linearizes() {
+        let plan = FaultPlan {
+            seed: 11,
+            drop_permille: 200,
+            dup_permille: 100,
+            delay_max: 3,
+            reorder: true,
+            ..FaultPlan::default()
+        };
+        let cluster = Cluster::new(ClusterConfig::new(1).with_plan(plan));
+        let reg = cluster.alloc_register(0);
+        for v in 1..=20u64 {
+            cluster.abd_write(reg, v);
+            assert_eq!(cluster.abd_read(reg).1, v, "read your own write");
+        }
+        let stats = cluster.net_stats();
+        assert!(stats.dropped > 0, "the plan actually dropped: {stats:?}");
+    }
+
+    #[test]
+    fn ambient_scope_nests_and_unwinds() {
+        let outer = Cluster::new(ClusterConfig::new(0));
+        let inner = Cluster::new(ClusterConfig::new(1));
+        assert!(ambient_cluster().is_none());
+        with_cluster(&outer, || {
+            assert_eq!(ambient_cluster().expect("outer").uid, outer.uid);
+            with_cluster(&inner, || {
+                assert_eq!(ambient_cluster().expect("inner").uid, inner.uid);
+            });
+            assert_eq!(ambient_cluster().expect("outer again").uid, outer.uid);
+        });
+        assert!(ambient_cluster().is_none());
+    }
+
+    #[test]
+    fn quorum_ts_is_monotone_per_thread() {
+        let ts = QuorumTs::new(1);
+        let mut last = None;
+        for _ in 0..10 {
+            let t = ts.get_ts(0);
+            if let Some(prev) = last {
+                assert!(Timestamp::compare(&prev, &t), "{prev:?} !< {t:?}");
+            }
+            last = Some(t);
+        }
+        assert_eq!(ts.read_max(), 10);
+    }
+
+    #[test]
+    fn broken_quorum_ts_duplicates_stamps_across_disjoint_windows() {
+        let ts = QuorumTs::broken(1);
+        assert!(!ts.is_correct());
+        // With a write quorum of 1, pid 0 installs only on replica 0 —
+        // and pid 1's read window {1, 2} never sees it. Two
+        // *non-overlapping* calls return the same timestamp: exactly
+        // the violation the model explorer minimizes.
+        let a = ts.get_ts(0);
+        let b = ts.get_ts(1);
+        assert_eq!(a, b, "non-intersecting quorums duplicate stamps");
+        // A window that does cover replica 0 stays ordered.
+        let c = ts.get_ts(2);
+        assert!(Timestamp::compare(&a, &c));
+    }
+
+    #[test]
+    fn step_hook_counts_quorum_ts_messages() {
+        use std::sync::atomic::AtomicU64 as Count;
+        let cluster = Cluster::new(ClusterConfig::new(1));
+        let ts = QuorumTs::with_write_quorum(Arc::clone(&cluster), 2);
+        let count = Arc::new(Count::new(0));
+        let c2 = Arc::clone(&count);
+        cluster.router().set_step_hook(Some(Box::new(move |_| {
+            c2.fetch_add(1, Ordering::SeqCst);
+        })));
+        ts.get_ts(0);
+        // 2 reads + 2 installs, each a request + reply pair.
+        assert_eq!(count.load(Ordering::SeqCst), 8);
+    }
+}

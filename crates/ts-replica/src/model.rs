@@ -1,0 +1,327 @@
+//! The model twin of [`QuorumTs`](crate::QuorumTs): quorum replication
+//! as a [`ts_model`] algorithm, one register per replica.
+//!
+//! The mapping is literal. Model register `r` *is* replica `r`'s
+//! stored word; a [`Poised::Read`] is a `ReadQuery`/`ReadReply`
+//! exchange; a [`Poised::Cas`] is an `Install`/`InstallReply` exchange
+//! (the replica's conditional install is exactly a CAS on its word,
+//! and the reply carries the prior word exactly as `observe` does).
+//! One model step = one message delivery, so the explorer enumerates
+//! **message interleavings**, and a counterexample schedule replays
+//! step-for-step against real [`Replica`](crate::Replica)s through the
+//! standard trace machinery.
+//!
+//! [`QuorumModel::broken`] is the deliberately faulty variant (write
+//! quorum of 1): reads and writes stop intersecting, and two
+//! non-overlapping `getTS` calls can read disjoint replica sets and
+//! return equal timestamps. The explorer finds that interleaving in a
+//! few dozen states; the minimized trace is checked into the replay
+//! corpus.
+
+use ts_core::Timestamp;
+use ts_model::{Algorithm, Machine, Poised, ProcId};
+
+/// One `getTS` call of the replicated timestamp protocol, as a step
+/// machine. See the module docs for the message ↔ step mapping.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QuorumMachine {
+    pid: usize,
+    replicas: usize,
+    read_quorum: usize,
+    write_quorum: usize,
+    observed: Vec<u64>,
+    proposal: u64,
+    phase: Phase,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Phase {
+    /// Reading replica `pid + idx` (mod replicas).
+    Read { idx: usize },
+    /// Conditionally installing the proposal on write-set member `j`.
+    Install { j: usize, expected: u64 },
+    /// Returning the proposal.
+    Done,
+}
+
+impl QuorumMachine {
+    fn new(pid: usize, replicas: usize, read_quorum: usize, write_quorum: usize) -> Self {
+        Self {
+            pid,
+            replicas,
+            read_quorum,
+            write_quorum,
+            observed: Vec::with_capacity(read_quorum),
+            proposal: 0,
+            phase: Phase::Read { idx: 0 },
+        }
+    }
+
+    /// Replica backing read-set slot `i` (the rotation window).
+    fn reg(&self, i: usize) -> usize {
+        (self.pid + i) % self.replicas
+    }
+
+    /// Enters install step `j`, or completes when the write set is
+    /// exhausted.
+    fn begin_install(&mut self, j: usize) {
+        self.phase = if j < self.write_quorum {
+            Phase::Install {
+                j,
+                expected: self.observed[j],
+            }
+        } else {
+            Phase::Done
+        };
+    }
+}
+
+impl Machine for QuorumMachine {
+    type Value = u64;
+    type Output = Timestamp;
+
+    fn poised(&self) -> Poised<u64, Timestamp> {
+        match &self.phase {
+            Phase::Read { idx } => Poised::Read {
+                reg: self.reg(*idx),
+            },
+            Phase::Install { j, expected } => Poised::Cas {
+                reg: self.reg(*j),
+                expected: *expected,
+                new: self.proposal,
+            },
+            Phase::Done => Poised::Done(Timestamp::scalar(self.proposal)),
+        }
+    }
+
+    fn observe(&mut self, observed: Option<u64>) {
+        match self.phase.clone() {
+            Phase::Read { idx } => {
+                let value = observed.expect("a read observes a value");
+                self.observed.push(value);
+                if idx + 1 < self.read_quorum {
+                    self.phase = Phase::Read { idx: idx + 1 };
+                } else {
+                    self.proposal = self.observed.iter().copied().max().expect("non-empty") + 1;
+                    self.begin_install(0);
+                }
+            }
+            Phase::Install { j, expected } => {
+                let prior = observed.expect("a CAS observes the prior value");
+                if prior == expected || prior >= self.proposal {
+                    // Landed, or the replica already holds >= ours —
+                    // either way this replica is covered.
+                    self.begin_install(j + 1);
+                } else {
+                    self.phase = Phase::Install { j, expected: prior };
+                }
+            }
+            Phase::Done => panic!("observe called on a completed machine"),
+        }
+    }
+
+    fn may_read(&self) -> Option<Vec<usize>> {
+        // CAS observations count as reads. While still reading, the
+        // sound over-approximation is the whole read window (the write
+        // window is a prefix of it, and installs on already-read slots
+        // are still ahead); mid-install it shrinks to the remaining
+        // write window.
+        let range = match &self.phase {
+            Phase::Read { .. } => 0..self.read_quorum,
+            Phase::Install { j, .. } => *j..self.write_quorum,
+            Phase::Done => 0..0,
+        };
+        Some(range.map(|i| self.reg(i)).collect())
+    }
+
+    fn may_write(&self) -> Option<Vec<usize>> {
+        let range = match &self.phase {
+            Phase::Read { .. } => 0..self.write_quorum,
+            Phase::Install { j, .. } => *j..self.write_quorum,
+            Phase::Done => 0..0,
+        };
+        Some(range.map(|i| self.reg(i)).collect())
+    }
+}
+
+/// The replicated timestamp algorithm over `2f + 1` replica-registers;
+/// the model twin of [`QuorumTs`](crate::QuorumTs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuorumModel {
+    n: usize,
+    f: usize,
+    write_quorum: usize,
+}
+
+impl QuorumModel {
+    /// Correct protocol for `n` processes tolerating `f` failures:
+    /// read and write quorums of `f + 1` over `2f + 1` replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, f: usize) -> Self {
+        Self::with_write_quorum(n, f, f + 1)
+    }
+
+    /// The deliberately broken variant: writes land on one replica.
+    pub fn broken(n: usize, f: usize) -> Self {
+        Self::with_write_quorum(n, f, 1)
+    }
+
+    /// Explicit write-quorum size (`1..=f + 1`).
+    pub fn with_write_quorum(n: usize, f: usize, write_quorum: usize) -> Self {
+        assert!(n > 0, "need at least one process");
+        assert!(
+            (1..=f + 1).contains(&write_quorum),
+            "write quorum must be in 1..=f+1"
+        );
+        Self { n, f, write_quorum }
+    }
+
+    /// Tolerated failures.
+    pub fn f(&self) -> usize {
+        self.f
+    }
+
+    /// Whether the quorums intersect (the protocol is correct).
+    pub fn is_correct(&self) -> bool {
+        self.write_quorum == self.f + 1
+    }
+}
+
+impl Algorithm for QuorumModel {
+    type Machine = QuorumMachine;
+
+    fn processes(&self) -> usize {
+        self.n
+    }
+
+    fn registers(&self) -> usize {
+        2 * self.f + 1
+    }
+
+    fn initial_value(&self) -> u64 {
+        0
+    }
+
+    fn invoke(&self, pid: ProcId, _op_index: usize) -> QuorumMachine {
+        assert!(pid < self.n, "pid {pid} out of range");
+        QuorumMachine::new(pid, self.registers(), self.f + 1, self.write_quorum)
+    }
+
+    fn compare(&self, t1: &Timestamp, t2: &Timestamp) -> bool {
+        Timestamp::compare(t1, t2)
+    }
+
+    fn op_may_read(&self, pid: ProcId) -> Option<Vec<usize>> {
+        let r = self.registers();
+        Some((0..self.f + 1).map(|i| (pid + i) % r).collect())
+    }
+
+    fn op_may_write(&self, pid: ProcId) -> Option<Vec<usize>> {
+        let r = self.registers();
+        Some((0..self.write_quorum).map(|i| (pid + i) % r).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_model::{CacheMode, Explorer, System};
+
+    /// Runs `pid` solo until its current op completes, returning the
+    /// output.
+    fn run_solo(sys: &mut System<QuorumModel>, pid: usize) -> Timestamp {
+        loop {
+            match sys.step(pid).expect("step") {
+                ts_model::StepOutcome::Completed { output } => return output,
+                _ => continue,
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_calls_count_up() {
+        let mut sys = System::new(QuorumModel::new(2, 1));
+        let a = run_solo(&mut sys, 0);
+        let b = run_solo(&mut sys, 1);
+        let c = run_solo(&mut sys, 0);
+        assert_eq!(a, Timestamp::scalar(1));
+        assert_eq!(b, Timestamp::scalar(2));
+        assert_eq!(c, Timestamp::scalar(3));
+        assert!(sys.check_property().is_none());
+    }
+
+    #[test]
+    fn correct_quorums_pass_exhaustive_exploration() {
+        let report = Explorer::new(QuorumModel::new(2, 1), 1).run();
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(!report.truncated);
+        assert!(report.executions > 0);
+    }
+
+    #[test]
+    fn broken_write_quorum_yields_a_counterexample() {
+        let model = QuorumModel::broken(2, 1);
+        let report = Explorer::new(model, 1)
+            .with_reduction(false)
+            .with_cache(CacheMode::Exact)
+            .run();
+        let violation = report.violation.expect("wq=1 must violate");
+        // The schedule reproduces deterministically.
+        let report2 = Explorer::new(model, 1)
+            .with_reduction(false)
+            .with_cache(CacheMode::Exact)
+            .run();
+        assert_eq!(
+            report2.violation.expect("still violates").schedule,
+            violation.schedule
+        );
+    }
+
+    #[test]
+    fn dpor_agrees_with_the_ground_truth_on_the_broken_model() {
+        let model = QuorumModel::broken(2, 1);
+        let full = Explorer::new(model, 1).with_cache(CacheMode::None).run();
+        let dpor = Explorer::new(model, 1).run();
+        assert_eq!(full.violation.is_some(), dpor.violation.is_some());
+    }
+
+    #[test]
+    fn footprints_cover_the_rotation_windows() {
+        let model = QuorumModel::new(2, 1);
+        assert_eq!(model.op_may_read(0), Some(vec![0, 1]));
+        assert_eq!(model.op_may_read(1), Some(vec![1, 2]));
+        assert_eq!(model.op_may_write(1), Some(vec![1, 2]));
+        let broken = QuorumModel::broken(2, 1);
+        assert_eq!(broken.op_may_write(1), Some(vec![1]));
+
+        let machine = model.invoke(1, 0);
+        assert_eq!(machine.may_read(), Some(vec![1, 2]));
+        assert_eq!(machine.may_write(), Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn machine_retries_a_lost_cas_with_the_observed_value() {
+        let mut m = QuorumModel::new(1, 1).invoke(0, 0);
+        // Reads of replicas 0 and 1 observe 0 → proposal 1.
+        m.observe(Some(0));
+        m.observe(Some(0));
+        match m.poised() {
+            Poised::Cas { reg, expected, new } => {
+                assert_eq!((reg, expected, new), (0, 0, 1));
+            }
+            other => panic!("expected a CAS, got {other:?}"),
+        }
+        // Someone raced the register from 0 to 5: retry... no — 5 >= 1
+        // means the replica is already past us; move on.
+        m.observe(Some(5));
+        match m.poised() {
+            Poised::Cas { reg, expected, .. } => assert_eq!((reg, expected), (1, 0)),
+            other => panic!("expected the second install, got {other:?}"),
+        }
+        m.observe(Some(0));
+        assert_eq!(m.poised(), Poised::Done(Timestamp::scalar(1)));
+    }
+}

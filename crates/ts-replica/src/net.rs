@@ -1,0 +1,493 @@
+//! The modelled network: a seeded, fault-injecting in-process router.
+//!
+//! Every message between quorum clients and replicas flows through one
+//! [`Router`] (the in-process reproduction of `dist-register`'s
+//! `network/modelled.rs`). The router is *thread-free*: it owns no
+//! event loop. Clients push sends and then **pump** — each pump
+//! delivers exactly one in-flight message, chosen by the seeded fault
+//! plan — so delivery order is a deterministic function of the seed
+//! and the pump sequence. Replica handlers run inline on the pumping
+//! thread.
+//!
+//! # Fault knobs ([`FaultPlan`])
+//!
+//! | knob | effect |
+//! |---|---|
+//! | `seed` | SplitMix64 stream deciding every probabilistic choice |
+//! | `drop_permille` | per-message loss probability (‰), rolled at send |
+//! | `dup_permille` | per-message duplication probability (‰) |
+//! | `delay_max` | extra delivery ticks, uniform in `0..=delay_max` |
+//! | `reorder` | deliver a random eligible message instead of FIFO |
+//! | `record_log` | keep the delivered-message log for diffing |
+//!
+//! Partitions are dynamic (not part of the plan):
+//! [`Router::partition`] isolates a replica set — traffic to or from
+//! it is discarded at delivery time — and [`Router::heal`] reconnects
+//! it. Clients survive both through retransmission.
+//!
+//! # The step hook
+//!
+//! [`Router::set_step_hook`] installs a callback invoked **before
+//! every message delivery**, outside the router lock. Pointing it at
+//! [`StepGate::pause`](ts_core::workload::StepGate::pause) puts each
+//! delivery under controller pacing — the same barrier protocol that
+//! replays memory-access schedules — so message interleavings become
+//! steppable and replayable exactly like register accesses.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::proto::Message;
+
+/// The seeded fault schedule of a [`Router`]. See the module docs for
+/// the knob table. [`FaultPlan::default`] is the fault-free plan:
+/// FIFO, lossless, undelayed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed of the SplitMix64 stream behind every probabilistic knob.
+    pub seed: u64,
+    /// Per-message drop probability in permille (0..=1000).
+    pub drop_permille: u16,
+    /// Per-message duplication probability in permille (0..=1000).
+    pub dup_permille: u16,
+    /// Maximum extra delivery delay in ticks (sampled uniformly).
+    pub delay_max: u8,
+    /// Deliver a seeded-random eligible message instead of the oldest.
+    pub reorder: bool,
+    /// Record every delivered message (see [`Router::delivery_log`]).
+    pub record_log: bool,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            drop_permille: 0,
+            dup_permille: 0,
+            delay_max: 0,
+            reorder: false,
+            record_log: false,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Whether the plan injects any fault at all (a fault-free plan
+    /// lets the cluster take its synchronous direct path).
+    pub fn is_fault_free(&self) -> bool {
+        self.drop_permille == 0 && self.dup_permille == 0 && self.delay_max == 0 && !self.reorder
+    }
+}
+
+/// Counters the router keeps about its own mischief.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages accepted into flight.
+    pub sent: u64,
+    /// Messages delivered to a handler or mailbox.
+    pub delivered: u64,
+    /// Messages lost to the drop knob at send time.
+    pub dropped: u64,
+    /// Extra copies minted by the duplicate knob.
+    pub duplicated: u64,
+    /// Messages discarded at delivery time because an endpoint was
+    /// partitioned away.
+    pub partitioned: u64,
+}
+
+#[derive(Debug)]
+struct Flight {
+    deliver_at: u64,
+    id: u64,
+    msg: Message,
+}
+
+#[derive(Debug)]
+struct RouterState {
+    now: u64,
+    next_id: u64,
+    in_flight: Vec<Flight>,
+    rng: StdRng,
+    isolated: HashSet<u32>,
+    stats: NetStats,
+    log: Vec<Message>,
+}
+
+/// What one pump produced: a message for a handler, silence, or proof
+/// that nothing is in flight (time to retransmit).
+#[derive(Debug)]
+pub(crate) enum Pumped {
+    /// The message to hand to its destination's handler.
+    Deliver(Message),
+    /// A message existed but was discarded (partitioned endpoint);
+    /// the pump still made progress.
+    Discarded,
+    /// Nothing in flight at all.
+    Idle,
+}
+
+/// Per-delivery callback type (see the module docs on the step hook).
+pub type StepHook = Box<dyn Fn(&Message) + Send + Sync>;
+
+/// The seeded fault-injecting message router. One per
+/// [`Cluster`](crate::Cluster); see the module docs.
+pub struct Router {
+    plan: FaultPlan,
+    state: Mutex<RouterState>,
+    hook: Mutex<Option<StepHook>>,
+    // Lock-free mirrors for the fault-free direct path: whether a hook
+    // is installed, and how many replicas are isolated.
+    hook_armed: AtomicBool,
+    isolated_count: AtomicUsize,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock().expect("router lock");
+        f.debug_struct("Router")
+            .field("plan", &self.plan)
+            .field("in_flight", &state.in_flight.len())
+            .field("isolated", &state.isolated)
+            .field("stats", &state.stats)
+            .finish()
+    }
+}
+
+impl Router {
+    /// Creates a router executing `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            state: Mutex::new(RouterState {
+                now: 0,
+                next_id: 0,
+                in_flight: Vec::new(),
+                rng: StdRng::seed_from_u64(plan.seed),
+                isolated: HashSet::new(),
+                stats: NetStats::default(),
+                log: Vec::new(),
+            }),
+            hook: Mutex::new(None),
+            hook_armed: AtomicBool::new(false),
+            isolated_count: AtomicUsize::new(0),
+        }
+    }
+
+    /// The plan this router runs.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Installs (or clears) the per-delivery step hook.
+    pub fn set_step_hook(&self, hook: Option<StepHook>) {
+        let armed = hook.is_some();
+        *self.hook.lock().expect("hook lock") = hook;
+        self.hook_armed.store(armed, Ordering::Release);
+    }
+
+    /// Fires the step hook, if one is armed, for a delivery.
+    pub(crate) fn fire_hook(&self, msg: &Message) {
+        if self.hook_armed.load(Ordering::Acquire) {
+            if let Some(hook) = self.hook.lock().expect("hook lock").as_ref() {
+                hook(msg);
+            }
+        }
+    }
+
+    /// Isolates `replicas`: messages to or from them are discarded at
+    /// delivery time until [`Router::heal`].
+    pub fn partition(&self, replicas: &[u32]) {
+        let mut state = self.state.lock().expect("router lock");
+        state.isolated.extend(replicas.iter().copied());
+        self.isolated_count
+            .store(state.isolated.len(), Ordering::Release);
+    }
+
+    /// Reconnects every isolated replica.
+    pub fn heal(&self) {
+        let mut state = self.state.lock().expect("router lock");
+        state.isolated.clear();
+        self.isolated_count.store(0, Ordering::Release);
+    }
+
+    /// Reconnects one replica.
+    pub fn heal_one(&self, replica: u32) {
+        let mut state = self.state.lock().expect("router lock");
+        state.isolated.remove(&replica);
+        self.isolated_count
+            .store(state.isolated.len(), Ordering::Release);
+    }
+
+    /// Lock-free "no partition right now" probe for the direct path.
+    pub(crate) fn no_partition_fast(&self) -> bool {
+        self.isolated_count.load(Ordering::Acquire) == 0
+    }
+
+    /// Whether `node` is currently isolated (takes the lock).
+    pub(crate) fn is_blocked(&self, node: u32) -> bool {
+        self.state
+            .lock()
+            .expect("router lock")
+            .isolated
+            .contains(&node)
+    }
+
+    /// The currently isolated replica ids (sorted).
+    pub fn isolated(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self
+            .state
+            .lock()
+            .expect("router lock")
+            .isolated
+            .iter()
+            .copied()
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Whether any replica is currently isolated.
+    pub fn has_partition(&self) -> bool {
+        !self.state.lock().expect("router lock").isolated.is_empty()
+    }
+
+    /// Snapshot of the router's counters.
+    pub fn stats(&self) -> NetStats {
+        self.state.lock().expect("router lock").stats
+    }
+
+    /// The delivered-message log (empty unless
+    /// [`FaultPlan::record_log`] is set). Serializing this and diffing
+    /// across runs is the seeded-schedule reproducibility check.
+    pub fn delivery_log(&self) -> Vec<Message> {
+        self.state.lock().expect("router lock").log.clone()
+    }
+
+    /// Accepts `msg` into flight, rolling the drop / duplicate / delay
+    /// knobs.
+    pub(crate) fn send(&self, msg: Message) {
+        let mut state = self.state.lock().expect("router lock");
+        state.stats.sent += 1;
+        if self.plan.drop_permille > 0 {
+            let p = u64::from(self.plan.drop_permille);
+            if state.rng.random_range(0u64..1000) < p {
+                state.stats.dropped += 1;
+                return;
+            }
+        }
+        let copies = if self.plan.dup_permille > 0 {
+            let p = u64::from(self.plan.dup_permille);
+            if state.rng.random_range(0u64..1000) < p {
+                state.stats.duplicated += 1;
+                2
+            } else {
+                1
+            }
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            let delay = if self.plan.delay_max > 0 {
+                state
+                    .rng
+                    .random_range(0u64..u64::from(self.plan.delay_max) + 1)
+            } else {
+                0
+            };
+            let flight = Flight {
+                deliver_at: state.now + 1 + delay,
+                id: state.next_id,
+                msg,
+            };
+            state.next_id += 1;
+            state.in_flight.push(flight);
+        }
+    }
+
+    /// Advances time and takes the next message to deliver, applying
+    /// partitions. Fires the step hook (outside the lock) for messages
+    /// that will reach a handler.
+    pub(crate) fn pump(&self) -> Pumped {
+        let taken = {
+            let mut state = self.state.lock().expect("router lock");
+            if state.in_flight.is_empty() {
+                return Pumped::Idle;
+            }
+            state.now += 1;
+            let now = state.now;
+            let eligible: Vec<usize> = state
+                .in_flight
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.deliver_at <= now)
+                .map(|(i, _)| i)
+                .collect();
+            let chosen = if eligible.is_empty() {
+                // Jump time to the earliest arrival instead of spinning.
+                let (idx, at) = state
+                    .in_flight
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| (i, f.deliver_at))
+                    .min_by_key(|&(i, at)| (at, state.in_flight[i].id))
+                    .expect("non-empty in_flight");
+                state.now = at;
+                idx
+            } else if self.plan.reorder && eligible.len() > 1 {
+                let pick = state.rng.random_range(0usize..eligible.len());
+                eligible[pick]
+            } else {
+                *eligible
+                    .iter()
+                    .min_by_key(|&&i| {
+                        let f = &state.in_flight[i];
+                        (f.deliver_at, f.id)
+                    })
+                    .expect("non-empty eligible")
+            };
+            let flight = state.in_flight.swap_remove(chosen);
+            let blocked = state.isolated.contains(&flight.msg.from)
+                || state.isolated.contains(&flight.msg.to);
+            if blocked {
+                state.stats.partitioned += 1;
+                return Pumped::Discarded;
+            }
+            state.stats.delivered += 1;
+            if self.plan.record_log {
+                state.log.push(flight.msg);
+            }
+            flight.msg
+        };
+        self.fire_hook(&taken);
+        Pumped::Deliver(taken)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::MsgKind;
+
+    fn msg(op: u64, to: u32) -> Message {
+        Message {
+            kind: MsgKind::ReadQuery,
+            op,
+            from: Message::CLIENT_BASE,
+            to,
+            reg: 0,
+            seq: 0,
+            writer: 0,
+            word: 0,
+            expected: 0,
+        }
+    }
+
+    fn drain(router: &Router) -> Vec<u64> {
+        let mut ops = Vec::new();
+        loop {
+            match router.pump() {
+                Pumped::Deliver(m) => ops.push(m.op),
+                Pumped::Discarded => {}
+                Pumped::Idle => return ops,
+            }
+        }
+    }
+
+    #[test]
+    fn fault_free_router_is_fifo() {
+        let router = Router::new(FaultPlan::default());
+        for op in 0..5 {
+            router.send(msg(op, 0));
+        }
+        assert_eq!(drain(&router), vec![0, 1, 2, 3, 4]);
+        assert_eq!(router.stats().delivered, 5);
+    }
+
+    #[test]
+    fn seeded_reorder_is_deterministic() {
+        let plan = FaultPlan {
+            seed: 42,
+            delay_max: 4,
+            reorder: true,
+            ..FaultPlan::default()
+        };
+        let run = || {
+            let router = Router::new(plan);
+            for op in 0..20 {
+                router.send(msg(op, (op % 3) as u32));
+            }
+            drain(&router)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed, same delivery order");
+        assert_ne!(a, (0..20).collect::<Vec<_>>(), "the knobs actually reorder");
+    }
+
+    #[test]
+    fn partition_discards_and_heal_restores() {
+        let router = Router::new(FaultPlan::default());
+        router.partition(&[1]);
+        assert!(router.has_partition());
+        router.send(msg(0, 1));
+        router.send(msg(1, 0));
+        assert_eq!(drain(&router), vec![1], "replica 1's traffic discarded");
+        assert_eq!(router.stats().partitioned, 1);
+        router.heal();
+        assert!(!router.has_partition());
+        router.send(msg(2, 1));
+        assert_eq!(drain(&router), vec![2]);
+    }
+
+    #[test]
+    fn drop_knob_loses_messages_at_send() {
+        let plan = FaultPlan {
+            seed: 7,
+            drop_permille: 500,
+            ..FaultPlan::default()
+        };
+        let router = Router::new(plan);
+        for op in 0..200 {
+            router.send(msg(op, 0));
+        }
+        let delivered = drain(&router).len() as u64;
+        let stats = router.stats();
+        assert_eq!(stats.sent, 200);
+        assert_eq!(stats.dropped + delivered, 200);
+        assert!(stats.dropped > 50 && stats.dropped < 150, "{stats:?}");
+    }
+
+    #[test]
+    fn dup_knob_delivers_twice() {
+        let plan = FaultPlan {
+            seed: 3,
+            dup_permille: 1000,
+            ..FaultPlan::default()
+        };
+        let router = Router::new(plan);
+        router.send(msg(0, 0));
+        assert_eq!(drain(&router), vec![0, 0]);
+        assert_eq!(router.stats().duplicated, 1);
+    }
+
+    #[test]
+    fn step_hook_sees_every_delivery() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let router = Router::new(FaultPlan::default());
+        let seen = Arc::new(AtomicU64::new(0));
+        let seen2 = Arc::clone(&seen);
+        router.set_step_hook(Some(Box::new(move |_| {
+            seen2.fetch_add(1, Ordering::SeqCst);
+        })));
+        for op in 0..3 {
+            router.send(msg(op, 0));
+        }
+        drain(&router);
+        assert_eq!(seen.load(Ordering::SeqCst), 3);
+    }
+}

@@ -1,0 +1,293 @@
+//! One quorum replica: per-register `(stamp, word)` storage plus the
+//! message handlers.
+//!
+//! A replica is passive — it owns no thread. Whoever pumps the router
+//! (or takes the fault-free direct path) applies `Replica::handle`
+//! inline under the replica's own lock. Handlers are pure state
+//! transitions: request in, reply out.
+//!
+//! # The monotonic-register invariant
+//!
+//! The load-bearing safety property (the `MonotoneRegister` of
+//! `dist-register`, and the reason ABD read-repair is linearizable):
+//! **a replica's stored stamp for a register never decreases**. Every
+//! install re-checks it via debug-independent
+//! runtime assertions — not `debug_assert!` — so stress tests and
+//! fault schedules keep it armed in release builds too.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::proto::{Message, MsgKind, WriteStamp};
+
+/// Per-register replica state: the highest-stamped write seen.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Slot {
+    pub(crate) stamp: WriteStamp,
+    pub(crate) word: u64,
+}
+
+/// One of the cluster's `2f + 1` storage nodes.
+///
+/// Holds a `(stamp, word)` slot per register and answers
+/// [`Message`]s; see the module docs for the handler semantics and the
+/// armed monotonicity invariant.
+pub struct Replica {
+    id: u32,
+    slots: Mutex<Vec<Slot>>,
+    /// Writes/installs that actually advanced a slot.
+    installs: AtomicU64,
+    /// Stale writes ignored (incoming stamp not above stored).
+    stale: AtomicU64,
+}
+
+impl std::fmt::Debug for Replica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replica")
+            .field("id", &self.id)
+            .field("registers", &self.slots.lock().expect("replica lock").len())
+            .field("installs", &self.installs.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Replica {
+    /// Creates replica `id` with no registers yet.
+    pub(crate) fn new(id: u32) -> Self {
+        Self {
+            id,
+            slots: Mutex::new(Vec::new()),
+            installs: AtomicU64::new(0),
+            stale: AtomicU64::new(0),
+        }
+    }
+
+    /// This replica's node id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Creates register `reg` seeded with `word` at
+    /// [`WriteStamp::INITIAL`], padding any gap with zeroed slots (a
+    /// concurrent allocator of a lower id will overwrite its own pad
+    /// before any traffic reaches it).
+    pub(crate) fn init_register(&self, reg: u32, word: u64) {
+        let mut slots = self.slots.lock().expect("replica lock");
+        while slots.len() <= reg as usize {
+            slots.push(Slot {
+                stamp: WriteStamp::INITIAL,
+                word: 0,
+            });
+        }
+        slots[reg as usize] = Slot {
+            stamp: WriteStamp::INITIAL,
+            word,
+        };
+    }
+
+    /// The stored `(stamp, word)` for `reg` — durability probes in
+    /// tests look here.
+    pub fn stored(&self, reg: u32) -> (WriteStamp, u64) {
+        let slots = self.slots.lock().expect("replica lock");
+        let slot = slots[reg as usize];
+        (slot.stamp, slot.word)
+    }
+
+    /// Installs that advanced a slot (monotone steps taken).
+    pub fn installs(&self) -> u64 {
+        self.installs.load(Ordering::Relaxed)
+    }
+
+    /// Stale writes ignored without touching the slot.
+    pub fn stale_writes(&self) -> u64 {
+        self.stale.load(Ordering::Relaxed)
+    }
+
+    /// Applies one request and returns the reply (addressed back to
+    /// `msg.from`, echoing `msg.op`). Panics on reply kinds — replicas
+    /// never receive replies.
+    pub(crate) fn handle(&self, msg: &Message) -> Message {
+        debug_assert_eq!(msg.to, self.id, "misrouted message");
+        let mut slots = self.slots.lock().expect("replica lock");
+        let slot = &mut slots[msg.reg as usize];
+        let before = slot.stamp;
+        let reply = match msg.kind {
+            MsgKind::ReadQuery => Message {
+                kind: MsgKind::ReadReply,
+                seq: slot.stamp.seq,
+                writer: slot.stamp.writer,
+                word: slot.word,
+                expected: 0,
+                ..reply_envelope(self.id, msg)
+            },
+            MsgKind::Write => {
+                // Install iff strictly newer; always ack — a stale ack
+                // still means "my stamp is >= yours", which is all the
+                // writer needs for durability.
+                if msg.stamp() > slot.stamp {
+                    slot.stamp = msg.stamp();
+                    slot.word = msg.word;
+                    self.installs.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.stale.fetch_add(1, Ordering::Relaxed);
+                }
+                Message {
+                    kind: MsgKind::WriteAck,
+                    seq: slot.stamp.seq,
+                    writer: slot.stamp.writer,
+                    word: 0,
+                    expected: 0,
+                    ..reply_envelope(self.id, msg)
+                }
+            }
+            MsgKind::Install => {
+                // Conditional install (the QuorumTs CAS step): land the
+                // new word only if the stored word still equals
+                // `expected`; reply with the *prior* word either way.
+                let prior = slot.word;
+                if prior == msg.expected && msg.word > prior {
+                    slot.stamp = WriteStamp {
+                        seq: msg.seq,
+                        writer: msg.writer,
+                    };
+                    slot.word = msg.word;
+                    self.installs.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.stale.fetch_add(1, Ordering::Relaxed);
+                }
+                Message {
+                    kind: MsgKind::InstallReply,
+                    seq: slot.stamp.seq,
+                    writer: slot.stamp.writer,
+                    word: prior,
+                    expected: 0,
+                    ..reply_envelope(self.id, msg)
+                }
+            }
+            MsgKind::ReadReply | MsgKind::WriteAck | MsgKind::InstallReply => {
+                panic!("replica {} received reply kind {:?}", self.id, msg.kind)
+            }
+        };
+        // The armed invariant: no handler may regress a stored stamp.
+        assert!(
+            slot.stamp >= before,
+            "monotonic-register invariant violated on replica {}: \
+             register {} regressed {} -> {}",
+            self.id,
+            msg.reg,
+            before,
+            slot.stamp,
+        );
+        reply
+    }
+}
+
+fn reply_envelope(id: u32, req: &Message) -> Message {
+    Message {
+        kind: req.kind, // overwritten by the caller
+        op: req.op,
+        from: id,
+        to: req.from,
+        reg: req.reg,
+        seq: 0,
+        writer: 0,
+        word: 0,
+        expected: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(reg: u32, seq: u32, writer: u32, word: u64) -> Message {
+        Message {
+            kind: MsgKind::Write,
+            op: 1,
+            from: Message::CLIENT_BASE,
+            to: 0,
+            reg,
+            seq,
+            writer,
+            word,
+            expected: 0,
+        }
+    }
+
+    #[test]
+    fn reads_echo_the_stored_pair() {
+        let r = Replica::new(0);
+        r.init_register(0, 7);
+        let reply = r.handle(&Message {
+            kind: MsgKind::ReadQuery,
+            op: 9,
+            from: Message::CLIENT_BASE + 2,
+            to: 0,
+            reg: 0,
+            seq: 0,
+            writer: 0,
+            word: 0,
+            expected: 0,
+        });
+        assert_eq!(reply.kind, MsgKind::ReadReply);
+        assert_eq!(reply.op, 9);
+        assert_eq!(reply.to, Message::CLIENT_BASE + 2);
+        assert_eq!((reply.stamp(), reply.word), (WriteStamp::INITIAL, 7));
+    }
+
+    #[test]
+    fn writes_install_only_forward() {
+        let r = Replica::new(0);
+        r.init_register(0, 0);
+        r.handle(&write(0, 2, 1, 22));
+        assert_eq!(r.stored(0), (WriteStamp { seq: 2, writer: 1 }, 22));
+        // Older stamp: ignored, but still acked with the newer stamp.
+        let ack = r.handle(&write(0, 1, 9, 11));
+        assert_eq!(ack.kind, MsgKind::WriteAck);
+        assert_eq!(ack.stamp(), WriteStamp { seq: 2, writer: 1 });
+        assert_eq!(r.stored(0), (WriteStamp { seq: 2, writer: 1 }, 22));
+        // Same seq, higher writer: the tiebreak installs.
+        r.handle(&write(0, 2, 3, 33));
+        assert_eq!(r.stored(0), (WriteStamp { seq: 2, writer: 3 }, 33));
+        assert_eq!(r.installs(), 2);
+        assert_eq!(r.stale_writes(), 1);
+    }
+
+    #[test]
+    fn installs_are_conditional_on_the_expected_word() {
+        let r = Replica::new(1);
+        r.init_register(0, 0);
+        let install = Message {
+            kind: MsgKind::Install,
+            op: 5,
+            from: Message::CLIENT_BASE,
+            to: 1,
+            reg: 0,
+            seq: 1,
+            writer: 0,
+            word: 1,
+            expected: 0,
+        };
+        let reply = r.handle(&install);
+        assert_eq!(reply.kind, MsgKind::InstallReply);
+        assert_eq!(reply.word, 0, "reply carries the prior word");
+        assert_eq!(r.stored(0).1, 1);
+        // Replayed duplicate: expected stale, slot untouched.
+        let reply = r.handle(&install);
+        assert_eq!(reply.word, 1);
+        assert_eq!(r.stored(0).1, 1);
+        assert_eq!(r.installs(), 1);
+    }
+
+    #[test]
+    fn duplicate_write_is_idempotent() {
+        let r = Replica::new(0);
+        r.init_register(0, 0);
+        let msg = write(0, 1, 2, 5);
+        r.handle(&msg);
+        r.handle(&msg);
+        assert_eq!(r.stored(0), (WriteStamp { seq: 1, writer: 2 }, 5));
+        assert_eq!(r.installs(), 1);
+        assert_eq!(r.stale_writes(), 1);
+    }
+}

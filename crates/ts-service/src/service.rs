@@ -174,6 +174,7 @@ impl<B: RegisterBackend<u64>> ShardedCollectMax<B> {
             combine_passes: self.combine_passes.load(Ordering::Relaxed),
             lease_waits: self.shards.iter().map(|s| s.pool.waits()).sum(),
             shard_stamps,
+            ..Default::default()
         }
     }
 

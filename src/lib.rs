@@ -12,6 +12,7 @@
 //! - [`ts_lowerbound`] — covering-argument machinery and bound formulas
 //! - [`ts_clocks`] — the introduction's lineage: Lamport/vector/matrix clocks
 //! - [`ts_service`] — sharded/batched/combining timestamp service layer
+//! - [`ts_replica`] — quorum-replicated register backend over a fault-injecting modelled network
 //! - [`ts_apps`] — consumers: FCFS locks, k-exclusion, renaming
 //! - [`ts_workloads`] — workload scenario engine with latency histograms
 //!
@@ -35,6 +36,7 @@ pub use ts_core;
 pub use ts_lowerbound;
 pub use ts_model;
 pub use ts_register;
+pub use ts_replica;
 pub use ts_service;
 pub use ts_snapshot;
 pub use ts_workloads;

@@ -1,0 +1,259 @@
+//! Property tests for the quorum-replicated backend (`ts-replica`):
+//! random fault schedules against sequential semantics, write-ack
+//! durability, byte-stable serde round trips for the protocol types,
+//! and bit-identical replay of a seeded fault schedule — the
+//! reproducibility contract the whole modelled network rests on.
+
+use proptest::prelude::*;
+
+use timestamp_suite::ts_replica::{
+    Cluster, ClusterConfig, FaultPlan, Message, MsgKind, WriteStamp,
+};
+
+/// A fault plan drawn from the proptest strategy space. Loss stays
+/// below ~30% so single-threaded programs terminate fast (the client
+/// retransmits until a quorum answers; heavier loss only slows that
+/// loop down).
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    // Nested tuples: the vendored proptest implements `Strategy` for
+    // tuples of arity <= 4.
+    (
+        (any::<u64>(), 0u16..300),
+        (0u16..300, 0u8..6, any::<bool>()),
+    )
+        .prop_map(|((seed, drop), (dup, delay, reorder))| FaultPlan {
+            seed,
+            drop_permille: drop,
+            dup_permille: dup,
+            delay_max: delay,
+            reorder,
+            ..FaultPlan::default()
+        })
+}
+
+/// One step of a single-threaded register program.
+#[derive(Debug, Clone)]
+enum ProgStep {
+    Write { reg: usize, word: u64 },
+    Read { reg: usize },
+}
+
+fn arb_program(registers: usize, len: usize) -> impl Strategy<Value = Vec<ProgStep>> {
+    proptest::collection::vec(
+        (0..registers, 1u64..1 << 40, any::<bool>()).prop_map(|(reg, word, is_write)| {
+            if is_write {
+                ProgStep::Write { reg, word }
+            } else {
+                ProgStep::Read { reg }
+            }
+        }),
+        1..=len,
+    )
+}
+
+proptest! {
+    /// Single-threaded programs are sequentially consistent no matter
+    /// the fault schedule: every read returns exactly the last written
+    /// value, and write stamps grow monotonically per register —
+    /// drop/duplicate/delay/reorder must be *invisible* through the
+    /// retransmitting quorum protocol.
+    #[test]
+    fn random_fault_schedules_preserve_sequential_semantics(
+        plan in arb_plan(),
+        f in 0usize..3,
+        program in arb_program(3, 24),
+    ) {
+        let cluster = Cluster::new(ClusterConfig::new(f).with_plan(plan));
+        let regs: Vec<u32> = (0..3).map(|_| cluster.alloc_register(0)).collect();
+        let mut last_write = [0u64; 3];
+        let mut last_stamp = [WriteStamp::INITIAL; 3];
+        for step in &program {
+            match *step {
+                ProgStep::Write { reg, word } => {
+                    let stamp = cluster.abd_write(regs[reg], word);
+                    prop_assert!(
+                        stamp > last_stamp[reg],
+                        "stamps must grow: {stamp} !> {}", last_stamp[reg]
+                    );
+                    last_stamp[reg] = stamp;
+                    last_write[reg] = word;
+                }
+                ProgStep::Read { reg } => {
+                    let (stamp, word) = cluster.abd_read(regs[reg]);
+                    prop_assert_eq!(
+                        word, last_write[reg],
+                        "read returned a value other than the last write"
+                    );
+                    prop_assert!(stamp >= last_stamp[reg]);
+                }
+            }
+        }
+    }
+
+    /// A returned write-ack is a durability proof: the moment
+    /// `abd_write` returns, at least `f + 1` replicas hold the
+    /// register at (or above) the returned stamp, so any future read
+    /// quorum intersects the write set.
+    #[test]
+    fn write_ack_implies_quorum_durability(
+        plan in arb_plan(),
+        f in 0usize..3,
+        words in proptest::collection::vec(1u64..1 << 40, 1..8),
+    ) {
+        let cluster = Cluster::new(ClusterConfig::new(f).with_plan(plan));
+        let reg = cluster.alloc_register(0);
+        for word in words {
+            let stamp = cluster.abd_write(reg, word);
+            let durable = (0..cluster.replicas())
+                .filter(|&r| cluster.replica(r).stored(reg).0 >= stamp)
+                .count();
+            prop_assert!(
+                durable >= cluster.quorum(),
+                "only {durable} replicas at stamp {stamp}, need {}", cluster.quorum()
+            );
+        }
+    }
+
+    /// Protocol types serialize byte-stably: decode(encode(x)) == x and
+    /// encode(decode(encode(x))) == encode(x), for arbitrary field
+    /// values — the property the on-disk trace corpus depends on.
+    #[test]
+    fn message_serde_round_trips_byte_stable(
+        kind_idx in 0usize..6,
+        header in (any::<u64>(), any::<u32>(), any::<u32>(), any::<u32>()),
+        payload in (any::<u32>(), any::<u32>(), any::<u64>(), any::<u64>()),
+    ) {
+        let (op, from, to, reg) = header;
+        let (seq, writer, word, expected) = payload;
+        let kinds = [
+            MsgKind::ReadQuery,
+            MsgKind::ReadReply,
+            MsgKind::Write,
+            MsgKind::WriteAck,
+            MsgKind::Install,
+            MsgKind::InstallReply,
+        ];
+        let msg = Message {
+            kind: kinds[kind_idx],
+            op,
+            from,
+            to,
+            reg,
+            seq,
+            writer,
+            word,
+            expected,
+        };
+        let json = serde_json::to_string(&msg).expect("messages serialize");
+        let back: Message = serde_json::from_str(&json).expect("messages parse");
+        prop_assert_eq!(back, msg);
+        prop_assert_eq!(serde_json::to_string(&back).expect("re-serialize"), json);
+
+        let stamp = WriteStamp { seq, writer };
+        let sjson = serde_json::to_string(&stamp).expect("stamps serialize");
+        let sback: WriteStamp = serde_json::from_str(&sjson).expect("stamps parse");
+        prop_assert_eq!(sback, stamp);
+        prop_assert_eq!(serde_json::to_string(&sback).expect("re-serialize"), sjson);
+    }
+
+    /// The packed [`Stamp`](timestamp_suite::ts_register::Stamp) word
+    /// orders exactly like the `(seq, writer)` pair — the invariant
+    /// that lets `QuorumRegister` reuse the register seam's ordering
+    /// contract unchanged.
+    #[test]
+    fn packed_stamp_order_equals_pair_order(
+        a_pair in (any::<u32>(), any::<u32>()),
+        b_pair in (any::<u32>(), any::<u32>()),
+    ) {
+        let a = WriteStamp { seq: a_pair.0, writer: a_pair.1 };
+        let b = WriteStamp { seq: b_pair.0, writer: b_pair.1 };
+        prop_assert_eq!(a.cmp(&b), a.as_stamp().cmp(&b.as_stamp()));
+    }
+}
+
+/// Runs one fixed scripted program — writes, reads, a partition, a
+/// heal — on a fresh cluster under `plan`, and returns the evidence of
+/// what the network did: the full delivered-message log plus the final
+/// register states.
+fn scripted_run(plan: FaultPlan) -> (Vec<Message>, Vec<(WriteStamp, u64)>) {
+    let cluster = Cluster::new(ClusterConfig::new(1).with_plan(plan));
+    let regs: Vec<u32> = (0..2).map(|_| cluster.alloc_register(0)).collect();
+    cluster.abd_write(regs[0], 10);
+    cluster.abd_write(regs[1], 20);
+    // Partition the client's own window-start replica so the next ops
+    // must retransmit and widen; the choice is derived from the
+    // cluster, not hard-coded, because client ids rotate the window.
+    let victim = (cluster.client_id() as usize % cluster.replicas()) as u32;
+    cluster.router().partition(&[victim]);
+    cluster.abd_write(regs[0], 11);
+    assert_eq!(cluster.abd_read(regs[0]).1, 11);
+    cluster.router().heal();
+    cluster.abd_write(regs[1], 21);
+    assert_eq!(cluster.abd_read(regs[1]).1, 21);
+    let finals = (0..cluster.replicas())
+        .flat_map(|r| regs.iter().map(move |&g| (r, g)))
+        .map(|(r, g)| cluster.replica(r).stored(g))
+        .collect();
+    (cluster.router().delivery_log(), finals)
+}
+
+/// The acceptance determinism check: one seeded schedule combining
+/// drop, duplication, delay, reorder **and** a partition/heal cycle
+/// reproduces bit-identically — every delivered message, in order, and
+/// every replica's final `(stamp, word)` — across two independent
+/// clusters.
+#[test]
+fn seeded_fault_schedule_reproduces_bit_identically() {
+    let plan = FaultPlan {
+        seed: 0xfeed_beef,
+        drop_permille: 80,
+        dup_permille: 40,
+        delay_max: 3,
+        reorder: true,
+        record_log: true,
+    };
+    let (log_a, finals_a) = scripted_run(plan);
+    let (log_b, finals_b) = scripted_run(plan);
+    assert!(!log_a.is_empty(), "the scripted run sends messages");
+    assert_eq!(log_a, log_b, "same seed, same delivery log, bit for bit");
+    assert_eq!(finals_a, finals_b, "and the same replica end states");
+
+    // A different seed must actually change the schedule (the knobs
+    // are live, not decorative).
+    let (log_c, _) = scripted_run(FaultPlan {
+        seed: 0x0dd_5eed,
+        ..plan
+    });
+    assert_ne!(log_a, log_c, "a different seed reorders the network");
+}
+
+/// The monotonicity invariant is armed on every replica: a handler can
+/// never regress a stored stamp, under any fault schedule. (The
+/// runtime assert lives in the replica itself; this pins that the
+/// stored stamps really only grow across a lossy, reordering run.)
+#[test]
+fn replica_stamps_never_regress_under_faults() {
+    let plan = FaultPlan {
+        seed: 42,
+        drop_permille: 150,
+        dup_permille: 100,
+        delay_max: 4,
+        reorder: true,
+        ..FaultPlan::default()
+    };
+    let cluster = Cluster::new(ClusterConfig::new(1).with_plan(plan));
+    let reg = cluster.alloc_register(0);
+    let mut seen = vec![WriteStamp::INITIAL; cluster.replicas()];
+    for word in 1..=40u64 {
+        cluster.abd_write(reg, word);
+        for r in 0..cluster.replicas() {
+            let (stamp, _) = cluster.replica(r).stored(reg);
+            assert!(
+                stamp >= seen[r],
+                "replica {r} regressed: {stamp} < {}",
+                seen[r]
+            );
+            seen[r] = stamp;
+        }
+    }
+}
