@@ -41,7 +41,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use ts_register::{
-    ArrayLayout, BackendRegister, CachePadded, EpochBackend, PackedBackend, RegisterBackend, Slots,
+    ArrayLayout, CachePadded, EpochBackend, PackedBackend, RegisterArray, RegisterBackend,
     SpaceMeter,
 };
 
@@ -133,7 +133,11 @@ impl ExactSizeIterator for StampBatch {}
 pub struct CollectMax<B: RegisterBackend<u64> = PackedBackend> {
     /// One SWMR register per process, padded by default (each register
     /// has exactly one writer, the textbook false-sharing victim).
-    registers: Slots<B::Reg>,
+    /// Held in a [`RegisterArray`] since the adaptive-scan PR, so every
+    /// register write feeds the array's write-summary and block dirty
+    /// words and [`read_max_scan`](CollectMax::read_max_scan) can ride
+    /// the same validated-collect ladder as the `ts-snapshot` scan.
+    registers: RegisterArray<u64, B>,
     /// Cached maximum: `>=` the value of every *completed* `getTS`
     /// call, advanced only by CAS/fetch-max (hence monotone). Padded so
     /// fast-path CASes never share a line with any register.
@@ -143,6 +147,7 @@ pub struct CollectMax<B: RegisterBackend<u64> = PackedBackend> {
     fast_hits: AtomicU64,
     batches: AtomicU64,
     batched_stamps: AtomicU64,
+    scan_recollects: AtomicU64,
 }
 
 /// [`CollectMax`] over epoch-reclaimed heap-cell registers — same
@@ -182,20 +187,37 @@ impl<B: RegisterBackend<u64>> CollectMax<B> {
     /// Panics if `processes == 0`.
     pub fn with_layout(processes: usize, layout: ArrayLayout) -> Self {
         assert!(processes > 0, "need at least one process");
+        let meter = SpaceMeter::new(processes);
         Self {
-            registers: Slots::new(layout, processes, |_| B::Reg::with_initial(0)),
+            // The array meters its own register traffic, so the
+            // explicit record_* calls of the pre-array implementation
+            // are gone from the getTS paths.
+            registers: RegisterArray::with_layout_and_meter(processes, 0, layout, meter.clone()),
             cached_max: CachePadded::new(AtomicU64::new(0)),
-            meter: SpaceMeter::new(processes),
+            meter,
             calls: AtomicU64::new(0),
             fast_hits: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_stamps: AtomicU64::new(0),
+            scan_recollects: AtomicU64::new(0),
         }
     }
 
     /// The register memory layout this object was built with.
     pub fn layout(&self) -> ArrayLayout {
         self.registers.layout()
+    }
+
+    fn register_count(&self) -> usize {
+        self.registers.capacity()
+    }
+
+    fn read_register(&self, index: usize) -> u64 {
+        self.registers.read(index).expect("index in range")
+    }
+
+    fn write_register(&self, index: usize, value: u64) {
+        self.registers.write(index, value).expect("index in range");
     }
 
     /// The meter recording this object's register traffic (the cached
@@ -237,6 +259,7 @@ impl<B: RegisterBackend<u64>> CollectMax<B> {
             batches,
             batched_stamps: batched,
             shard_stamps: vec![stamps],
+            dirty_recollects: self.scan_recollects.load(Ordering::Relaxed),
             ..Default::default()
         }
     }
@@ -281,7 +304,7 @@ impl<B: RegisterBackend<u64>> CollectMax<B> {
     ///
     /// Panics if `k == 0` (an empty reservation is a caller bug).
     pub fn get_ts_batch(&self, pid: usize, k: u32) -> Result<StampBatch, GetTsError> {
-        let n = self.registers.len();
+        let n = self.register_count();
         if pid >= n {
             return Err(GetTsError::PidOutOfRange { pid, processes: n });
         }
@@ -301,8 +324,7 @@ impl<B: RegisterBackend<u64>> CollectMax<B> {
                 }
             }
         }
-        self.meter.record_write(pid);
-        ts_register::Register::write(self.registers.get(pid), m + k);
+        self.write_register(pid, m + k);
         self.calls.fetch_add(1, Ordering::Relaxed);
         if first_attempt {
             self.fast_hits.fetch_add(1, Ordering::Relaxed);
@@ -348,20 +370,18 @@ impl<B: RegisterBackend<u64>> CollectMax<B> {
         pid: usize,
         mut pause: impl FnMut(),
     ) -> Result<Timestamp, GetTsError> {
-        let n = self.registers.len();
+        let n = self.register_count();
         if pid >= n {
             return Err(GetTsError::PidOutOfRange { pid, processes: n });
         }
         let mut max = 0u64;
         for i in 0..n {
             pause();
-            self.meter.record_read(i);
-            max = max.max(ts_register::Register::read(self.registers.get(i)));
+            max = max.max(self.read_register(i));
         }
         let t = max + 1;
         pause();
-        self.meter.record_write(pid);
-        ts_register::Register::write(self.registers.get(pid), t);
+        self.write_register(pid, t);
         // Silent cache publication (see above): not an announced
         // sub-step, but required so fast-path readers observe this
         // call's value once it completes.
@@ -423,7 +443,7 @@ impl<B: RegisterBackend<u64>> CollectMax<B> {
         pid: usize,
         mut pause: impl FnMut(),
     ) -> Result<Timestamp, GetTsError> {
-        let n = self.registers.len();
+        let n = self.register_count();
         if pid >= n {
             return Err(GetTsError::PidOutOfRange { pid, processes: n });
         }
@@ -441,8 +461,7 @@ impl<B: RegisterBackend<u64>> CollectMax<B> {
                     // so t is fresh. Publish it in our register for
                     // collectors (I3).
                     pause();
-                    self.meter.record_write(pid);
-                    ts_register::Register::write(self.registers.get(pid), t);
+                    self.write_register(pid, t);
                     self.fast_hits.fetch_add(1, Ordering::Relaxed);
                     self.calls.fetch_add(1, Ordering::Relaxed);
                     return Ok(Timestamp::scalar(t));
@@ -459,13 +478,11 @@ impl<B: RegisterBackend<u64>> CollectMax<B> {
         let mut max = observed;
         for i in 0..n {
             pause();
-            self.meter.record_read(i);
-            max = max.max(ts_register::Register::read(self.registers.get(i)));
+            max = max.max(self.read_register(i));
         }
         let t = max + 1;
         pause();
-        self.meter.record_write(pid);
-        ts_register::Register::write(self.registers.get(pid), t);
+        self.write_register(pid, t);
         pause();
         let mut cur = self.cached_max.load(Ordering::Acquire);
         while cur < t {
@@ -509,11 +526,27 @@ impl<B: RegisterBackend<u64>> CollectMax<B> {
     /// [`read_max`](Self::read_max).
     pub fn read_max_collect(&self) -> Timestamp {
         let mut max = 0u64;
-        for i in 0..self.registers.len() {
-            self.meter.record_read(i);
-            max = max.max(ts_register::Register::read(self.registers.get(i)));
+        for i in 0..self.register_count() {
+            max = max.max(self.read_register(i));
         }
         Timestamp::scalar(max)
+    }
+
+    /// Read-only **validated** collect: the maximum value in a
+    /// linearizable view of the register bank, obtained through the
+    /// adaptive scan ladder of `ts-snapshot` (summary short-circuit,
+    /// then dirty-block recollect passes). Unlike
+    /// [`read_max_collect`](Self::read_max_collect), whose sweep can
+    /// interleave with writes and mix values from different instants,
+    /// the view this max is taken from was simultaneously present.
+    ///
+    /// Dirty-block retry passes are counted into the
+    /// `dirty_recollects` field of [`stats`](Self::stats).
+    pub fn read_max_scan(&self) -> Timestamp {
+        let (view, outcome) = ts_snapshot::adaptive_scan(&self.registers);
+        self.scan_recollects
+            .fetch_add(outcome.recollect_passes, Ordering::Relaxed);
+        Timestamp::scalar(view.entries().iter().map(|s| s.value).max().unwrap_or(0))
     }
 }
 
@@ -523,18 +556,18 @@ impl<B: RegisterBackend<u64>> LongLivedTimestamp for CollectMax<B> {
     }
 
     fn processes(&self) -> usize {
-        self.registers.len()
+        self.register_count()
     }
 
     fn registers(&self) -> usize {
-        self.registers.len()
+        self.register_count()
     }
 }
 
 impl<B: RegisterBackend<u64>> fmt::Debug for CollectMax<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("CollectMax")
-            .field("processes", &self.registers.len())
+            .field("processes", &self.register_count())
             .field("layout", &self.layout())
             .field("calls", &self.calls())
             .field("fast_path_hits", &self.fast_path_hits())

@@ -64,8 +64,9 @@ pub use stats::ServiceStats;
 pub use timestamp::{ShardedTimestamp, Timestamp};
 pub use traits::{LongLivedTimestamp, OneShotTimestamp};
 pub use workload::{
-    CollectMaxFast, GateError, GateProgress, GrowableWorkload, OneShotPool, OpHistory,
-    ReplayGranularity, StepGate, VpidAllocator, WorkloadOp, WorkloadTarget, WorkloadWorker,
+    CollectMaxFast, GateError, GateProgress, GrowableWorkload, HelpingScanWorkload, OneShotPool,
+    OpHistory, ReplayGranularity, ScanMode, StepGate, VpidAllocator, WorkloadOp, WorkloadTarget,
+    WorkloadWorker,
 };
 
 // Re-exported so downstream constructors can name backends and layouts

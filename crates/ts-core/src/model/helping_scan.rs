@@ -1,0 +1,669 @@
+//! Model twin of the **adaptive helping scan** of `ts-snapshot`.
+//!
+//! [`HelpingScanModel`] puts one scanner (pid 0) next to `n - 1`
+//! collect-max writers (pids `1..n`) over a shared register file:
+//!
+//! | register        | role                                           |
+//! |-----------------|------------------------------------------------|
+//! | `0..w`          | SWMR data registers, one per writer            |
+//! | `w`             | scan era (bumped by CAS at every scan start)   |
+//! | `w + 1`         | distress flag (raised by a starved scanner)    |
+//! | `w + 2 + s`     | writer `s`'s help board slot                   |
+//!
+//! The scanner collects, then runs validate passes that re-read the data
+//! registers and patch moved entries — the model rendition of the
+//! dirty-block recollect (the model has one register per "block", so a
+//! patched register *is* a dirty block). After one failed pass it raises
+//! distress (`starvation_bound = 1`, the most adversarial setting) and
+//! polls the help boards between passes, adopting any record whose era
+//! tag is at least its own post-bump era — the tag certifies the view's
+//! linearization point lies after the scanner's bump, hence inside the
+//! scan's interval.
+//!
+//! Writers mirror `helping_write`: read distress; when calm, do a plain
+//! collect-max `getTS` (collect, write `max + 1` to the own register);
+//! when distress is up, first read the era, produce a *validated* view
+//! (collect + validate-until-clean), publish it era-tagged on the own
+//! board slot, and only then store `max(view) + 1`. Two deliberate
+//! simplifications versus the implementation, both conservative: the
+//! model's distress flag is sticky (never decremented — more helping
+//! interleavings, never fewer), and helpers always build their own view
+//! rather than adopting a peer's (adoption republishes with a preserved
+//! tag, which changes no observable output in histories this small).
+//!
+//! Outputs are packed into `u64`s: writers return the timestamp they
+//! stored; scans return bit 63, their post-bump era (bits 32..48) and
+//! the view, one byte per writer. The timestamp property then holds for
+//! *every* non-overlapping pair — writer/writer by strict timestamp
+//! order, writer/scan by register monotonicity (a later view dominates
+//! every completed store; a later store exceeds every validated view),
+//! and scan/scan componentwise with the strictly increasing era as the
+//! tie-breaker. The exhaustive and PCT sweeps in `tests/model_check.rs`
+//! turn that into the headline claim: no interleaving of the helping
+//! scan returns a torn or stale view, and no recollect path runs
+//! unboundedly (the exhaustive run completes without tripping the
+//! step-depth bound).
+
+use ts_model::{Algorithm, Machine, Poised, ProcId};
+
+/// Bit 63: marks a scan output (writers return plain timestamps).
+const SCAN_BIT: u64 = 1 << 63;
+
+/// Packs a scan output: [`SCAN_BIT`], the post-bump era in bits 32..48
+/// and one view byte per writer.
+fn encode_scan(era0: u64, view: &[u64]) -> u64 {
+    debug_assert!(era0 < 1 << 16);
+    SCAN_BIT | (era0 << 32) | encode_view(view)
+}
+
+fn encode_view(view: &[u64]) -> u64 {
+    view.iter().enumerate().fold(0, |acc, (i, &v)| {
+        debug_assert!(v < 1 << 8, "view component overflows its byte");
+        acc | (v << (8 * i))
+    })
+}
+
+fn decode_view(bits: u64, writers: usize) -> Vec<u64> {
+    (0..writers).map(|i| (bits >> (8 * i)) & 0xff).collect()
+}
+
+/// Packs a help-board record: era tag in the high half, view below.
+/// Tags are always `>= 1` (distress is only visible after the first
+/// era bump), so an empty board (0) never passes the adoption filter.
+fn encode_record(tag: u64, view: &[u64]) -> u64 {
+    (tag << 32) | encode_view(view)
+}
+
+/// Step machine for one scanner or writer operation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HelpingScanMachine {
+    pid: usize,
+    writers: usize,
+    phase: Phase,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Phase {
+    // ---- scanner (pid 0) ----
+    /// Read the era word ahead of the bump CAS.
+    ReadEra,
+    /// Bump the era `e -> e + 1`; the post-bump value is the adoption
+    /// threshold.
+    BumpEra {
+        e: u64,
+    },
+    /// Opening collect of the data registers.
+    Collect {
+        era0: u64,
+        i: usize,
+        view: Vec<u64>,
+    },
+    /// Validate pass: re-read every data register, patching moved
+    /// entries. A clean pass is a linearizable view.
+    Validate {
+        era0: u64,
+        i: usize,
+        patched: bool,
+        view: Vec<u64>,
+        distressed: bool,
+    },
+    /// First pass failed: raise the distress flag.
+    RaiseDistress {
+        era0: u64,
+        view: Vec<u64>,
+    },
+    /// Between passes, poll the help boards for an adoptable record.
+    PollBoards {
+        era0: u64,
+        j: usize,
+        view: Vec<u64>,
+    },
+
+    // ---- writer (pid >= 1) ----
+    /// Read the distress flag to pick the path.
+    ReadDistress,
+    /// Calm path: plain collect.
+    FastCollect {
+        i: usize,
+        max: u64,
+    },
+    /// Helping path: read the era before collecting (the tag must
+    /// lower-bound the view's linearization point).
+    ReadHelpEra,
+    /// Helping collect of the data registers.
+    HelpCollect {
+        tag: u64,
+        i: usize,
+        view: Vec<u64>,
+    },
+    /// Helping validate pass, looped until clean.
+    HelpValidate {
+        tag: u64,
+        i: usize,
+        patched: bool,
+        view: Vec<u64>,
+    },
+    /// Publish the validated, era-tagged view on the own board slot.
+    Publish {
+        tag: u64,
+        view: Vec<u64>,
+    },
+    /// Store the timestamp in the own data register.
+    WriteOwn {
+        t: u64,
+    },
+
+    Finished {
+        out: u64,
+    },
+}
+
+impl HelpingScanMachine {
+    /// Creates the machine for process `pid` (0 = scanner) of a model
+    /// with `writers` writers.
+    pub fn new(pid: ProcId, writers: usize) -> Self {
+        assert!(pid <= writers, "pid out of range");
+        let phase = if pid == 0 {
+            Phase::ReadEra
+        } else {
+            Phase::ReadDistress
+        };
+        Self {
+            pid,
+            writers,
+            phase,
+        }
+    }
+
+    fn era_reg(&self) -> usize {
+        self.writers
+    }
+
+    fn distress_reg(&self) -> usize {
+        self.writers + 1
+    }
+
+    fn board_reg(&self, slot: usize) -> usize {
+        self.writers + 2 + slot
+    }
+
+    /// The writer's own data register (writers only).
+    fn slot(&self) -> usize {
+        debug_assert!(self.pid >= 1);
+        self.pid - 1
+    }
+}
+
+impl Machine for HelpingScanMachine {
+    type Value = u64;
+    type Output = u64;
+
+    fn poised(&self) -> Poised<u64, u64> {
+        match &self.phase {
+            Phase::ReadEra => Poised::Read {
+                reg: self.era_reg(),
+            },
+            Phase::BumpEra { e } => Poised::Cas {
+                reg: self.era_reg(),
+                expected: *e,
+                new: e + 1,
+            },
+            Phase::Collect { i, .. }
+            | Phase::Validate { i, .. }
+            | Phase::HelpCollect { i, .. }
+            | Phase::HelpValidate { i, .. } => Poised::Read { reg: *i },
+            Phase::RaiseDistress { .. } => Poised::Write {
+                reg: self.distress_reg(),
+                value: 1,
+            },
+            Phase::PollBoards { j, .. } => Poised::Read {
+                reg: self.board_reg(*j),
+            },
+            Phase::ReadDistress => Poised::Read {
+                reg: self.distress_reg(),
+            },
+            Phase::FastCollect { i, .. } => Poised::Read { reg: *i },
+            Phase::ReadHelpEra => Poised::Read {
+                reg: self.era_reg(),
+            },
+            Phase::Publish { tag, view } => Poised::Write {
+                reg: self.board_reg(self.slot()),
+                value: encode_record(*tag, view),
+            },
+            Phase::WriteOwn { t } => Poised::Write {
+                reg: self.slot(),
+                value: *t,
+            },
+            Phase::Finished { out } => Poised::Done(*out),
+        }
+    }
+
+    fn observe(&mut self, observed: Option<u64>) {
+        let w = self.writers;
+        self.phase = match (&self.phase, observed) {
+            (Phase::ReadEra, Some(e)) => Phase::BumpEra { e },
+            (Phase::BumpEra { e }, Some(prior)) => {
+                if prior == *e {
+                    Phase::Collect {
+                        era0: e + 1,
+                        i: 0,
+                        view: Vec::with_capacity(w),
+                    }
+                } else {
+                    // Lost the bump (only possible with several
+                    // scanners; kept for generality).
+                    Phase::BumpEra { e: prior }
+                }
+            }
+            (Phase::Collect { era0, i, view }, Some(v)) => {
+                let mut view = view.clone();
+                view.push(v);
+                if i + 1 < w {
+                    Phase::Collect {
+                        era0: *era0,
+                        i: i + 1,
+                        view,
+                    }
+                } else {
+                    Phase::Validate {
+                        era0: *era0,
+                        i: 0,
+                        patched: false,
+                        view,
+                        distressed: false,
+                    }
+                }
+            }
+            (
+                Phase::Validate {
+                    era0,
+                    i,
+                    patched,
+                    view,
+                    distressed,
+                },
+                Some(v),
+            ) => {
+                let mut view = view.clone();
+                let patched = *patched || view[*i] != v;
+                view[*i] = v;
+                if i + 1 < w {
+                    Phase::Validate {
+                        era0: *era0,
+                        i: i + 1,
+                        patched,
+                        view,
+                        distressed: *distressed,
+                    }
+                } else if !patched {
+                    Phase::Finished {
+                        out: encode_scan(*era0, &view),
+                    }
+                } else if !distressed {
+                    Phase::RaiseDistress { era0: *era0, view }
+                } else {
+                    Phase::PollBoards {
+                        era0: *era0,
+                        j: 0,
+                        view,
+                    }
+                }
+            }
+            (Phase::RaiseDistress { era0, view }, None) => Phase::PollBoards {
+                era0: *era0,
+                j: 0,
+                view: view.clone(),
+            },
+            (Phase::PollBoards { era0, j, view }, Some(record)) => {
+                let tag = record >> 32;
+                if tag >= *era0 {
+                    // Adopt: the tag certifies the helped view
+                    // linearized after our era bump.
+                    Phase::Finished {
+                        out: SCAN_BIT | (*era0 << 32) | (record & 0xffff_ffff),
+                    }
+                } else if j + 1 < w {
+                    Phase::PollBoards {
+                        era0: *era0,
+                        j: j + 1,
+                        view: view.clone(),
+                    }
+                } else {
+                    Phase::Validate {
+                        era0: *era0,
+                        i: 0,
+                        patched: false,
+                        view: view.clone(),
+                        distressed: true,
+                    }
+                }
+            }
+            (Phase::ReadDistress, Some(d)) => {
+                if d == 0 {
+                    Phase::FastCollect { i: 0, max: 0 }
+                } else {
+                    Phase::ReadHelpEra
+                }
+            }
+            (Phase::FastCollect { i, max }, Some(v)) => {
+                let max = (*max).max(v);
+                if i + 1 < w {
+                    Phase::FastCollect { i: i + 1, max }
+                } else {
+                    Phase::WriteOwn { t: max + 1 }
+                }
+            }
+            (Phase::ReadHelpEra, Some(e)) => Phase::HelpCollect {
+                tag: e,
+                i: 0,
+                view: Vec::with_capacity(w),
+            },
+            (Phase::HelpCollect { tag, i, view }, Some(v)) => {
+                let mut view = view.clone();
+                view.push(v);
+                if i + 1 < w {
+                    Phase::HelpCollect {
+                        tag: *tag,
+                        i: i + 1,
+                        view,
+                    }
+                } else {
+                    Phase::HelpValidate {
+                        tag: *tag,
+                        i: 0,
+                        patched: false,
+                        view,
+                    }
+                }
+            }
+            (
+                Phase::HelpValidate {
+                    tag,
+                    i,
+                    patched,
+                    view,
+                },
+                Some(v),
+            ) => {
+                let mut view = view.clone();
+                let patched = *patched || view[*i] != v;
+                view[*i] = v;
+                if i + 1 < w {
+                    Phase::HelpValidate {
+                        tag: *tag,
+                        i: i + 1,
+                        patched,
+                        view,
+                    }
+                } else if patched {
+                    Phase::HelpValidate {
+                        tag: *tag,
+                        i: 0,
+                        patched: false,
+                        view,
+                    }
+                } else {
+                    Phase::Publish { tag: *tag, view }
+                }
+            }
+            (Phase::Publish { tag: _, view }, None) => Phase::WriteOwn {
+                t: view.iter().copied().max().unwrap_or(0) + 1,
+            },
+            (Phase::WriteOwn { t }, None) => Phase::Finished { out: *t },
+            (phase, obs) => panic!("invalid observe({obs:?}) in {phase:?}"),
+        };
+    }
+
+    // DPOR footprints: registers each phase may still touch. The
+    // scanner can always loop back to a validate pass until it is done,
+    // so the data registers and boards stay readable throughout; its
+    // only writes are the era CAS (until it lands) and the distress
+    // flag (until raised). A writer that has not yet read distress may
+    // take either path, so both paths' footprints union at the start.
+    fn may_read(&self) -> Option<Vec<usize>> {
+        let w = self.writers;
+        let data = 0..w;
+        let boards = (0..w).map(|s| self.board_reg(s));
+        Some(match &self.phase {
+            Phase::ReadEra | Phase::BumpEra { .. } => {
+                data.chain([self.era_reg()]).chain(boards).collect()
+            }
+            Phase::Collect { .. }
+            | Phase::Validate { .. }
+            | Phase::RaiseDistress { .. }
+            | Phase::PollBoards { .. } => data.chain(boards).collect(),
+            Phase::ReadDistress => data.chain([self.era_reg(), self.distress_reg()]).collect(),
+            Phase::FastCollect { i, .. } => (*i..w).collect(),
+            Phase::ReadHelpEra => data.chain([self.era_reg()]).collect(),
+            Phase::HelpCollect { .. } | Phase::HelpValidate { .. } => data.collect(),
+            Phase::Publish { .. } | Phase::WriteOwn { .. } | Phase::Finished { .. } => vec![],
+        })
+    }
+
+    fn may_write(&self) -> Option<Vec<usize>> {
+        Some(match &self.phase {
+            Phase::ReadEra | Phase::BumpEra { .. } => {
+                vec![self.era_reg(), self.distress_reg()]
+            }
+            Phase::Collect { .. }
+            | Phase::Validate {
+                distressed: false, ..
+            } => {
+                vec![self.distress_reg()]
+            }
+            Phase::RaiseDistress { .. } => vec![self.distress_reg()],
+            Phase::Validate {
+                distressed: true, ..
+            }
+            | Phase::PollBoards { .. } => vec![],
+            Phase::ReadDistress => vec![self.slot(), self.board_reg(self.slot())],
+            Phase::FastCollect { .. } => vec![self.slot()],
+            Phase::ReadHelpEra | Phase::HelpCollect { .. } | Phase::HelpValidate { .. } => {
+                vec![self.slot(), self.board_reg(self.slot())]
+            }
+            Phase::Publish { .. } => vec![self.slot(), self.board_reg(self.slot())],
+            Phase::WriteOwn { .. } => vec![self.slot()],
+            Phase::Finished { .. } => vec![],
+        })
+    }
+}
+
+/// Model algorithm: one adaptive helping scanner (pid 0) plus
+/// `n - 1` collect-max writers over `3(n - 1) + 2` registers.
+#[derive(Debug, Clone)]
+pub struct HelpingScanModel {
+    n: usize,
+}
+
+impl HelpingScanModel {
+    /// Creates the model for `n` processes: pid 0 scans, the rest
+    /// write.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= n <= 5` (the view packs one byte per writer
+    /// into the scan output).
+    pub fn new(n: usize) -> Self {
+        assert!((2..=5).contains(&n), "need a scanner and 1..=4 writers");
+        Self { n }
+    }
+
+    fn writers(&self) -> usize {
+        self.n - 1
+    }
+}
+
+impl Algorithm for HelpingScanModel {
+    type Machine = HelpingScanMachine;
+
+    fn processes(&self) -> usize {
+        self.n
+    }
+
+    fn registers(&self) -> usize {
+        // w data + era + distress + w boards.
+        2 * self.writers() + 2
+    }
+
+    fn initial_value(&self) -> u64 {
+        0
+    }
+
+    fn invoke(&self, pid: ProcId, _op_index: usize) -> HelpingScanMachine {
+        HelpingScanMachine::new(pid, self.writers())
+    }
+
+    /// The timestamp property, extended to scan outputs (see the module
+    /// docs for why each arm is sound and strict).
+    fn compare(&self, t1: &u64, t2: &u64) -> bool {
+        let w = self.writers();
+        match (t1 & SCAN_BIT != 0, t2 & SCAN_BIT != 0) {
+            (false, false) => t1 < t2,
+            (false, true) => {
+                // A later view dominates the completed store.
+                decode_view(*t2, w).iter().max().copied().unwrap_or(0) >= *t1
+            }
+            (true, false) => {
+                // A later store exceeds the validated view.
+                *t2 > decode_view(*t1, w).iter().max().copied().unwrap_or(0)
+            }
+            (true, true) => {
+                let (v1, v2) = (decode_view(*t1, w), decode_view(*t2, w));
+                let (e1, e2) = ((t1 >> 32) & 0xffff, (t2 >> 32) & 0xffff);
+                e1 < e2 && v1.iter().zip(&v2).all(|(a, b)| a <= b)
+            }
+        }
+    }
+
+    fn ops_per_process(&self) -> Option<usize> {
+        None // long-lived
+    }
+
+    fn op_may_read(&self, pid: ProcId) -> Option<Vec<usize>> {
+        let w = self.writers();
+        Some(if pid == 0 {
+            // data + era + boards (the scanner never reads distress).
+            (0..w).chain([w]).chain(w + 2..2 * w + 2).collect()
+        } else {
+            // distress + era + data.
+            (0..w).chain([w, w + 1]).collect()
+        })
+    }
+
+    fn op_may_write(&self, pid: ProcId) -> Option<Vec<usize>> {
+        let w = self.writers();
+        Some(if pid == 0 {
+            vec![w, w + 1] // era CAS + distress flag
+        } else {
+            vec![pid - 1, w + 2 + (pid - 1)] // own data + own board
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_model::{Explorer, RandomScheduler, System};
+
+    #[test]
+    fn solo_scan_is_two_clean_sweeps() {
+        let mut sys = System::new(HelpingScanModel::new(3));
+        // invoke, read era, bump, collect x2, validate x2, done.
+        let out = sys.run_solo_to_completion(0, 10).unwrap();
+        assert_eq!(out, encode_scan(1, &[0, 0]));
+    }
+
+    #[test]
+    fn solo_writers_count_up_and_scans_observe_them() {
+        let mut sys = System::new(HelpingScanModel::new(3));
+        assert_eq!(sys.run_solo_to_completion(1, 10).unwrap(), 1);
+        assert_eq!(sys.run_solo_to_completion(2, 10).unwrap(), 2);
+        assert_eq!(sys.run_solo_to_completion(1, 10).unwrap(), 3);
+        let scan = sys.run_solo_to_completion(0, 10).unwrap();
+        assert_eq!(scan, encode_scan(1, &[3, 2]));
+        assert!(sys.check_property().is_none());
+    }
+
+    #[test]
+    fn starved_scanner_adopts_the_helped_view() {
+        let mut sys = System::new(HelpingScanModel::new(2));
+        // Scanner: invoke, read era (0), bump to 1, collect data[0]=0.
+        for _ in 0..4 {
+            sys.step(0).unwrap();
+        }
+        // Writer storms a calm op: data[0] becomes 1.
+        assert_eq!(sys.run_solo_to_completion(1, 10).unwrap(), 1);
+        // Scanner's validate patches 1, raises distress, polls an empty
+        // board — stop just before the next validate pass. (3 steps)
+        for _ in 0..3 {
+            sys.step(0).unwrap();
+        }
+        // The writer's next op sees distress and helps: read distress
+        // (1), read era (1), collect [1], validate clean, publish
+        // (tag 1, view [1]), store 2.
+        assert_eq!(sys.run_solo_to_completion(1, 15).unwrap(), 2);
+        // The store dirties the scanner's pass again (it patches 2),
+        // so without helping the scan would have returned view [2] —
+        // returning [1] proves the poll adopted the era-1 record.
+        let out = sys.run_solo_to_completion(0, 10).unwrap();
+        assert_eq!(out, encode_scan(1, &[1]), "adopted the helped view");
+        assert!(sys.check_property().is_none());
+    }
+
+    #[test]
+    fn stale_tags_are_not_adoptable() {
+        // Drive the scanner machine by hand: a board record tagged
+        // below the scan's post-bump era must be skipped (its view may
+        // linearize before this scan's invocation), while a fresh tag
+        // is adopted as-is.
+        let mut m = HelpingScanMachine::new(0, 1);
+        m.observe(Some(5)); // ReadEra -> BumpEra{5}
+        m.observe(Some(5)); // CAS lands -> Collect, era0 = 6
+        m.observe(Some(7)); // collect data[0] = 7
+        m.observe(Some(8)); // validate reads 8 -> patched -> RaiseDistress
+        assert!(matches!(m.phase, Phase::RaiseDistress { .. }));
+        m.observe(None); // distress := 1 -> PollBoards
+                         // A stale record (tag 5 < era0 6): not adoptable, and with one
+                         // writer the poll loops back into a validate pass.
+        m.observe(Some(encode_record(5, &[7])));
+        assert!(matches!(
+            m.phase,
+            Phase::Validate {
+                distressed: true,
+                ..
+            }
+        ));
+        m.observe(Some(9)); // validate reads 9 -> patched -> poll again
+                            // A fresh record (tag 6 >= era0 6): adopted verbatim.
+        m.observe(Some(encode_record(6, &[8])));
+        match m.poised() {
+            Poised::Done(out) => assert_eq!(out, encode_scan(6, &[8])),
+            other => panic!("expected adoption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhaustive_check_two_processes_two_ops_each() {
+        let report = Explorer::new(HelpingScanModel::new(2), 2).run();
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(!report.depth_bounded, "recollect path failed to bound");
+    }
+
+    #[test]
+    fn exhaustive_check_three_processes_one_op() {
+        let report = Explorer::new(HelpingScanModel::new(3), 1).run();
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(!report.depth_bounded, "recollect path failed to bound");
+    }
+
+    #[test]
+    fn random_long_lived_runs() {
+        for seed in 0..10 {
+            let report = RandomScheduler::new(seed)
+                .ops_per_process(3)
+                .run(HelpingScanModel::new(4));
+            assert!(report.violation.is_none(), "seed {seed}");
+            assert_eq!(report.completed_ops, 12);
+        }
+    }
+}

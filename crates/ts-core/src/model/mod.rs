@@ -12,10 +12,12 @@ mod bounded;
 mod broken;
 mod collectmax;
 mod collectmax_fast;
+mod helping_scan;
 mod simple;
 
 pub use bounded::{BoundedMachine, BoundedModel};
 pub use broken::{BrokenCounterMachine, BrokenCounterModel};
 pub use collectmax::{CollectMaxMachine, CollectMaxModel};
 pub use collectmax_fast::{CollectMaxFastMachine, CollectMaxFastModel};
+pub use helping_scan::{HelpingScanMachine, HelpingScanModel};
 pub use simple::{SimpleMachine, SimpleModel};

@@ -101,6 +101,30 @@ impl WriteSummary {
 /// One `begun` tick in the packed summary word (high half).
 const SUMMARY_BEGUN_ONE: u64 = 1 << 32;
 
+/// Registers covered by one block dirty word (see
+/// [`RegisterArray::block_summary`]): a retrying scanner narrows its
+/// recollect to the registers of blocks whose dirty word moved, so the
+/// block size trades recollect precision (smaller blocks) against
+/// per-write bump traffic and summary-sweep length (larger blocks).
+/// 64 keeps a 4096-register array's dirty sweep at 64 one-word loads.
+pub const BLOCK_REGISTERS: usize = 64;
+
+/// Bumps the `begun` half of a summary word (immediately before a
+/// register store). The bump wraps off the top of the word cleanly.
+fn bump_begun(word: &AtomicU64) {
+    word.fetch_add(SUMMARY_BEGUN_ONE, Ordering::SeqCst);
+}
+
+/// Bumps the `completed` half of a summary word (immediately after a
+/// register store), cancelling the carry when the low half wraps —
+/// see the comment in [`RegisterArray::write`].
+fn bump_completed(word: &AtomicU64) {
+    let prev = word.fetch_add(1, Ordering::SeqCst);
+    if prev as u32 == u32::MAX {
+        word.fetch_sub(SUMMARY_BEGUN_ONE, Ordering::SeqCst);
+    }
+}
+
 /// A fixed run of slots stored per an [`ArrayLayout`]: one slot per
 /// cache line ([`CachePadded`]) or packed contiguously.
 ///
@@ -221,6 +245,13 @@ pub struct RegisterArray<T, B: RegisterBackend<T> = EpochBackend> {
     /// Packed begun/completed write counts; padded so summary bumps
     /// never contend with register lines.
     summary: CachePadded<AtomicU64>,
+    /// Per-block dirty words, one per [`BLOCK_REGISTERS`] registers,
+    /// with the same begun/completed packing as `summary`. A write
+    /// brackets its store with bumps of *both* its block word and the
+    /// global word, so a retrying scanner can localize interference to
+    /// blocks instead of re-sweeping the whole array — see
+    /// [`RegisterArray::block_summary`].
+    blocks: Box<[CachePadded<AtomicU64>]>,
     meter: Option<SpaceMeter>,
     _value: PhantomData<fn(T) -> T>,
 }
@@ -264,9 +295,13 @@ impl<T: Clone + Send + Sync, B: RegisterBackend<T>> RegisterArray<T, B> {
     /// Creates an array on the backend `B` with an explicit
     /// [`ArrayLayout`].
     pub fn with_layout(capacity: usize, initial: T, layout: ArrayLayout) -> Self {
+        let block_count = capacity.div_ceil(BLOCK_REGISTERS);
         Self {
             registers: Slots::new(layout, capacity, |_| B::Reg::with_initial(initial.clone())),
             summary: CachePadded::new(AtomicU64::new(0)),
+            blocks: (0..block_count)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
             meter: None,
             _value: PhantomData,
         }
@@ -279,12 +314,27 @@ impl<T: Clone + Send + Sync, B: RegisterBackend<T>> RegisterArray<T, B> {
     ///
     /// Panics if `meter.capacity() != capacity`.
     pub fn with_backend_and_meter(capacity: usize, initial: T, meter: SpaceMeter) -> Self {
+        Self::with_layout_and_meter(capacity, initial, ArrayLayout::Padded, meter)
+    }
+
+    /// Creates a metered array on the backend `B` with an explicit
+    /// [`ArrayLayout`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `meter.capacity() != capacity`.
+    pub fn with_layout_and_meter(
+        capacity: usize,
+        initial: T,
+        layout: ArrayLayout,
+        meter: SpaceMeter,
+    ) -> Self {
         assert_eq!(
             meter.capacity(),
             capacity,
             "meter capacity must match array capacity"
         );
-        let mut array = Self::with_backend(capacity, initial);
+        let mut array = Self::with_layout(capacity, initial, layout);
         array.meter = Some(meter);
         array
     }
@@ -312,6 +362,54 @@ impl<T: Clone + Send + Sync, B: RegisterBackend<T>> RegisterArray<T, B> {
         WriteSummary {
             raw: self.summary.load(Ordering::SeqCst),
         }
+    }
+
+    /// Number of block dirty words (`ceil(capacity / BLOCK_REGISTERS)`).
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The block covering register `index`.
+    pub fn block_of(index: usize) -> usize {
+        index / BLOCK_REGISTERS
+    }
+
+    /// The register indices covered by `block` (clamped to capacity for
+    /// the final, possibly partial, block).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block >= block_count()`.
+    pub fn block_range(&self, block: usize) -> std::ops::Range<usize> {
+        assert!(block < self.blocks.len(), "block {block} out of range");
+        let start = block * BLOCK_REGISTERS;
+        start..self.capacity().min(start + BLOCK_REGISTERS)
+    }
+
+    /// Reads the dirty word of `block` (one `SeqCst` load, unmetered —
+    /// like [`summary`](RegisterArray::summary), the dirty words are
+    /// auxiliary state, not one of the array's registers).
+    ///
+    /// Two of these bracketing a window prove, via
+    /// [`WriteSummary::no_writes_during`], that no store to any register
+    /// of that block executed inside the window — the per-block
+    /// refinement of the global summary that lets a retrying scanner
+    /// re-read only the registers of blocks that actually moved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block >= block_count()`.
+    pub fn block_summary(&self, block: usize) -> WriteSummary {
+        WriteSummary {
+            raw: self.blocks[block].load(Ordering::SeqCst),
+        }
+    }
+
+    /// Reads every block dirty word once, in block order (unmetered).
+    pub fn block_summaries(&self) -> Vec<WriteSummary> {
+        (0..self.blocks.len())
+            .map(|b| self.block_summary(b))
+            .collect()
     }
 
     fn check(&self, index: usize) -> Result<(), CapacityError> {
@@ -376,22 +474,27 @@ impl<T: Clone + Send + Sync, B: RegisterBackend<T>> RegisterArray<T, B> {
         // `SeqCst` bumps so summary loads, register accesses and these
         // RMWs order consistently; see the ordering contract in
         // `crate::backend`. The begun bump (high half) wraps off the
-        // top of the word cleanly.
-        self.summary.fetch_add(SUMMARY_BEGUN_ONE, Ordering::SeqCst);
+        // top of the word cleanly. The store is bracketed twice — by
+        // the global word and by its block's dirty word — so readers
+        // can prove quiescence at either granularity; the brackets
+        // nest (global begun, block begun, store, block completed,
+        // global completed) but each word's proof stands alone.
+        //
+        // On the completed bump, when the low half wraps its +1 carries
+        // into the begun half; `bump_completed` cancels the carry so
+        // both halves stay exact mod 2³². Between its two RMWs readers
+        // can see `begun` inflated by one — the safe direction (a
+        // spurious "write in flight" only costs a validation sweep,
+        // never a false quiescence claim). Without this, one wrap would
+        // leave `begun == completed + 1` at quiescence *forever*,
+        // permanently disabling the scan's summary short-circuit after
+        // 2³² writes.
+        let block = &self.blocks[Self::block_of(index)];
+        bump_begun(&self.summary);
+        bump_begun(block);
         self.registers.get(index).write(value);
-        let prev = self.summary.fetch_add(1, Ordering::SeqCst);
-        if prev as u32 == u32::MAX {
-            // The completed half just wrapped and its +1 carried into
-            // the begun half; cancel the carry so both halves stay
-            // exact mod 2³². Between the two RMWs readers can see
-            // `begun` inflated by one — the safe direction (a spurious
-            // "write in flight" only costs a validation sweep, never a
-            // false quiescence claim). Without this, one wrap would
-            // leave `begun == completed + 1` at quiescence *forever*,
-            // permanently disabling the scan's summary short-circuit
-            // after 2³² writes.
-            self.summary.fetch_sub(SUMMARY_BEGUN_ONE, Ordering::SeqCst);
-        }
+        bump_completed(block);
+        bump_completed(&self.summary);
         Ok(())
     }
 
@@ -544,6 +647,112 @@ mod tests {
         // And writes keep counting normally afterwards.
         array.write(0, 8).unwrap();
         assert_eq!(array.summary().generation(), 1);
+    }
+
+    #[test]
+    fn block_counts_cover_the_boundary_sizes() {
+        for (capacity, blocks) in [
+            (0, 0),
+            (1, 1),
+            (63, 1),
+            (64, 1),
+            (65, 2),
+            (128, 2),
+            (129, 3),
+        ] {
+            let array: PackedRegisterArray<u32> = RegisterArray::new_packed(capacity, 0);
+            assert_eq!(array.block_count(), blocks, "capacity {capacity}");
+            if blocks > 0 {
+                let mut covered = 0;
+                for b in 0..blocks {
+                    let range = array.block_range(b);
+                    assert_eq!(range.start, covered);
+                    covered = range.end;
+                }
+                assert_eq!(covered, capacity, "blocks must tile the array");
+            }
+        }
+    }
+
+    #[test]
+    fn writes_dirty_only_their_own_block() {
+        let array: PackedRegisterArray<u32> = RegisterArray::new_packed(65, 0);
+        let pre = array.block_summaries();
+        array.write(64, 9).unwrap();
+        let post = array.block_summaries();
+        assert!(
+            WriteSummary::no_writes_during(pre[0], post[0]),
+            "block 0 must stay clean"
+        );
+        assert!(
+            !WriteSummary::no_writes_during(pre[1], post[1]),
+            "block 1 must record the write"
+        );
+        assert_eq!(post[1].generation(), 1);
+        // The global summary still sees every write.
+        assert_eq!(array.summary().generation(), 1);
+        assert_eq!(PackedRegisterArray::<u32>::block_of(64), 1);
+        assert_eq!(PackedRegisterArray::<u32>::block_of(63), 0);
+    }
+
+    #[test]
+    fn block_summary_survives_the_completed_half_wrap() {
+        // Same carry-cancel regression as the global summary word
+        // (`summary_survives_the_completed_half_wrap`), on a block
+        // dirty word: seed it at begun == completed == u32::MAX and
+        // cross the wrap.
+        let array: PackedRegisterArray<u32> = RegisterArray::new_packed(1, 0);
+        let seeded = (u64::from(u32::MAX) << 32) | u64::from(u32::MAX);
+        array.blocks[0].store(seeded, Ordering::SeqCst);
+        array.write(0, 7).unwrap();
+        let s = array.block_summary(0);
+        assert_eq!(s.begun(), 0, "block begun must wrap cleanly");
+        assert_eq!(s.completed(), 0, "block completed must wrap cleanly");
+        assert!(
+            WriteSummary::no_writes_during(s, array.block_summary(0)),
+            "block quiescence detection must survive the 2^32 wrap"
+        );
+        array.write(0, 8).unwrap();
+        assert_eq!(array.block_summary(0).generation(), 1);
+    }
+
+    #[test]
+    fn tail_block_summary_survives_the_completed_half_wrap() {
+        // The wrap-carry regression on the partial tail block of a
+        // boundary-sized array: seed block 1 (covering only register
+        // 64 of a 65-register array) at begun == completed == u32::MAX
+        // and cross the wrap. Block 0 must stay untouched throughout.
+        let array: PackedRegisterArray<u32> = RegisterArray::new_packed(65, 0);
+        let seeded = (u64::from(u32::MAX) << 32) | u64::from(u32::MAX);
+        array.blocks[1].store(seeded, Ordering::SeqCst);
+        let block0_before = array.block_summary(0);
+        array.write(64, 7).unwrap();
+        let s = array.block_summary(1);
+        assert_eq!(s.begun(), 0, "tail block begun must wrap cleanly");
+        assert_eq!(s.completed(), 0, "tail block completed must wrap cleanly");
+        assert!(
+            WriteSummary::no_writes_during(s, array.block_summary(1)),
+            "tail block quiescence detection must survive the 2^32 wrap"
+        );
+        assert!(
+            WriteSummary::no_writes_during(block0_before, array.block_summary(0)),
+            "a tail-block write must not dirty block 0"
+        );
+        array.write(64, 8).unwrap();
+        assert_eq!(array.block_summary(1).generation(), 1);
+    }
+
+    #[test]
+    fn block_summary_loads_are_unmetered() {
+        let meter = SpaceMeter::new(3);
+        let array = RegisterArray::with_meter(3, 0u32, meter.clone());
+        let _ = array.block_summaries();
+        let _ = array.summary();
+        assert_eq!(
+            meter.snapshot().total_reads(),
+            0,
+            "summary words are auxiliary state, not registers"
+        );
     }
 
     #[test]

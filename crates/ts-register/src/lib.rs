@@ -67,7 +67,9 @@ mod swap;
 mod traits;
 mod word;
 
-pub use array::{ArrayLayout, PackedRegisterArray, RegisterArray, Slots, WriteSummary};
+pub use array::{
+    ArrayLayout, PackedRegisterArray, RegisterArray, Slots, WriteSummary, BLOCK_REGISTERS,
+};
 pub use atomic::AtomicRegister;
 pub use backend::{BackendRegister, EpochBackend, PackedBackend, RegisterBackend};
 pub use error::CapacityError;

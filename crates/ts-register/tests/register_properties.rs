@@ -4,8 +4,9 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 use ts_register::{
-    ArrayLayout, AtomicRegister, PackedBackend, PackedRegister, Register, RegisterArray,
-    SpaceMeter, StampedRegister, SwapRegister, WordRegister, WriteSummary,
+    ArrayLayout, AtomicRegister, EpochBackend, PackedBackend, PackedRegister, Register,
+    RegisterArray, RegisterBackend, SpaceMeter, StampedRegister, SwapRegister, WordRegister,
+    WriteSummary,
 };
 
 proptest! {
@@ -316,6 +317,125 @@ proptest! {
         .unwrap();
         prop_assert_eq!(array.read(0).unwrap(), rounds);
         prop_assert_eq!(array.summary().generation(), rounds);
+    }
+}
+
+/// Shared body for the dirty-word soundness property, generic over the
+/// register backend so one strategy run covers both.
+///
+/// Brackets a write batch between two `block_summaries` readings and
+/// checks, per block:
+///
+/// - **soundness** — a block whose word pair proves quiescence
+///   (`no_writes_during`) had no stamp move inside the window, so a
+///   retrying scanner that skips it cannot miss a write;
+/// - **completeness** — every block that was actually written is
+///   flagged (sequentially the flagged set is *exactly* the written
+///   set; under concurrency it may only over-approximate).
+fn check_dirty_word_soundness<B: RegisterBackend<u32>>(
+    capacity: usize,
+    layout: ArrayLayout,
+    writes: &[(usize, u32)],
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let array: RegisterArray<u32, B> = RegisterArray::with_layout(capacity, 0, layout);
+    let pre = array.block_summaries();
+    let stamps_pre = array.collect_stamps();
+    let mut written_blocks = std::collections::HashSet::new();
+    for &(idx, v) in writes {
+        let idx = idx % capacity;
+        array.write(idx, v).unwrap();
+        written_blocks.insert(RegisterArray::<u32, B>::block_of(idx));
+    }
+    let post = array.block_summaries();
+    let stamps_post = array.collect_stamps();
+    for b in 0..array.block_count() {
+        let range = array.block_range(b);
+        if WriteSummary::no_writes_during(pre[b], post[b]) {
+            prop_assert_eq!(
+                &stamps_pre[range.clone()],
+                &stamps_post[range.clone()],
+                "block {} claimed quiescence but a stamp moved",
+                b
+            );
+            prop_assert!(
+                !written_blocks.contains(&b),
+                "written block {} not flagged",
+                b
+            );
+        } else {
+            prop_assert!(
+                written_blocks.contains(&b),
+                "block {} flagged without a write (sequential run)",
+                b
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Dirty-word soundness across the block boundary capacities
+    /// (63 = one partial block, 64 = one exact block, 65 = a full
+    /// block plus a one-register tail), both backends, both layouts:
+    /// a clear bitmap window implies no stamp in that block moved,
+    /// and every written block is flagged.
+    #[test]
+    fn dirty_words_are_sound_and_complete(
+        size_sel in 0usize..3,
+        compact in any::<bool>(),
+        writes in proptest::collection::vec((0usize..65, any::<u32>()), 0..60),
+    ) {
+        let capacity = [63usize, 64, 65][size_sel];
+        let layout = if compact { ArrayLayout::Compact } else { ArrayLayout::Padded };
+        check_dirty_word_soundness::<PackedBackend>(capacity, layout, &writes)?;
+        check_dirty_word_soundness::<EpochBackend>(capacity, layout, &writes)?;
+    }
+
+    /// Block dirty words observed concurrently are monotone in both
+    /// halves and, once the writers join, prove quiescence again for
+    /// every block — including the partial tail block of a 65-register
+    /// array.
+    #[test]
+    fn dirty_words_are_monotone_under_concurrency(
+        writes_each in 1u64..200,
+    ) {
+        let array = Arc::new(RegisterArray::<u32, PackedBackend>::with_backend(65, 0));
+        crossbeam::scope(|s| {
+            for w in 0..2usize {
+                let array = Arc::clone(&array);
+                // One writer per block: register 0 (block 0) and
+                // register 64 (the tail block).
+                s.spawn(move |_| {
+                    for i in 0..writes_each {
+                        array.write(w * 64, i as u32).unwrap();
+                    }
+                });
+            }
+            let array = Arc::clone(&array);
+            s.spawn(move |_| {
+                let mut last = array.block_summaries();
+                for _ in 0..100 {
+                    let cur = array.block_summaries();
+                    for (b, (prev, next)) in last.iter().zip(&cur).enumerate() {
+                        assert!(next.begun() >= prev.begun(), "block {b} begun went backwards");
+                        assert!(
+                            next.completed() >= prev.completed(),
+                            "block {b} completed went backwards"
+                        );
+                        assert!(next.begun() >= next.completed(), "block {b} completed overtook");
+                    }
+                    last = cur;
+                }
+            });
+        })
+        .unwrap();
+        let quiet = array.block_summaries();
+        for (b, s) in quiet.iter().enumerate() {
+            prop_assert_eq!(s.begun(), s.completed(), "block {} still in flight at join", b);
+            prop_assert_eq!(s.generation() as u64, writes_each, "block {} lost writes", b);
+        }
+        prop_assert!(WriteSummary::no_writes_during(quiet[0], array.block_summary(0)));
+        prop_assert!(WriteSummary::no_writes_during(quiet[1], array.block_summary(1)));
     }
 }
 

@@ -54,6 +54,7 @@ pub struct ShardedCollectMax<B: RegisterBackend<u64> = PackedBackend> {
     batched_stamps: AtomicU64,
     combined_ops: AtomicU64,
     combine_passes: AtomicU64,
+    scan_recollects: AtomicU64,
 }
 
 impl ShardedCollectMax<PackedBackend> {
@@ -81,6 +82,7 @@ impl<B: RegisterBackend<u64>> ShardedCollectMax<B> {
             batched_stamps: AtomicU64::new(0),
             combined_ops: AtomicU64::new(0),
             combine_passes: AtomicU64::new(0),
+            scan_recollects: AtomicU64::new(0),
         }
     }
 
@@ -155,6 +157,51 @@ impl<B: RegisterBackend<u64>> ShardedCollectMax<B> {
         best
     }
 
+    /// Validated observation pass — the sharded sibling of the
+    /// adaptive scan ladder in `ts-snapshot`. A plain [`read_max`]
+    /// collect can interleave with publications; this variant repeats
+    /// each frontier collect until two consecutive passes agree, and a
+    /// retry re-collects **only the shards whose published maximum
+    /// moved** (per-shard published maxima are monotone — every
+    /// publication writes the top of a frontier reservation that
+    /// strictly exceeds all earlier ones on that shard — so a stable
+    /// per-shard max pins that shard for the whole bracket). Retry
+    /// passes are counted into the `dirty_recollects` field of
+    /// [`stats`](Self::stats).
+    ///
+    /// [`read_max`]: Self::read_max
+    pub fn read_max_snapshot(&self) -> Option<ShardedTimestamp> {
+        let mut words: Vec<u64> = self
+            .shards
+            .iter()
+            .map(|s| s.collect_max_word().unwrap_or(0))
+            .collect();
+        // Dirty set: shards whose max moved since the previous pass.
+        let mut dirty: Vec<usize> = (0..self.shards.len()).collect();
+        loop {
+            let mut moved = Vec::new();
+            for &i in &dirty {
+                let now = self.shards[i].collect_max_word().unwrap_or(0);
+                if now != words[i] {
+                    words[i] = now;
+                    moved.push(i);
+                }
+            }
+            if moved.is_empty() {
+                break;
+            }
+            self.scan_recollects.fetch_add(1, Ordering::Relaxed);
+            dirty = moved;
+        }
+        let best = words
+            .iter()
+            .enumerate()
+            .filter(|&(_, &w)| w > 0)
+            .map(|(i, &w)| ShardedTimestamp::from_word(w, i as u32))
+            .max();
+        best
+    }
+
     /// A shard's register-traffic meter (space accounting, same
     /// substrate as [`CollectMax::meter`](ts_core::CollectMax::meter)).
     pub fn meter(&self, shard: usize) -> &SpaceMeter {
@@ -174,6 +221,7 @@ impl<B: RegisterBackend<u64>> ShardedCollectMax<B> {
             combine_passes: self.combine_passes.load(Ordering::Relaxed),
             lease_waits: self.shards.iter().map(|s| s.pool.waits()).sum(),
             shard_stamps,
+            dirty_recollects: self.scan_recollects.load(Ordering::Relaxed),
             ..Default::default()
         }
     }
@@ -262,6 +310,21 @@ mod tests {
         // Shard 1 published local 4 — the global max.
         let max = service.read_max().expect("stamps were published");
         assert_eq!((max.local, max.shard), (4, 1));
+    }
+
+    #[test]
+    fn validated_snapshot_agrees_with_read_max_when_quiescent() {
+        let service = ShardedCollectMax::new(ServiceConfig::new(3, 2));
+        assert_eq!(service.read_max_snapshot(), None, "nothing published yet");
+        let mut sessions: Vec<_> = (0..3).map(|_| service.session()).collect();
+        for s in &mut sessions {
+            s.get_ts();
+            s.get_ts();
+        }
+        let snap = service.read_max_snapshot().expect("stamps were published");
+        assert_eq!(Some(snap), service.read_max());
+        // Quiescent validation: the confirming pass saw no movement.
+        assert_eq!(service.stats().dirty_recollects, 0);
     }
 
     #[test]

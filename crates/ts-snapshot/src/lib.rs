@@ -11,9 +11,15 @@
 //!
 //! This crate provides:
 //!
-//! - [`double_collect_scan`] / [`try_scan`] — the scan used by Algorithm 4,
-//!   operating on a [`ts_register::RegisterArray`] of either register
-//!   backend (epoch heap cells or word-inlined packed registers);
+//! - [`double_collect_scan`] / [`try_scan`] / [`adaptive_scan`] — the
+//!   scan used by Algorithm 4, operating on a
+//!   [`ts_register::RegisterArray`] of either register backend (epoch
+//!   heap cells or word-inlined packed registers), with dirty-block
+//!   adaptive retries (O(dirty) per retry instead of O(n));
+//! - [`helping_scan`] / [`helping_write`] / [`HelpBoard`] — the
+//!   wait-free upgrade: writers under distress publish era-tagged
+//!   views a starved scanner adopts, bounding scan retries by a
+//!   tunable [`ScanPolicy::starvation_bound`];
 //! - [`WaitFreeSnapshot`] — the full single-writer atomic snapshot object
 //!   of Afek et al., wait-free unconditionally thanks to embedded views.
 //!
@@ -32,10 +38,18 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod help;
 mod scan;
 mod snapshot;
 mod view;
 
-pub use scan::{double_collect_scan, try_scan, ScanInterrupted};
+pub use help::{
+    helping_scan, helping_scan_paused, helping_write, storm_write_paused, HelpBoard, ScanPolicy,
+    WriteOutcome,
+};
+pub use scan::{
+    adaptive_scan, classic_double_collect_scan, double_collect_scan, try_scan, ScanInterrupted,
+    ScanOutcome,
+};
 pub use snapshot::{Updater, WaitFreeSnapshot};
 pub use view::View;

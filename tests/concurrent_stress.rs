@@ -177,6 +177,162 @@ fn growable_concurrent_rounds() {
 }
 
 #[test]
+fn writer_storm_scans_stay_within_the_starvation_bound() {
+    // Wait-freedom under a perpetual storm: writers run until every
+    // scanner is done (scan completion can never depend on the storm
+    // pausing), and each scan must either validate within a bounded
+    // number of retry passes or adopt a helped view. The bound is the
+    // helping protocol's: `starvation_bound` tolerated failures, plus
+    // up to one pass per writer already in flight before distress was
+    // visible (they store without publishing), plus one pass per
+    // writer racing the distress raise, plus adoption slack.
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use timestamp_suite::ts_register::RegisterArray;
+    use timestamp_suite::ts_snapshot::{helping_scan, helping_write, HelpBoard, ScanPolicy};
+
+    let writers = 6usize;
+    let scanners = 3usize;
+    let scans_each = 150usize;
+    let policy = ScanPolicy {
+        starvation_bound: 2,
+    };
+    let limit = u64::from(policy.starvation_bound) + 2 * writers as u64 + 2;
+
+    let array = Arc::new(RegisterArray::new(256, 0u64));
+    let board = Arc::new(HelpBoard::new(writers));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let per_scanner: Vec<(u64, u64)> = crossbeam::thread::scope(|s| {
+        for w in 0..writers {
+            let (array, board, stop) = (Arc::clone(&array), Arc::clone(&board), Arc::clone(&stop));
+            s.spawn(move |_| {
+                let mut v = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    v += 1;
+                    // Clustered low indices: every write dirties block
+                    // 0, the worst case for a retrying scanner.
+                    helping_write(&array, &board, w, w, v).unwrap();
+                }
+            });
+        }
+        let hs: Vec<_> = (0..scanners)
+            .map(|_| {
+                let (array, board) = (Arc::clone(&array), Arc::clone(&board));
+                let policy = policy;
+                s.spawn(move |_| {
+                    let (mut helped, mut recollects) = (0u64, 0u64);
+                    for _ in 0..scans_each {
+                        let (view, out) = helping_scan(&array, &board, &policy);
+                        assert_eq!(view.len(), 256);
+                        assert!(
+                            out.helped || out.recollect_passes <= limit,
+                            "scan starved past the bound: {} passes, limit {limit}",
+                            out.recollect_passes
+                        );
+                        helped += u64::from(out.helped);
+                        recollects += out.recollect_passes;
+                    }
+                    (helped, recollects)
+                })
+            })
+            .collect();
+        let tallies = hs.into_iter().map(|h| h.join().unwrap()).collect();
+        stop.store(true, Ordering::Relaxed);
+        tallies
+    })
+    .unwrap();
+
+    assert_eq!(
+        board.distress_level(),
+        0,
+        "every distressed scanner must lower its flag on exit"
+    );
+    // The per-thread tallies absorb into the same totals ServiceStats
+    // would report (the workload target does this aggregation; the raw
+    // API test checks the arithmetic holds).
+    use timestamp_suite::ts_core::ServiceStats;
+    let mut absorbed = ServiceStats::default();
+    for &(helped, recollects) in &per_scanner {
+        absorbed.absorb(&ServiceStats {
+            helped_scans: helped,
+            dirty_recollects: recollects,
+            ..Default::default()
+        });
+    }
+    let helped_total: u64 = per_scanner.iter().map(|t| t.0).sum();
+    let recollect_total: u64 = per_scanner.iter().map(|t| t.1).sum();
+    assert_eq!(absorbed.helped_scans, helped_total);
+    assert_eq!(absorbed.dirty_recollects, recollect_total);
+}
+
+#[test]
+fn writer_storm_workload_stats_reconcile_with_thread_tallies() {
+    // The same storm through the workload seam: per-thread op tallies
+    // must reconcile exactly with the target's ServiceStats, and the
+    // bound-1 policy makes `dirty_recollects >= helped_scans` an
+    // invariant (every adoption was preceded by at least one failed
+    // pass).
+    use timestamp_suite::ts_core::{HelpingScanWorkload, ScanMode, WorkloadOp, WorkloadTarget};
+    use timestamp_suite::ts_snapshot::ScanPolicy;
+
+    let writers = 4usize;
+    let writer_ops = 2_000usize;
+    let scanner_ops = 200usize;
+    let target = HelpingScanWorkload::new(
+        writers,
+        256,
+        ScanMode::Helping,
+        ScanPolicy {
+            starvation_bound: 1,
+        },
+    );
+
+    let per_thread: Vec<usize> = crossbeam::thread::scope(|s| {
+        let hs: Vec<_> = (0..writers + 1)
+            .map(|slot| {
+                let target = &target;
+                s.spawn(move |_| {
+                    let mut worker = target.worker(slot);
+                    let ops = if slot == 0 { scanner_ops } else { writer_ops };
+                    for _ in 0..ops {
+                        worker.step(WorkloadOp::GetTs);
+                    }
+                    ops
+                })
+            })
+            .collect();
+        hs.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .unwrap();
+
+    let stats = target.service_stats().expect("helping target has counters");
+    let writer_tally: usize = per_thread[1..].iter().sum();
+    assert_eq!(
+        stats.calls, writer_tally as u64,
+        "writer ops lost or duplicated"
+    );
+    assert_eq!(
+        stats.stamps, stats.calls,
+        "every storm write mints one stamp"
+    );
+    assert_eq!(
+        target.scans(),
+        per_thread[0] as u64,
+        "scanner ops lost or duplicated"
+    );
+    assert!(
+        stats.helped_scans <= target.scans(),
+        "more adoptions than scans"
+    );
+    assert!(
+        stats.dirty_recollects >= stats.helped_scans,
+        "bound-1 adoption without a failed pass: {} helped, {} recollects",
+        stats.helped_scans,
+        stats.dirty_recollects
+    );
+}
+
+#[test]
 fn broken_objects_fail_the_round_check() {
     use timestamp_suite::ts_core::{BrokenConstant, BrokenStaleRead};
     let ts = BrokenConstant::new(4);

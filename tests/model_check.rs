@@ -3,7 +3,7 @@
 //! ones, and detection checks against deliberately broken objects.
 
 use timestamp_suite::ts_core::model::{
-    BoundedModel, CollectMaxFastModel, CollectMaxModel, SimpleModel,
+    BoundedModel, CollectMaxFastModel, CollectMaxModel, HelpingScanModel, SimpleModel,
 };
 use timestamp_suite::ts_model::toy::{ConstantAlgorithm, CounterAlgorithm};
 use timestamp_suite::ts_model::{Explorer, PctScheduler, RandomScheduler};
@@ -100,6 +100,46 @@ fn collect_max_fast_exhaustive_three_processes_two_ops() {
 }
 
 #[test]
+fn helping_scan_exhaustive_long_lived() {
+    // The adaptive-scan helping protocol (process 0 scans, the rest
+    // write with era-tagged help publication), exhaustively at 2
+    // processes × 2 ops and 3 × 1 op. `!depth_bounded` is the
+    // wait-freedom acceptance gate: the explorer enumerated every
+    // interleaving to a Return without the depth cut firing, so no
+    // schedule drives the scanner into an unbounded recollect loop —
+    // starvation beyond the bound always ends in adoption.
+    let report = Explorer::new(HelpingScanModel::new(2), 2).run();
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+    assert!(report.executions > 0, "vacuous exploration");
+    assert!(!report.truncated);
+    assert!(!report.depth_bounded, "an unbounded recollect path exists");
+    let report = Explorer::new(HelpingScanModel::new(3), 1).run();
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+    assert!(!report.depth_bounded, "an unbounded recollect path exists");
+}
+
+#[test]
+fn helping_scan_pct_sweep_three_processes() {
+    // PCT depth-6 over the helping protocol at 3 processes × 2 ops:
+    // the bug class here is a priority inversion between the scanner's
+    // era bump and a writer's help publication (a stale-tagged record
+    // adopted across an era boundary would be a depth-2/3 ordering
+    // bug; chained adoptions across consecutive scans need the deeper
+    // change points).
+    for seed in 0..100u64 {
+        let report = PctScheduler::new(seed, 6)
+            .ops_per_process(2)
+            .run(HelpingScanModel::new(3));
+        assert!(report.steps > 0, "seed {seed}: empty run");
+        assert!(
+            report.violation.is_none(),
+            "seed {seed}: {:?}",
+            report.violation
+        );
+    }
+}
+
+#[test]
 fn collect_max_fast_path_pct_sweep_three_processes() {
     // PCT depth-6 on the fast-path twin, mirroring the classic-path
     // sweep below. Stalled-CAS overtakes are depth-2/3 ordering bugs;
@@ -166,6 +206,10 @@ fn random_schedules_stay_clean_across_algorithms() {
             .ops_per_process(3)
             .run(CollectMaxFastModel::new(5));
         assert!(r.violation.is_none(), "collectmax-fast seed {seed}");
+        let r = RandomScheduler::new(seed)
+            .ops_per_process(3)
+            .run(HelpingScanModel::new(4));
+        assert!(r.violation.is_none(), "helping-scan seed {seed}");
     }
 }
 
