@@ -19,9 +19,11 @@
 //!
 //! Output: a markdown table (one JSON line per row under
 //! `TS_BENCH_JSON`) with old/new throughput, the `new/old` ratio, and —
-//! for workloads files — old/new p99 ns plus a `stamps ratio` column
-//! for rows where both files record the service layer's
-//! `stamps_per_sec` (informational; the gate stays on ops/sec). The
+//! for workloads files — old/new p99 ns, a `p999 delta` column (the
+//! `new/old` extreme-tail ratio, where robustness changes show up
+//! before p99 moves), plus a `stamps ratio` column for rows where both
+//! files record the service layer's `stamps_per_sec` (both
+//! informational; the gate stays on ops/sec). The
 //! summary line counts improved (≥ 1.05x), unchanged, and regressed
 //! (≤ 0.95x) rows.
 //!
@@ -53,6 +55,13 @@ struct CompareRow {
     ratio: f64,
     old_p99_ns: Option<u64>,
     new_p99_ns: Option<u64>,
+    /// `new/old` p999 ratio, when both files record `p999_ns` for the
+    /// row — the tail delta. Robustness changes (retry/backoff, fault
+    /// campaigns) often move the extreme tail while p50/p99 sit still,
+    /// so the tail gets its own column; informational, the gate stays
+    /// on ops/sec (smoke-run p999 is one bucketed sample, too noisy to
+    /// gate).
+    p999_ratio: Option<f64>,
     /// `new/old` per-stamp throughput ratio, when both files record
     /// `stamps_per_sec` for the row (service-layer grid cells). Not
     /// part of the threshold gate — `ratio` (ops/sec) gates; this
@@ -110,8 +119,8 @@ struct BenchFile {
     /// file records it — the threshold gate only arms when both files
     /// were recorded at the same parallelism.
     host_threads: Option<u64>,
-    /// key -> (throughput, p99_ns?, stamps_per_sec?)
-    rows: Vec<(String, f64, Option<u64>, Option<f64>)>,
+    /// key -> (throughput, p99_ns?, p999_ns?, stamps_per_sec?)
+    rows: Vec<(String, f64, Option<u64>, Option<u64>, Option<f64>)>,
 }
 
 fn load(path: &str) -> BenchFile {
@@ -161,8 +170,9 @@ fn load(path: &str) -> BenchFile {
                 .and_then(Value::as_f64)
                 .unwrap_or_else(|| panic!("row {key} in {path:?} lacks {throughput_field}"));
             let p99 = row.get("p99_ns").and_then(Value::as_u64);
+            let p999 = row.get("p999_ns").and_then(Value::as_u64);
             let stamps = row.get("stamps_per_sec").and_then(Value::as_f64);
-            (key, throughput, p99, stamps)
+            (key, throughput, p99, p999, stamps)
         })
         .collect();
     BenchFile {
@@ -205,22 +215,26 @@ fn main() {
         old.schema, new.schema
     );
 
-    let old_keyed: std::collections::HashMap<&str, (f64, Option<u64>, Option<f64>)> = old
+    type OldRow = (f64, Option<u64>, Option<u64>, Option<f64>);
+    let old_keyed: std::collections::HashMap<&str, OldRow> = old
         .rows
         .iter()
-        .map(|(k, t, p, s)| (k.as_str(), (*t, *p, *s)))
+        .map(|(k, t, p, p3, s)| (k.as_str(), (*t, *p, *p3, *s)))
         .collect();
     let mut joined: Vec<CompareRow> = Vec::new();
     let mut only_new = 0usize;
-    for (key, new_tp, new_p99, new_stamps) in &new.rows {
+    for (key, new_tp, new_p99, new_p999, new_stamps) in &new.rows {
         match old_keyed.get(key.as_str()) {
-            Some(&(old_tp, old_p99, old_stamps)) => joined.push(CompareRow {
+            Some(&(old_tp, old_p99, old_p999, old_stamps)) => joined.push(CompareRow {
                 key: key.clone(),
                 old_ops_per_sec: old_tp,
                 new_ops_per_sec: *new_tp,
                 ratio: new_tp / old_tp.max(f64::MIN_POSITIVE),
                 old_p99_ns: old_p99,
                 new_p99_ns: *new_p99,
+                p999_ratio: old_p999
+                    .zip(*new_p999)
+                    .map(|(o, n)| n as f64 / (o as f64).max(f64::MIN_POSITIVE)),
                 stamps_ratio: old_stamps
                     .zip(*new_stamps)
                     .map(|(o, n)| n / o.max(f64::MIN_POSITIVE)),
@@ -243,6 +257,7 @@ fn main() {
             "stamps ratio",
             "old p99",
             "new p99",
+            "p999 delta",
         ],
     );
     for row in &joined {
@@ -254,6 +269,7 @@ fn main() {
             row.stamps_ratio.map_or("-".into(), |r| format!("{r:.2}x")),
             row.old_p99_ns.map_or("-".into(), |p| format!("{p}ns")),
             row.new_p99_ns.map_or("-".into(), |p| format!("{p}ns")),
+            row.p999_ratio.map_or("-".into(), |r| format!("{r:.2}x")),
         ]);
     }
     if ts_bench::json_mode() {

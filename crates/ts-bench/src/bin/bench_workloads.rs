@@ -57,6 +57,16 @@
 //! the same row shape (`scenario = "replay_{case}"`, thread count =
 //! trace processes).
 //!
+//! It also runs the **chaos** scenario family (`crash_minority`,
+//! `crash_majority_heal`, `stalled_writer_scan`): fault campaigns
+//! applied at deterministic op thresholds while the closed loop runs,
+//! under a liveness watchdog. Those rows populate the robustness
+//! columns — `quorum_timeouts` / `quorum_degraded` /
+//! `quorum_unavailable`, the router's `net_*` injected-fault counters
+//! (also filled on the faulty-network profile cells), and
+//! `recovery_ms`, the wall time the run spent in restart resync sweeps
+//! and heals.
+//!
 //! Flags: `--threads N` caps the thread ladder (default 4; the ladder
 //! is 2,4,...,N), `--smoke` shrinks op counts ~20x for CI, `--out
 //! PATH` relocates the results file.
@@ -70,11 +80,14 @@ use ts_core::{
     ArrayLayout, BoundedTimestamp, CollectMax, EpochBackend, GrowableWorkload, HelpingScanWorkload,
     OneShotPool, PackedBackend, ScanMode, ServiceStats, SimpleOneShot,
 };
-use ts_replica::{FaultPlan, ReplicatedCollectMax};
+use ts_replica::{ClusterConfig, FaultPlan, ReplicatedCollectMax, ReplicatedTryRegisters};
 use ts_service::{IssueMode, ServiceConfig};
 use ts_snapshot::ScanPolicy;
 use ts_workloads::replay::{case_target, corpus_cases, corpus_traces, replay_trace, ReplayReport};
-use ts_workloads::{catalog, run_scenario, RunConfig, Scenario, ScenarioReport, ServiceTarget};
+use ts_workloads::{
+    catalog, run_scenario, run_scenario_with, Arrival, Campaign, EngineOptions, FaultEvent,
+    FaultSchedule, OpMix, RunConfig, Scenario, ScenarioReport, ServiceTarget, TimedFault,
+};
 
 /// One measured (object × backend × scenario × threads) cell.
 #[derive(Debug, Clone, Serialize)]
@@ -113,6 +126,21 @@ struct WorkloadRow {
     // write-backs.
     quorum_rounds_per_call: Option<f64>,
     quorum_repair_ratio: Option<f64>,
+    // Robustness columns, `null` unless the cell ran the quorum
+    // protocol: deterministic-deadline outcomes (timeouts, degraded
+    // completions, exhausted ops) and the router's injected-fault
+    // counters, so a faulty-network or chaos row shows *how much* fault
+    // pressure produced its latency tail.
+    quorum_timeouts: Option<u64>,
+    quorum_degraded: Option<u64>,
+    quorum_unavailable: Option<u64>,
+    net_dropped: Option<u64>,
+    net_duplicated: Option<u64>,
+    net_delayed: Option<u64>,
+    net_reordered: Option<u64>,
+    // Campaign recovery cost (wall time spent in restart resync sweeps
+    // and heals), `null` outside the chaos cell family.
+    recovery_ms: Option<f64>,
 }
 
 impl WorkloadRow {
@@ -147,10 +175,24 @@ impl WorkloadRow {
             lease_waits: None,
             quorum_rounds_per_call: None,
             quorum_repair_ratio: None,
+            quorum_timeouts: None,
+            quorum_degraded: None,
+            quorum_unavailable: None,
+            net_dropped: None,
+            net_duplicated: None,
+            net_delayed: None,
+            net_reordered: None,
+            recovery_ms: None,
         }
     }
 
     fn from_report(r: &ScenarioReport, stats: Option<&ServiceStats>) -> Self {
+        // Robustness counters only mean something on cells whose
+        // registers ran the quorum protocol; elsewhere they stay null
+        // rather than printing misleading zeros.
+        let quorum = |f: fn(&ServiceStats) -> u64| -> Option<u64> {
+            stats.and_then(|s| (s.quorum_rounds > 0).then(|| f(s)))
+        };
         Self {
             object: r.object.to_string(),
             backend: r.backend.to_string(),
@@ -179,6 +221,14 @@ impl WorkloadRow {
             lease_waits: stats.map(|s| s.lease_waits),
             quorum_rounds_per_call: stats.and_then(ServiceStats::rounds_per_call),
             quorum_repair_ratio: stats.and_then(ServiceStats::repair_ratio),
+            quorum_timeouts: quorum(|s| s.quorum_timeouts),
+            quorum_degraded: quorum(|s| s.quorum_degraded),
+            quorum_unavailable: quorum(|s| s.quorum_unavailable),
+            net_dropped: quorum(|s| s.net_dropped),
+            net_duplicated: quorum(|s| s.net_duplicated),
+            net_delayed: quorum(|s| s.net_delayed),
+            net_reordered: quorum(|s| s.net_reordered),
+            recovery_ms: None,
         }
     }
 }
@@ -401,6 +451,183 @@ fn service_targets(threads: usize) -> Vec<Box<dyn WorkloadTarget>> {
         .collect()
 }
 
+/// The chaos cell family: one row per named fault campaign, run at the
+/// top thread count. Each cell binds a hand-written [`FaultSchedule`]
+/// (thresholds scaled to the run's total op count) to its cluster and
+/// drives the closed loop through [`run_scenario_with`] under a
+/// liveness watchdog — a hang under faults fails the bench with a
+/// diagnosis instead of wedging CI.
+///
+/// | scenario | target | campaign | what the row shows |
+/// |---|---|---|---|
+/// | `crash_minority` | `replicated_f1` (infallible) | crash replica 2 at 25%, wipe-restart at 70% | throughput/tail degrade but never zero; no op exhausts its deadline |
+/// | `crash_majority_heal` | `replicated_try_f1` (fallible, short deadline) | crash 2 of 3, then retain- and wipe-restart | ops fail fast (`quorum_unavailable`), bounded by the step deadline; service recovers after heal |
+/// | `stalled_writer_scan` | `replicated_f1`, scan-heavy mix | stall slot 0 for a quarter of the run at 30% | scans ride through a stalled writer; stall shows in the tail, not in liveness |
+fn chaos_cells(threads: usize, ops_per_thread: u64) -> Vec<WorkloadRow> {
+    let total = threads as u64 * ops_per_thread;
+    let run_cfg = RunConfig {
+        threads,
+        ops_per_thread,
+        seed: 0x5EED,
+    };
+    let watchdog = Some(std::time::Duration::from_secs(30));
+    let mut rows = Vec::new();
+
+    // crash_minority: one replica of three crash-stops mid-run and
+    // later rejoins from an empty disk (wipe + resync). The infallible
+    // collect-max client rides through on the surviving quorum.
+    {
+        let target = ReplicatedCollectMax::new(threads, 1, "replicated_f1");
+        let scenario = Scenario {
+            name: "crash_minority",
+            arrival: Arrival::ClosedLoop,
+            mix: OpMix::get_ts_only(),
+            churn: None,
+        };
+        let schedule = FaultSchedule::new(vec![
+            TimedFault {
+                at_op: total / 4,
+                event: FaultEvent::Crash { replica: 2 },
+            },
+            TimedFault {
+                at_op: total * 7 / 10,
+                event: FaultEvent::Restart {
+                    replica: 2,
+                    wipe: true,
+                },
+            },
+        ]);
+        let campaign = Campaign::new(std::sync::Arc::clone(target.cluster()), schedule, threads);
+        let opts = EngineOptions {
+            campaign: Some(std::sync::Arc::clone(&campaign)),
+            watchdog,
+        };
+        let report = run_scenario_with(&target, &scenario, &run_cfg, &opts);
+        let stats = target.service_stats().expect("replicated stats");
+        assert!(campaign.fully_applied(), "crash_minority events all fired");
+        assert_eq!(
+            stats.quorum_unavailable, 0,
+            "a minority crash must never exhaust a deadline"
+        );
+        assert!(
+            target.cluster().resynced_registers() > 0,
+            "the wiped replica resynced on rejoin"
+        );
+        let mut row = WorkloadRow::from_report(&report, Some(&stats));
+        row.recovery_ms = Some(campaign.repair_time().as_secs_f64() * 1e3);
+        rows.push(row);
+    }
+
+    // crash_majority_heal: two replicas of three go down, so for a
+    // window no quorum exists. The fallible register client keeps
+    // issuing; each outage op fails within its (shortened) step
+    // deadline instead of hanging, and throughput recovers after the
+    // restarts.
+    {
+        let target = ReplicatedTryRegisters::with_config(
+            threads,
+            ClusterConfig::new(1).with_deadline(2_048),
+            "replicated_try_f1",
+        );
+        let scenario = Scenario {
+            name: "crash_majority_heal",
+            arrival: Arrival::ClosedLoop,
+            mix: OpMix { weights: [4, 1, 0] },
+            churn: None,
+        };
+        let schedule = FaultSchedule::new(vec![
+            TimedFault {
+                at_op: total * 3 / 10,
+                event: FaultEvent::Crash { replica: 0 },
+            },
+            TimedFault {
+                at_op: total * 45 / 100,
+                event: FaultEvent::Crash { replica: 2 },
+            },
+            TimedFault {
+                at_op: total * 65 / 100,
+                event: FaultEvent::Restart {
+                    replica: 0,
+                    wipe: false,
+                },
+            },
+            TimedFault {
+                at_op: total * 3 / 4,
+                event: FaultEvent::Restart {
+                    replica: 2,
+                    wipe: true,
+                },
+            },
+        ]);
+        let campaign = Campaign::new(std::sync::Arc::clone(target.cluster()), schedule, threads);
+        let opts = EngineOptions {
+            campaign: Some(std::sync::Arc::clone(&campaign)),
+            watchdog,
+        };
+        let report = run_scenario_with(&target, &scenario, &run_cfg, &opts);
+        let stats = target.service_stats().expect("replicated stats");
+        assert!(
+            campaign.fully_applied(),
+            "crash_majority_heal events all fired"
+        );
+        assert!(
+            stats.quorum_unavailable > 0,
+            "the majority outage surfaced Unavailable"
+        );
+        assert!(
+            target.cluster().resynced_registers() > 0,
+            "the wiped replica resynced on rejoin"
+        );
+        let mut row = WorkloadRow::from_report(&report, Some(&stats));
+        row.recovery_ms = Some(campaign.repair_time().as_secs_f64() * 1e3);
+        rows.push(row);
+    }
+
+    // stalled_writer_scan: no replica faults — worker slot 0 parks at
+    // an op boundary for a quarter of the run while the remaining
+    // slots keep scanning. Measures that a stalled client costs tail
+    // latency, never liveness.
+    {
+        let target = ReplicatedCollectMax::new(threads, 1, "replicated_f1");
+        let scenario = Scenario {
+            name: "stalled_writer_scan",
+            arrival: Arrival::ClosedLoop,
+            mix: OpMix::zipf(
+                [
+                    ts_core::WorkloadOp::Scan,
+                    ts_core::WorkloadOp::GetTs,
+                    ts_core::WorkloadOp::Compare,
+                ],
+                1.2,
+            ),
+            churn: None,
+        };
+        let schedule = FaultSchedule::new(vec![TimedFault {
+            at_op: total * 3 / 10,
+            event: FaultEvent::Stall {
+                slot: 0,
+                for_ops: total / 4,
+            },
+        }]);
+        let campaign = Campaign::new(std::sync::Arc::clone(target.cluster()), schedule, threads);
+        let opts = EngineOptions {
+            campaign: Some(std::sync::Arc::clone(&campaign)),
+            watchdog,
+        };
+        let report = run_scenario_with(&target, &scenario, &run_cfg, &opts);
+        let stats = target.service_stats().expect("replicated stats");
+        assert!(
+            campaign.fully_applied(),
+            "stalled_writer_scan events all fired"
+        );
+        let mut row = WorkloadRow::from_report(&report, Some(&stats));
+        row.recovery_ms = Some(campaign.repair_time().as_secs_f64() * 1e3);
+        rows.push(row);
+    }
+
+    rows
+}
+
 fn main() {
     let cfg = parse_args();
     // Per-cell budgets; smoke cuts ~20x for CI.
@@ -468,6 +695,20 @@ fn main() {
             entry.trace.processes,
             &report,
         );
+        if ts_bench::json_mode() {
+            println!("{}", serde_json::to_string(&row).expect("rows serialize"));
+        }
+        rows.push(row);
+    }
+
+    // The chaos scenario family: crash/stall campaigns applied at
+    // deterministic op thresholds while the grid's closed loop runs,
+    // at the top thread count only (the cells measure fault response,
+    // not scaling). Rows carry the usual latency percentiles — the
+    // tail under faults is the figure of merit — plus the robustness
+    // columns and `recovery_ms` (wall time spent in restart resync
+    // sweeps and heals).
+    for row in chaos_cells(cfg.max_threads, if cfg.smoke { 200 } else { 2_000 }) {
         if ts_bench::json_mode() {
             println!("{}", serde_json::to_string(&row).expect("rows serialize"));
         }

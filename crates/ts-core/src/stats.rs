@@ -81,6 +81,27 @@ pub struct ServiceStats {
     /// `dirty_recollects / scans` is the contention-per-scan signal;
     /// zero means every first collect validated.
     pub dirty_recollects: u64,
+    /// Quorum phases that exhausted their step deadline without
+    /// gathering a quorum of replies (each produced one `Unavailable`).
+    pub quorum_timeouts: u64,
+    /// Client-local steps spent in retry backoff waits — the
+    /// fault-induced latency signal.
+    pub quorum_backoff_steps: u64,
+    /// Quorum phases that completed only after at least one
+    /// retransmission: the service was degraded, not down.
+    pub quorum_degraded: u64,
+    /// Operations surfaced to the caller as unavailable (deadline
+    /// exhausted; same events as `quorum_timeouts`, counted at the
+    /// client-result level).
+    pub quorum_unavailable: u64,
+    /// Messages the network dropped outright.
+    pub net_dropped: u64,
+    /// Messages the network duplicated.
+    pub net_duplicated: u64,
+    /// Messages held back by a nonzero delivery delay.
+    pub net_delayed: u64,
+    /// Deliveries that jumped the FIFO order under the reorder knob.
+    pub net_reordered: u64,
 }
 
 impl ServiceStats {
@@ -146,6 +167,14 @@ impl ServiceStats {
         self.quorum_retries += other.quorum_retries;
         self.helped_scans += other.helped_scans;
         self.dirty_recollects += other.dirty_recollects;
+        self.quorum_timeouts += other.quorum_timeouts;
+        self.quorum_backoff_steps += other.quorum_backoff_steps;
+        self.quorum_degraded += other.quorum_degraded;
+        self.quorum_unavailable += other.quorum_unavailable;
+        self.net_dropped += other.net_dropped;
+        self.net_duplicated += other.net_duplicated;
+        self.net_delayed += other.net_delayed;
+        self.net_reordered += other.net_reordered;
     }
 }
 
@@ -181,6 +210,14 @@ mod tests {
             quorum_retries: 2,
             helped_scans: 0,
             dirty_recollects: 0,
+            quorum_timeouts: 0,
+            quorum_backoff_steps: 0,
+            quorum_degraded: 0,
+            quorum_unavailable: 0,
+            net_dropped: 0,
+            net_duplicated: 0,
+            net_delayed: 0,
+            net_reordered: 0,
         };
         assert_eq!(stats.fast_hit_ratio(), Some(0.8));
         assert_eq!(stats.avg_batch_fill(), Some(8.0));

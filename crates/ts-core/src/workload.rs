@@ -356,6 +356,21 @@ impl StepGate {
         Ok(())
     }
 
+    /// Controller side, non-blocking: adds `n` release credits without
+    /// waiting for the worker to consume any of them.
+    ///
+    /// This is the fault-campaign stall/resume knob: a worker paced
+    /// purely by credits runs freely while credits remain, parks at its
+    /// next pause when they dry up (a *stall* injected at an exact
+    /// announced sub-step), and resumes the instant more are granted.
+    /// Unlike [`release_next`](StepGate::release_next) there is no
+    /// lock-step wait, so one controller can meter many workers.
+    pub fn grant(&self, n: u64) {
+        let mut state = self.state.lock().expect("gate lock");
+        state.released = state.released.saturating_add(n);
+        self.cv.notify_all();
+    }
+
     /// Controller side: abandons pacing — every current and future
     /// pause is released immediately. Used to drain workers whose
     /// remaining sub-steps fall outside the replayed trace (e.g. a
@@ -1643,6 +1658,35 @@ mod tests {
         gate.release_all();
         gate.pause(); // returns immediately
         gate.finish();
+    }
+
+    #[test]
+    fn granted_credits_meter_the_worker_without_lockstep_waits() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let gate = StepGate::new();
+        let done = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..3 {
+                    gate.pause();
+                    done.fetch_add(1, Ordering::SeqCst);
+                }
+                gate.finish();
+            });
+            // Two credits: the worker burns both and parks at its third
+            // pause — a stall injected at an exact sub-step boundary.
+            gate.grant(2);
+            while gate.progress().announced < 3 {
+                std::thread::yield_now();
+            }
+            assert_eq!(done.load(Ordering::SeqCst), 2, "parked on the 3rd pause");
+            // One more credit resumes it.
+            gate.grant(1);
+            while !gate.progress().done {
+                std::thread::yield_now();
+            }
+            assert_eq!(done.load(Ordering::SeqCst), 3);
+        });
     }
 
     #[test]

@@ -67,6 +67,22 @@ pub trait Algorithm {
         let _ = pid;
         None
     }
+
+    /// Whether completed operations of process `pid` participate in the
+    /// timestamp property check. Defaults to `true` for every process.
+    ///
+    /// Fault-injection models override this for *adversary* processes
+    /// whose "operations" are environment events (a replica crash, a
+    /// resync sweep) rather than `getTS()` calls: such an op has no
+    /// timestamp, so no fixed output can satisfy the property against
+    /// client ops that complete both before and after it. Excluded ops
+    /// still order client operations through the history (their steps
+    /// interleave normally) — only property *pairs* touching them are
+    /// skipped.
+    fn op_observable(&self, pid: ProcId) -> bool {
+        let _ = pid;
+        true
+    }
 }
 
 impl<A: Algorithm> Algorithm for &A {
@@ -106,5 +122,9 @@ impl<A: Algorithm> Algorithm for &A {
 
     fn op_may_write(&self, pid: ProcId) -> Option<Vec<usize>> {
         (**self).op_may_write(pid)
+    }
+
+    fn op_observable(&self, pid: ProcId) -> bool {
+        (**self).op_observable(pid)
     }
 }

@@ -61,7 +61,10 @@ pub use algorithm::Algorithm;
 pub use config::Configuration;
 pub use error::ModelError;
 pub use explore::{CacheMode, ExploreReport, Explorer, Violation};
-pub use history::{check_timestamp_property, CompletedOp, Event, History, OpId, PropertyViolation};
+pub use history::{
+    check_timestamp_property, check_timestamp_property_filtered, CompletedOp, Event, History, OpId,
+    PropertyViolation,
+};
 pub use machine::{Machine, Poised, StepEffect};
 pub use pct::{PctRunReport, PctScheduler};
 pub use replay::{minimized_trace, trace_from_schedule, ReplayStep, ReplayTrace, StepKind};

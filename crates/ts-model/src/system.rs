@@ -339,10 +339,18 @@ impl<A: Algorithm> System<A> {
     }
 
     /// Checks the timestamp property over the history so far.
+    ///
+    /// Pairs touching processes the algorithm marks non-observable
+    /// ([`Algorithm::op_observable`]) are skipped — fault-injection
+    /// adversary pids complete environment events, not `getTS` calls.
     pub fn check_property(
         &self,
     ) -> Option<crate::history::PropertyViolation<<A::Machine as Machine>::Output>> {
-        crate::history::check_timestamp_property(&self.history, |a, b| self.algorithm.compare(a, b))
+        crate::history::check_timestamp_property_filtered(
+            &self.history,
+            |a, b| self.algorithm.compare(a, b),
+            |pid| self.algorithm.op_observable(pid),
+        )
     }
 }
 

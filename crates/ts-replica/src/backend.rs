@@ -31,7 +31,7 @@ use std::sync::Arc;
 
 use ts_register::{BackendRegister, Packable, Register, RegisterBackend, Stamp, Stamped};
 
-use crate::cluster::{ambient_cluster, Cluster, ClusterConfig};
+use crate::cluster::{ambient_cluster, Cluster, ClusterConfig, Unavailable};
 
 /// Backend marker: quorum-replicated registers over the modelled
 /// network (see the module docs).
@@ -62,6 +62,21 @@ impl<T: Packable> QuorumRegister<T> {
     /// The register's id within its cluster.
     pub fn id(&self) -> u32 {
         self.reg
+    }
+
+    /// Fallible read: the quorum value, or [`Unavailable`] once the
+    /// cluster's step deadline expires. The infallible
+    /// [`Register::read`] seam panics with the same diagnosis instead
+    /// — generic callers that can't handle failure get a crisp
+    /// post-mortem rather than a hang.
+    pub fn try_read(&self) -> Result<T, Unavailable> {
+        Ok(T::unpack(self.cluster.try_abd_read(self.reg)?.1))
+    }
+
+    /// Fallible write; see [`QuorumRegister::try_read`].
+    pub fn try_write(&self, value: T) -> Result<(), Unavailable> {
+        self.cluster.try_abd_write(self.reg, value.pack())?;
+        Ok(())
     }
 }
 
@@ -139,6 +154,20 @@ mod tests {
         b.write(true);
         assert_eq!((a.read(), b.read()), (5, true));
         assert_eq!(cluster.replicas(), 5);
+    }
+
+    #[test]
+    fn try_ops_surface_unavailable_instead_of_spinning() {
+        use crate::cluster::RestartMode;
+        let cluster = Cluster::new(ClusterConfig::new(1).with_deadline(256));
+        let reg = with_cluster(&cluster, || QuorumRegister::<u64>::with_initial(1));
+        cluster.crash(0);
+        cluster.crash(2);
+        let err = reg.try_write(9).expect_err("majority down");
+        assert_eq!(err.crashed, vec![0, 2]);
+        cluster.restart(0, RestartMode::Retain);
+        reg.try_write(9).expect("quorum back");
+        assert_eq!(reg.try_read().expect("readable"), 9);
     }
 
     #[test]

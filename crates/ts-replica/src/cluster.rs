@@ -53,9 +53,15 @@ use crate::net::{FaultPlan, NetStats, Pumped, Router};
 use crate::proto::{Message, MsgKind, WriteStamp};
 use crate::replica::Replica;
 
-/// Retransmission attempts before a client declares itself cut off.
-/// Only reachable when a quorum stays partitioned away forever.
-const MAX_ATTEMPTS: usize = 100_000;
+/// Default per-operation deadline, in client-local steps (see
+/// [`ClusterConfig::deadline`]). Generous: a healthy or lossy-but-live
+/// network resolves a quorum op in tens of steps; only a quorum that
+/// stays unreachable burns the whole budget.
+pub const DEFAULT_DEADLINE: u64 = 1 << 20;
+
+/// Exponential-backoff exponent cap: waits grow `2, 4, ..., 2^CAP`
+/// steps (plus seeded jitter) and then plateau.
+const BACKOFF_CAP: u64 = 10;
 
 /// Shape and fault schedule of a [`Cluster`].
 #[derive(Debug, Clone, Copy)]
@@ -65,6 +71,12 @@ pub struct ClusterConfig {
     pub f: usize,
     /// The router's seeded fault schedule.
     pub plan: FaultPlan,
+    /// Per-operation deadline in **client-local steps** — every replica
+    /// probe, router pump, and backoff tick a quorum op performs counts
+    /// one step. No wall clock anywhere: the same seed and schedule
+    /// exhaust the deadline at the same step, so timeouts replay
+    /// deterministically.
+    pub deadline: u64,
 }
 
 impl ClusterConfig {
@@ -73,6 +85,7 @@ impl ClusterConfig {
         Self {
             f,
             plan: FaultPlan::default(),
+            deadline: DEFAULT_DEADLINE,
         }
     }
 
@@ -82,10 +95,83 @@ impl ClusterConfig {
         self
     }
 
+    /// Replaces the per-operation step deadline (must be nonzero).
+    pub fn with_deadline(mut self, deadline: u64) -> Self {
+        assert!(deadline > 0, "deadline must be nonzero");
+        self.deadline = deadline;
+        self
+    }
+
     /// Replica count (`2f + 1`).
     pub fn replicas(&self) -> usize {
         2 * self.f + 1
     }
+}
+
+/// How a crashed replica comes back in [`Cluster::restart`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartMode {
+    /// The replica kept its durable state across the crash.
+    Retain,
+    /// The replica lost everything (restart from an empty disk); the
+    /// rejoin resync sweep rebuilds its slots from the live majority.
+    Wipe,
+}
+
+/// A quorum operation exhausted its step deadline: fewer than `f + 1`
+/// replicas were reachable for its whole retry/backoff budget.
+///
+/// Returned by the `try_*` client operations; the infallible
+/// [`RegisterBackend`](ts_register::RegisterBackend) seam converts it
+/// into a panic carrying this diagnosis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Unavailable {
+    /// The register the operation targeted.
+    pub reg: u32,
+    /// Which phase gave up ("read", "write", "write-back").
+    pub op: &'static str,
+    /// Retransmission attempts made before giving up.
+    pub attempts: u64,
+    /// Client-local steps consumed (probes + pumps + backoff ticks).
+    pub steps: u64,
+    /// The deadline those steps exhausted.
+    pub deadline: u64,
+    /// Replicas crashed at the moment of giving up.
+    pub crashed: Vec<u32>,
+    /// Replicas partitioned away at the moment of giving up.
+    pub isolated: Vec<u32>,
+}
+
+impl std::fmt::Display for Unavailable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "quorum {} on register {} unavailable: {} attempts / {} steps \
+             (deadline {}), crashed replicas {:?}, partitioned {:?}",
+            self.op,
+            self.reg,
+            self.attempts,
+            self.steps,
+            self.deadline,
+            self.crashed,
+            self.isolated
+        )
+    }
+}
+
+impl std::error::Error for Unavailable {}
+
+/// SplitMix64-flavored hash: deterministic backoff jitter from
+/// `(plan seed, client, op, attempt)` — no RNG state to carry, no wall
+/// clock, bit-identical on replay.
+fn mix(seed: u64, a: u64, b: u64, c: u64) -> u64 {
+    let mut z = seed
+        ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ b.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ c.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 thread_local! {
@@ -138,6 +224,21 @@ pub struct Cluster {
     rounds: AtomicU64,
     repairs: AtomicU64,
     retries: AtomicU64,
+    timeouts: AtomicU64,
+    backoffs: AtomicU64,
+    degraded: AtomicU64,
+    unavailable: AtomicU64,
+    crashes: AtomicU64,
+    restarts: AtomicU64,
+    resynced_regs: AtomicU64,
+    /// Bumped (Release) right *before* every wipe. A quorum phase
+    /// snapshots it at attempt start and re-checks (Acquire) after its
+    /// last reply: a change means some acking replica may have been
+    /// wiped — and resynced from others that had not yet seen this
+    /// phase's write — *inside* the ack window, so the phase discards
+    /// the replies and retries instead of reporting a durability level
+    /// it no longer has. See `quorum_rpc` for the full argument.
+    wipe_epoch: AtomicU64,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -166,6 +267,14 @@ impl Cluster {
             rounds: AtomicU64::new(0),
             repairs: AtomicU64::new(0),
             retries: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            backoffs: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            unavailable: AtomicU64::new(0),
+            crashes: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            resynced_regs: AtomicU64::new(0),
+            wipe_epoch: AtomicU64::new(0),
         })
     }
 
@@ -220,11 +329,182 @@ impl Cluster {
         self.retries.load(Ordering::Relaxed)
     }
 
-    /// Copies the quorum counters into a [`ServiceStats`] snapshot.
+    /// Operations that exhausted their step deadline.
+    pub fn quorum_timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Backoff steps spent waiting between retransmissions.
+    pub fn quorum_backoff_steps(&self) -> u64 {
+        self.backoffs.load(Ordering::Relaxed)
+    }
+
+    /// Operations that completed, but only after retrying (service was
+    /// degraded, not down, from that client's perspective).
+    pub fn quorum_degraded(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Operations that returned [`Unavailable`].
+    pub fn quorum_unavailable(&self) -> u64 {
+        self.unavailable.load(Ordering::Relaxed)
+    }
+
+    /// Replica crashes injected.
+    pub fn replica_crashes(&self) -> u64 {
+        self.crashes.load(Ordering::Relaxed)
+    }
+
+    /// Replica restarts performed.
+    pub fn replica_restarts(&self) -> u64 {
+        self.restarts.load(Ordering::Relaxed)
+    }
+
+    /// Registers refreshed by rejoin resync sweeps.
+    pub fn resynced_registers(&self) -> u64 {
+        self.resynced_regs.load(Ordering::Relaxed)
+    }
+
+    /// Copies the quorum + network counters into a [`ServiceStats`]
+    /// snapshot.
     pub fn fill_stats(&self, stats: &mut ServiceStats) {
         stats.quorum_rounds = self.quorum_rounds();
         stats.quorum_repairs = self.quorum_repairs();
         stats.quorum_retries = self.quorum_retries();
+        stats.quorum_timeouts = self.quorum_timeouts();
+        stats.quorum_backoff_steps = self.quorum_backoff_steps();
+        stats.quorum_degraded = self.quorum_degraded();
+        stats.quorum_unavailable = self.quorum_unavailable();
+        let net = self.net_stats();
+        stats.net_dropped = net.dropped;
+        stats.net_duplicated = net.duplicated;
+        stats.net_delayed = net.delayed;
+        stats.net_reordered = net.reordered;
+    }
+
+    // ---- replica lifecycle (crash-stop faults) ----
+
+    /// Crash-stops replica `id`: the router discards every message to
+    /// or from it until [`Cluster::restart`]. Its in-memory state is
+    /// untouched here — whether it survives is decided at restart time
+    /// by the [`RestartMode`].
+    pub fn crash(&self, id: u32) {
+        assert!((id as usize) < self.replicas.len(), "no such replica");
+        self.crashes.fetch_add(1, Ordering::Relaxed);
+        self.router.crash_endpoint(id);
+    }
+
+    /// Restarts a crashed replica: optionally wipes its state, runs the
+    /// rejoin **resync** sweep, then reconnects it.
+    ///
+    /// Resync runs *before* the endpoint is restored, so no client can
+    /// observe the replica's pre-resync state: from the outside the
+    /// crash+restart is one atomic transition from "offline" to
+    /// "online and caught up". That ordering is what lets the model
+    /// treat crash/recovery as single steps.
+    pub fn restart(&self, id: u32, mode: RestartMode) {
+        self.restart_inner(id, mode, true);
+    }
+
+    /// Broken twin of [`Cluster::restart`] that skips the resync sweep
+    /// — a wiped replica rejoins remembering nothing. Exists to
+    /// demonstrate *why* resync is load-bearing: with it skipped, a
+    /// subsequent quorum read can count the amnesiac replica and (once
+    /// `f` more replicas fail or lag) observe a stamp regression. The
+    /// model checker finds the interleaving; see the
+    /// `quorum_crash_skip_resync` corpus trace.
+    pub fn restart_skip_resync(&self, id: u32, mode: RestartMode) {
+        self.restart_inner(id, mode, false);
+    }
+
+    fn restart_inner(&self, id: u32, mode: RestartMode, resync: bool) {
+        assert!((id as usize) < self.replicas.len(), "no such replica");
+        assert!(self.router.is_crashed(id), "replica {id} is not crashed");
+        self.restarts.fetch_add(1, Ordering::Relaxed);
+        if resync && mode == RestartMode::Wipe {
+            // A wiped replica's only copy of an acked write may be the
+            // live others'. With fewer than a quorum of them up, some
+            // acked write could be held *only* by still-crashed
+            // replicas plus the state we are about to destroy — refuse
+            // rather than silently lose it. (Checked before the wipe.)
+            let live_others = (0..self.replicas.len() as u32)
+                .filter(|&r| r != id && !self.router.is_crashed(r))
+                .count();
+            assert!(
+                live_others >= self.quorum(),
+                "resync of wiped replica {id} needs a live quorum of others \
+                 ({} up, {} needed) — restart a retained replica first",
+                live_others,
+                self.quorum()
+            );
+        }
+        if mode == RestartMode::Wipe {
+            // Bumped before the state is destroyed: any quorum phase
+            // whose final epoch check already passed saw the old value
+            // here, so all of its acks landed before this wipe (and
+            // before the resync reads below) — the live others still
+            // hold its write. Any phase still inside its ack window
+            // sees the bump and retries.
+            self.wipe_epoch.fetch_add(1, Ordering::Release);
+            self.replicas[id as usize].wipe();
+        }
+        if resync {
+            self.resync(id);
+        }
+        self.router.restore_endpoint(id);
+    }
+
+    /// Catch-up read-repair sweep for a healing replica: for every
+    /// register, read the stored `(stamp, word)` of **all live other
+    /// replicas**, take the stamp-maximum, and install it into the
+    /// healing replica through the ordinary `Write` handler (so the
+    /// monotonic-stamp assert stays armed).
+    ///
+    /// Soundness (the wiped case — the retained case only gains): with
+    /// at most `f` replicas down in total (the healing one included),
+    /// the live others number at least `f + 1` — a quorum — and any
+    /// acked write is held by `f + 1` replicas, of which at most
+    /// `f - 1` others can be down. So at least one live other replica
+    /// holds every acked write, and the max over them dominates
+    /// everything clients were promised. `restart_inner` enforces the
+    /// live-quorum precondition before a wipe.
+    fn resync(&self, id: u32) {
+        let live: Vec<u32> = (0..self.replicas.len() as u32)
+            .filter(|&r| r != id && !self.router.is_crashed(r))
+            .collect();
+        if live.is_empty() {
+            // Retained restart with everyone else down: nothing to
+            // learn from; the replica rejoins with its own state.
+            return;
+        }
+        let healing = &self.replicas[id as usize];
+        for reg in 0..self.registers() {
+            let (stamp, word) = live
+                .iter()
+                .map(|&r| self.replicas[r as usize].stored(reg))
+                .max_by_key(|&(stamp, _)| stamp)
+                .expect("live set is non-empty");
+            let (mine, _) = healing.stored(reg);
+            if stamp > mine {
+                healing.handle(&Message {
+                    kind: MsgKind::Write,
+                    op: self.next_op.fetch_add(1, Ordering::Relaxed),
+                    from: self.client_id(),
+                    to: id,
+                    reg,
+                    seq: stamp.seq,
+                    writer: stamp.writer,
+                    word,
+                    expected: 0,
+                });
+                self.resynced_regs.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Currently crashed replica ids (sorted).
+    pub fn crashed(&self) -> Vec<u32> {
+        self.router.crashed()
     }
 
     /// Allocates a fresh register initialized to `word` on every
@@ -252,11 +532,25 @@ impl Cluster {
     }
 
     /// ABD read: returns the quorum-maximum `(stamp, word)`, repairing
-    /// divergent replicas on the way out.
+    /// divergent replicas on the way out. Panics with the
+    /// [`Unavailable`] diagnosis if a quorum stays unreachable for the
+    /// whole deadline — fallible callers use [`Cluster::try_abd_read`].
     pub fn abd_read(&self, reg: u32) -> (WriteStamp, u64) {
+        self.try_abd_read(reg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// ABD write; panicking twin of [`Cluster::try_abd_write`].
+    pub fn abd_write(&self, reg: u32, word: u64) -> WriteStamp {
+        self.try_abd_write(reg, word)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible ABD read: quorum-maximum `(stamp, word)` with
+    /// read-repair, or [`Unavailable`] once the step deadline expires.
+    pub fn try_abd_read(&self, reg: u32) -> Result<(WriteStamp, u64), Unavailable> {
         self.rounds.fetch_add(1, Ordering::Relaxed);
         let need = self.quorum();
-        let replies = self.quorum_rpc(need, |op, from, to| Message {
+        let replies = self.quorum_rpc(need, "read", reg, |op, from, to| Message {
             kind: MsgKind::ReadQuery,
             op,
             from,
@@ -266,7 +560,7 @@ impl Cluster {
             writer: 0,
             word: 0,
             expected: 0,
-        });
+        })?;
         let best = replies
             .iter()
             .max_by_key(|m| m.stamp())
@@ -277,18 +571,22 @@ impl Cluster {
             // durable on fewer than f + 1 replicas. Write it back
             // before returning or a later read could go backwards.
             self.repairs.fetch_add(1, Ordering::Relaxed);
-            self.write_back(reg, stamp, word);
+            self.try_write_back(reg, stamp, word)?;
         }
-        (stamp, word)
+        Ok((stamp, word))
     }
 
-    /// ABD write: two phases (stamp query, quorum install). Returns
-    /// the stamp the write landed under; when the ack quorum is in,
-    /// `f + 1` replicas hold a stamp `>=` it.
-    pub fn abd_write(&self, reg: u32, word: u64) -> WriteStamp {
+    /// Fallible ABD write: two phases (stamp query, quorum install).
+    /// Returns the stamp the write landed under; when the ack quorum
+    /// is in, `f + 1` replicas hold a stamp `>=` it. Returns
+    /// [`Unavailable`] once the step deadline expires — the write may
+    /// then be durable on up to `f` replicas (a later read-repair can
+    /// still surface it), exactly like a timed-out write in any
+    /// quorum system.
+    pub fn try_abd_write(&self, reg: u32, word: u64) -> Result<WriteStamp, Unavailable> {
         self.rounds.fetch_add(1, Ordering::Relaxed);
         let need = self.quorum();
-        let replies = self.quorum_rpc(need, |op, from, to| Message {
+        let replies = self.quorum_rpc(need, "write", reg, |op, from, to| Message {
             kind: MsgKind::ReadQuery,
             op,
             from,
@@ -298,23 +596,23 @@ impl Cluster {
             writer: 0,
             word: 0,
             expected: 0,
-        });
+        })?;
         let max = replies
             .iter()
             .map(|m| m.stamp())
             .max()
             .expect("quorum_rpc returns a full quorum");
         let stamp = max.next(self.client_id());
-        self.write_back(reg, stamp, word);
-        stamp
+        self.try_write_back(reg, stamp, word)?;
+        Ok(stamp)
     }
 
     /// One quorum write phase: install `(stamp, word)` on `f + 1`
     /// replicas and wait for all acks.
-    fn write_back(&self, reg: u32, stamp: WriteStamp, word: u64) {
+    fn try_write_back(&self, reg: u32, stamp: WriteStamp, word: u64) -> Result<(), Unavailable> {
         self.rounds.fetch_add(1, Ordering::Relaxed);
         let need = self.quorum();
-        let acks = self.quorum_rpc(need, |op, from, to| Message {
+        let acks = self.quorum_rpc(need, "write-back", reg, |op, from, to| Message {
             kind: MsgKind::Write,
             op,
             from,
@@ -324,61 +622,121 @@ impl Cluster {
             writer: stamp.writer,
             word,
             expected: 0,
-        });
+        })?;
         debug_assert!(acks.iter().all(|a| a.kind == MsgKind::WriteAck));
+        Ok(())
     }
 
     /// Sends one request per target replica and collects `need`
     /// replies from distinct replicas, retransmitting (with a fresh op
     /// id and a widened target set) whenever the network runs dry.
-    fn quorum_rpc(&self, need: usize, build: impl Fn(u64, u32, u32) -> Message) -> Vec<Message> {
+    ///
+    /// Every probe, pump, and backoff tick is one **client-local
+    /// step**; the phase fails with [`Unavailable`] once the step
+    /// count crosses [`ClusterConfig::deadline`]. Between attempts the
+    /// client waits out a seeded exponential backoff
+    /// (`2^min(attempt, CAP)` steps plus deterministic jitter hashed
+    /// from `(plan seed, client, op, attempt)`) — the waiting ticks
+    /// keep pumping the router, so a backed-off client still moves
+    /// other clients' traffic instead of stalling the network.
+    fn quorum_rpc(
+        &self,
+        need: usize,
+        phase: &'static str,
+        reg: u32,
+        build: impl Fn(u64, u32, u32) -> Message,
+    ) -> Result<Vec<Message>, Unavailable> {
         let client = self.client_id();
         let n = self.replicas.len();
         debug_assert!(need <= n);
-        let mut attempt = 0usize;
+        let deadline = self.config.deadline;
+        let mut attempt = 0u64;
+        let mut steps = 0u64;
         loop {
             let op = self.next_op.fetch_add(1, Ordering::Relaxed);
+            // Snapshot the wipe epoch before the first probe of this
+            // attempt; re-checked after the last reply.
+            let epoch = self.wipe_epoch.load(Ordering::Acquire);
             // Rotate the window by client id (load spreading) and by
             // attempt, widening until every replica is targeted.
-            let width = (need + attempt).min(n);
-            let start = (client as usize + attempt) % n;
+            let width = (need + attempt as usize).min(n);
+            let start = (client as usize + attempt as usize) % n;
             let direct = self.config.plan.is_fault_free();
             let mut replies: Vec<Message> = Vec::with_capacity(need);
             if direct {
                 for i in 0..width {
                     let to = ((start + i) % n) as u32;
+                    steps += 1;
                     if let Some(reply) = self.interact_direct(build(op, client, to)) {
                         replies.push(reply);
                         if replies.len() == need {
-                            return replies;
+                            break;
                         }
                     }
                 }
             } else {
                 for i in 0..width {
                     let to = ((start + i) % n) as u32;
+                    steps += 1;
                     self.router.send(build(op, client, to));
                 }
-                if self.collect_replies(client, op, need, &mut replies) {
-                    return replies;
+                self.collect_replies(client, op, need, &mut replies, &mut steps);
+            }
+            // The ack-window wipe check: a reply only proves its
+            // replica held the state *when it answered*. If a replica
+            // was wiped after answering — and resynced from others
+            // that had not all seen this phase's write — counting its
+            // reply would overstate durability (a write-back could
+            // "complete" on fewer than `f + 1` surviving copies, the
+            // exact regression the skip-resync model counterexample
+            // exhibits at the protocol level). An unchanged epoch
+            // proves no wipe overlapped the window, so every counted
+            // reply is still standing; on a change the phase pays a
+            // retry and re-earns its quorum. The deadline still bounds
+            // the loop either way.
+            if replies.len() == need && self.wipe_epoch.load(Ordering::Acquire) == epoch {
+                if attempt > 0 {
+                    self.degraded.fetch_add(1, Ordering::Relaxed);
                 }
+                return Ok(replies);
             }
             attempt += 1;
             self.retries.fetch_add(1, Ordering::Relaxed);
-            assert!(
-                attempt < MAX_ATTEMPTS,
-                "client {client} cannot reach a quorum ({need} of {n} replicas) \
-                 after {attempt} attempts — partitioned forever?"
-            );
+            if steps >= deadline {
+                self.timeouts.fetch_add(1, Ordering::Relaxed);
+                self.unavailable.fetch_add(1, Ordering::Relaxed);
+                return Err(Unavailable {
+                    reg,
+                    op: phase,
+                    attempts: attempt,
+                    steps,
+                    deadline,
+                    crashed: self.router.crashed(),
+                    isolated: self.router.isolated(),
+                });
+            }
+            // Seeded exponential backoff: deterministic per
+            // (plan seed, client, op, attempt), so a replay with the
+            // same schedule waits the same number of steps.
+            let base = 1u64 << attempt.min(BACKOFF_CAP);
+            let jitter = mix(self.config.plan.seed, client as u64, op, attempt) % base;
+            let wait = (base + jitter).min(deadline.saturating_sub(steps));
+            for _ in 0..wait {
+                steps += 1;
+                self.backoffs.fetch_add(1, Ordering::Relaxed);
+                // Waiting ticks pump the router (Idle is cheap when
+                // the network is empty).
+                self.pump_dispatch();
+            }
             std::thread::yield_now();
         }
     }
 
     /// Fault-free synchronous interaction: applies the handler inline
-    /// (no queue), honoring partitions and the step hook. Returns
-    /// `None` when either endpoint is isolated.
+    /// (no queue), honoring partitions, crashes and the step hook.
+    /// Returns `None` when either endpoint is isolated or crashed.
     fn interact_direct(&self, msg: Message) -> Option<Message> {
-        if !self.router.no_partition_fast()
+        if !(self.router.no_partition_fast() && self.router.no_crash_fast())
             && (self.router.is_blocked(msg.from) || self.router.is_blocked(msg.to))
         {
             return None;
@@ -389,6 +747,31 @@ impl Cluster {
         Some(reply)
     }
 
+    /// Pumps the router once and dispatches the delivery:
+    /// replica-bound requests are handled inline (the reply re-enters
+    /// the network), client-bound replies land in the owner's mailbox.
+    /// Returns `true` when the network was idle.
+    fn pump_dispatch(&self) -> bool {
+        match self.router.pump() {
+            Pumped::Deliver(msg) => {
+                if msg.to < Message::CLIENT_BASE {
+                    let reply = self.replicas[msg.to as usize].handle(&msg);
+                    self.router.send(reply);
+                } else {
+                    self.mailboxes
+                        .lock()
+                        .expect("mailbox lock")
+                        .entry(msg.to)
+                        .or_default()
+                        .push(msg);
+                }
+                false
+            }
+            Pumped::Discarded => false,
+            Pumped::Idle => true,
+        }
+    }
+
     /// Pumps the router until `need` distinct replicas answered `op`,
     /// or the network runs dry (returns `false`: time to retransmit).
     fn collect_replies(
@@ -397,33 +780,19 @@ impl Cluster {
         op: u64,
         need: usize,
         replies: &mut Vec<Message>,
+        steps: &mut u64,
     ) -> bool {
         loop {
             self.drain_mailbox(client, op, replies);
             if replies.len() >= need {
                 return true;
             }
-            match self.router.pump() {
-                Pumped::Deliver(msg) => {
-                    if msg.to < Message::CLIENT_BASE {
-                        let reply = self.replicas[msg.to as usize].handle(&msg);
-                        self.router.send(reply);
-                    } else {
-                        self.mailboxes
-                            .lock()
-                            .expect("mailbox lock")
-                            .entry(msg.to)
-                            .or_default()
-                            .push(msg);
-                    }
-                }
-                Pumped::Discarded => {}
-                Pumped::Idle => {
-                    // Another pumping thread may have deposited our
-                    // replies between the drain and the pump.
-                    self.drain_mailbox(client, op, replies);
-                    return replies.len() >= need;
-                }
+            *steps += 1;
+            if self.pump_dispatch() {
+                // Another pumping thread may have deposited our
+                // replies between the drain and the pump.
+                self.drain_mailbox(client, op, replies);
+                return replies.len() >= need;
             }
         }
     }
@@ -731,6 +1100,142 @@ mod tests {
     }
 
     #[test]
+    fn crash_minority_write_survives_and_restart_resyncs() {
+        let cluster = Cluster::new(ClusterConfig::new(1));
+        let reg = cluster.alloc_register(0);
+        // Crash the client's preferred first replica, so the write must
+        // retry and widen past it (degraded, not down).
+        let down = (cluster.client_id() as usize % cluster.replicas()) as u32;
+        cluster.crash(down);
+        assert_eq!(cluster.crashed(), vec![down]);
+        let stamp = cluster.abd_write(reg, 5);
+        assert!(cluster.quorum_degraded() > 0, "first window hit the crash");
+        // Both live replicas hold the write; the crashed one has none.
+        let holders = (0..3)
+            .filter(|&r| r != down as usize)
+            .filter(|&r| cluster.replica(r).stored(reg) == (stamp, 5))
+            .count();
+        assert_eq!(holders, 2);
+        assert_eq!(cluster.replica(down as usize).stored(reg).1, 0);
+        // Restart with retained state: resync catches the replica up
+        // before any client can reach it again.
+        cluster.restart(down, RestartMode::Retain);
+        assert!(cluster.crashed().is_empty());
+        assert_eq!(cluster.replica(down as usize).stored(reg), (stamp, 5));
+        assert!(cluster.resynced_registers() >= 1);
+        assert_eq!(cluster.abd_read(reg).1, 5);
+        assert_eq!(cluster.replica_crashes(), 1);
+        assert_eq!(cluster.replica_restarts(), 1);
+    }
+
+    #[test]
+    fn crash_majority_returns_unavailable_within_the_deadline() {
+        let cluster = Cluster::new(ClusterConfig::new(1).with_deadline(512));
+        let reg = cluster.alloc_register(3);
+        cluster.crash(0);
+        cluster.crash(1);
+        let err = cluster.try_abd_write(reg, 9).expect_err("no quorum up");
+        assert_eq!(err.crashed, vec![0, 1]);
+        assert_eq!(err.deadline, 512);
+        // The budget is exhausted promptly: at most one extra probe
+        // window past the deadline, never an unbounded spin.
+        assert!(err.steps >= 512);
+        assert!(err.steps <= 512 + cluster.replicas() as u64);
+        assert_eq!(cluster.quorum_timeouts(), 1);
+        assert_eq!(cluster.quorum_unavailable(), 1);
+        assert!(cluster.quorum_backoff_steps() > 0);
+        // Reads fail too — and recover the moment quorum returns.
+        cluster.try_abd_read(reg).expect_err("still no quorum");
+        cluster.restart(1, RestartMode::Retain);
+        let stamp = cluster.try_abd_write(reg, 9).expect("quorum restored");
+        assert_eq!(cluster.try_abd_read(reg), Ok((stamp, 9)));
+    }
+
+    #[test]
+    fn wiped_restart_rebuilds_state_from_the_live_majority() {
+        let cluster = Cluster::new(ClusterConfig::new(1));
+        let reg = cluster.alloc_register(0);
+        let s1 = cluster.abd_write(reg, 11);
+        cluster.crash(2);
+        let s2 = cluster.abd_write(reg, 22);
+        assert!(s2 > s1);
+        cluster.restart(2, RestartMode::Wipe);
+        assert_eq!(cluster.replica(2).wipes(), 1);
+        // The wiped replica rejoined holding the newest acked write.
+        assert_eq!(cluster.replica(2).stored(reg), (s2, 22));
+        let (stamp, word) = cluster.abd_read(reg);
+        assert!(stamp >= s2, "no reader ever observes a regression");
+        assert_eq!(word, 22);
+    }
+
+    #[test]
+    fn restart_skip_resync_leaves_a_wiped_replica_amnesiac() {
+        let cluster = Cluster::new(ClusterConfig::new(1));
+        let reg = cluster.alloc_register(0);
+        cluster.abd_write(reg, 7);
+        let holder = (0..3)
+            .find(|&r| cluster.replica(r).stored(reg).1 == 7)
+            .expect("a quorum holds the write") as u32;
+        // Broken path: the wiped holder rejoins remembering nothing.
+        cluster.crash(holder);
+        cluster.restart_skip_resync(holder, RestartMode::Wipe);
+        assert_eq!(
+            cluster.replica(holder as usize).stored(reg),
+            (WriteStamp::INITIAL, 0),
+            "skip-resync rejoins with amnesia — the unsafe variant"
+        );
+        // The correct path repairs it (Retain + resync still sweeps).
+        cluster.crash(holder);
+        cluster.restart(holder, RestartMode::Retain);
+        assert_eq!(cluster.replica(holder as usize).stored(reg).1, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "resync of wiped replica")]
+    fn wipe_restart_without_a_live_quorum_is_refused() {
+        let cluster = Cluster::new(ClusterConfig::new(1));
+        cluster.alloc_register(0);
+        cluster.crash(0);
+        cluster.crash(1);
+        // Wiping 0 now could destroy the only live copy of a write
+        // acked on {0, 1}; the cluster refuses instead of losing data.
+        cluster.restart(0, RestartMode::Wipe);
+    }
+
+    #[test]
+    fn deadline_exhaustion_replays_bit_identically() {
+        let run = || {
+            let cluster = Cluster::new(ClusterConfig::new(1).with_deadline(256));
+            let reg = cluster.alloc_register(0);
+            cluster.crash(0);
+            cluster.crash(2);
+            cluster.try_abd_read(reg).expect_err("no quorum")
+        };
+        assert_eq!(run(), run(), "same seed, same schedule, same diagnosis");
+    }
+
+    #[test]
+    fn crashes_block_the_queued_path_too() {
+        // A lossy plan forces the router path; crashing a majority must
+        // still produce Unavailable (discards, not hangs).
+        let plan = FaultPlan {
+            seed: 3,
+            drop_permille: 100,
+            ..FaultPlan::default()
+        };
+        let cluster = Cluster::new(ClusterConfig::new(1).with_plan(plan).with_deadline(2048));
+        let reg = cluster.alloc_register(1);
+        cluster.abd_write(reg, 4);
+        cluster.crash(0);
+        cluster.crash(1);
+        let err = cluster.try_abd_read(reg).expect_err("no quorum");
+        assert_eq!(err.crashed, vec![0, 1]);
+        assert!(cluster.net_stats().crash_discarded > 0);
+        cluster.restart(0, RestartMode::Retain);
+        assert_eq!(cluster.try_abd_read(reg).expect("healed").1, 4);
+    }
+
+    #[test]
     fn step_hook_counts_quorum_ts_messages() {
         use std::sync::atomic::AtomicU64 as Count;
         let cluster = Cluster::new(ClusterConfig::new(1));
@@ -743,5 +1248,46 @@ mod tests {
         ts.get_ts(0);
         // 2 reads + 2 installs, each a request + reply pair.
         assert_eq!(count.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn wipe_during_the_ack_window_forces_a_phase_retry() {
+        use std::sync::atomic::AtomicBool;
+        // The ack-window race the wipe epoch closes: a replica acks
+        // the write-back, then crashes and wipe-restarts before the
+        // client has collected its remaining acks. Its resync ran
+        // against others that had not yet seen this write, so the
+        // already-counted ack no longer stands for a surviving copy —
+        // without the guard the write would "complete" while held by
+        // fewer than f + 1 replicas.
+        let cluster = Cluster::new(ClusterConfig::new(1));
+        let reg = cluster.alloc_register(0);
+        let fired = Arc::new(AtomicBool::new(false));
+        let c2 = Arc::clone(&cluster);
+        let f2 = Arc::clone(&fired);
+        cluster
+            .router()
+            .set_step_hook(Some(Box::new(move |msg: &Message| {
+                if msg.kind == MsgKind::WriteAck && !f2.swap(true, Ordering::SeqCst) {
+                    c2.crash(msg.from);
+                    c2.restart(msg.from, RestartMode::Wipe);
+                }
+            })));
+        let stamp = cluster.abd_write(reg, 9);
+        cluster.router().set_step_hook(None);
+        assert!(fired.load(Ordering::SeqCst), "the write-back acked");
+        let wipes: u64 = (0..3).map(|r| cluster.replica(r).wipes()).sum();
+        assert_eq!(wipes, 1, "exactly the first acker was wiped");
+        // The guard discarded the poisoned attempt and re-earned a
+        // full quorum: f + 1 = 2 replicas hold the write at
+        // quiescence even though one acker lost its copy mid-phase.
+        let holders = (0..3)
+            .filter(|&r| cluster.replica(r).stored(reg) == (stamp, 9))
+            .count();
+        assert!(holders >= 2, "only {holders} replicas hold the write");
+        assert!(
+            cluster.quorum_retries() > 0,
+            "the mid-window wipe must cost the phase a retry"
+        );
     }
 }

@@ -63,9 +63,13 @@ pub mod replica;
 pub mod workload;
 
 pub use backend::{QuorumBackend, QuorumRegister};
-pub use cluster::{with_cluster, Cluster, ClusterConfig, QuorumTs};
-pub use model::{QuorumMachine, QuorumModel};
+pub use cluster::{
+    with_cluster, Cluster, ClusterConfig, QuorumTs, RestartMode, Unavailable, DEFAULT_DEADLINE,
+};
+pub use model::{QuorumMachine, QuorumModel, BOT};
 pub use net::{FaultPlan, NetStats, Router, StepHook};
 pub use proto::{Message, MsgKind, WriteStamp};
 pub use replica::Replica;
-pub use workload::{QuorumTsTarget, ReplicatedCollectMax};
+pub use workload::{
+    QuorumTsCrashTarget, QuorumTsTarget, ReplicatedCollectMax, ReplicatedTryRegisters,
+};

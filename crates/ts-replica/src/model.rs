@@ -17,9 +17,60 @@
 //! return equal timestamps. The explorer finds that interleaving in a
 //! few dozen states; the minimized trace is checked into the replay
 //! corpus.
+//!
+//! # Crash-stop faults
+//!
+//! [`QuorumModel::crash_stop`] adds an *adversary process* whose one
+//! "operation" is an environment event, not a `getTS` call: it writes
+//! the crash sentinel [`BOT`] (`u64::MAX`) into one replica-register,
+//! modelling a crash-stop failure of that replica. Client machines
+//! become crash-aware: a read observing [`BOT`] does not count toward
+//! the read quorum (the client *widens* to the next replica, exactly
+//! as the real client's retry loop widens its probe window past a dead
+//! replica), and an install CAS observing [`BOT`] re-targets the next
+//! unused replica. Safety under crash-stop follows because every
+//! register sequence stays monotone (the sentinel is `u64::MAX`, and
+//! nothing ever lowers a register), so the standard quorum-
+//! intersection argument goes through — the explorer confirms it
+//! exhaustively.
+//!
+//! [`QuorumModel::crash_skip_resync`] is the crash twin of the real
+//! cluster's `restart_skip_resync`: after the crash the adversary
+//! restarts the replica **amnesiac** — a second step writes `0` (the
+//! initial value) over the sentinel, with no catch-up from its peers.
+//! That one omission re-opens the duplicate-timestamp race: a write
+//! acked by a quorum containing the crashed replica loses a live copy,
+//! and a later reader whose quorum hits the amnesiac replica (plus an
+//! untouched one) sees only initial values and proposes an
+//! already-issued timestamp. The explorer finds the interleaving; the
+//! minimized trace joins the replay corpus, and the real cluster's
+//! resync sweep is exactly the mechanism that closes it.
+//!
+//! The adversary's op is excluded from the timestamp property via
+//! [`Algorithm::op_observable`] — a crash has no timestamp — but its
+//! steps still interleave and order client ops through the history.
 
 use ts_core::Timestamp;
 use ts_model::{Algorithm, Machine, Poised, ProcId};
+
+/// Crash sentinel: the value a crashed replica-register holds while
+/// the replica is down. `u64::MAX` keeps register sequences monotone
+/// under crash-stop and can never be a real proposal (proposals are
+/// `max + 1` over observed non-sentinel values).
+pub const BOT: u64 = u64::MAX;
+
+/// How replica crashes appear in the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CrashMode {
+    /// No adversary process; the original fault-free model.
+    None,
+    /// Crash-stop: one replica is killed and never returns. Safe.
+    Stop,
+    /// Crash, then an amnesiac restart with **no resync** — the
+    /// register returns holding its initial value. Unsafe; yields the
+    /// `quorum_crash_skip_resync` counterexample.
+    SkipResync,
+}
 
 /// One `getTS` call of the replicated timestamp protocol, as a step
 /// machine. See the module docs for the message ↔ step mapping.
@@ -29,7 +80,17 @@ pub struct QuorumMachine {
     replicas: usize,
     read_quorum: usize,
     write_quorum: usize,
+    /// Whether reads/installs must treat [`BOT`] as "replica crashed"
+    /// and widen past it. Dormant (and unreachable) without a crash
+    /// adversary in the model.
+    bot_aware: bool,
+    /// Rotation-window offsets that answered with a real (non-[`BOT`])
+    /// value, in read order; installs target `window[..write_quorum]`.
+    window: Vec<usize>,
+    /// Values observed at the corresponding `window` slots.
     observed: Vec<u64>,
+    /// Next unconsidered rotation offset (for widening installs).
+    scan: usize,
     proposal: u64,
     phase: Phase,
 }
@@ -38,8 +99,14 @@ pub struct QuorumMachine {
 enum Phase {
     /// Reading replica `pid + idx` (mod replicas).
     Read { idx: usize },
-    /// Conditionally installing the proposal on write-set member `j`.
+    /// Conditionally installing the proposal on write-set member `j`
+    /// (an index into `window`).
     Install { j: usize, expected: u64 },
+    /// Adversary: writing [`BOT`] into register `target` (the crash).
+    CrashBot { target: usize },
+    /// Adversary: amnesiac restart — writing the initial value over
+    /// the sentinel with no resync.
+    CrashRestore { target: usize },
     /// Returning the proposal.
     Done,
 }
@@ -51,9 +118,31 @@ impl QuorumMachine {
             replicas,
             read_quorum,
             write_quorum,
+            bot_aware: false,
+            window: Vec::with_capacity(read_quorum),
             observed: Vec::with_capacity(read_quorum),
+            scan: 0,
             proposal: 0,
             phase: Phase::Read { idx: 0 },
+        }
+    }
+
+    /// The crash adversary's machine: one crash of register `target`,
+    /// followed by an amnesiac restore iff `restore` (the skip-resync
+    /// variant). `write_quorum` doubles as the restore flag — the
+    /// adversary never installs.
+    fn crasher(target: usize, replicas: usize, restore: bool) -> Self {
+        Self {
+            pid: target,
+            replicas,
+            read_quorum: 0,
+            write_quorum: restore as usize,
+            bot_aware: true,
+            window: Vec::new(),
+            observed: Vec::new(),
+            scan: 0,
+            proposal: 0,
+            phase: Phase::CrashBot { target },
         }
     }
 
@@ -86,9 +175,17 @@ impl Machine for QuorumMachine {
                 reg: self.reg(*idx),
             },
             Phase::Install { j, expected } => Poised::Cas {
-                reg: self.reg(*j),
+                reg: self.reg(self.window[*j]),
                 expected: *expected,
                 new: self.proposal,
+            },
+            Phase::CrashBot { target } => Poised::Write {
+                reg: *target,
+                value: BOT,
+            },
+            Phase::CrashRestore { target } => Poised::Write {
+                reg: *target,
+                value: 0,
             },
             Phase::Done => Poised::Done(Timestamp::scalar(self.proposal)),
         }
@@ -98,8 +195,22 @@ impl Machine for QuorumMachine {
         match self.phase.clone() {
             Phase::Read { idx } => {
                 let value = observed.expect("a read observes a value");
+                self.scan = idx + 1;
+                if self.bot_aware && value == BOT {
+                    // Crashed replica: widen the read window past it,
+                    // exactly as the real client widens its probe
+                    // window. A single crash adversary guarantees a
+                    // full quorum of live replicas remains.
+                    assert!(
+                        idx + 1 < self.replicas,
+                        "model supports one crashed replica"
+                    );
+                    self.phase = Phase::Read { idx: idx + 1 };
+                    return;
+                }
+                self.window.push(idx);
                 self.observed.push(value);
-                if idx + 1 < self.read_quorum {
+                if self.observed.len() < self.read_quorum {
                     self.phase = Phase::Read { idx: idx + 1 };
                 } else {
                     self.proposal = self.observed.iter().copied().max().expect("non-empty") + 1;
@@ -108,7 +219,18 @@ impl Machine for QuorumMachine {
             }
             Phase::Install { j, expected } => {
                 let prior = observed.expect("a CAS observes the prior value");
-                if prior == expected || prior >= self.proposal {
+                if self.bot_aware && prior == BOT {
+                    // The replica crashed after we read it: re-target
+                    // the install at the next unused replica (expected
+                    // 0 is a guess; the CAS retry loop converges).
+                    assert!(
+                        self.scan < self.replicas,
+                        "model supports one crashed replica"
+                    );
+                    self.window[j] = self.scan;
+                    self.scan += 1;
+                    self.phase = Phase::Install { j, expected: 0 };
+                } else if prior == expected || prior >= self.proposal {
                     // Landed, or the replica already holds >= ours —
                     // either way this replica is covered.
                     self.begin_install(j + 1);
@@ -116,11 +238,28 @@ impl Machine for QuorumMachine {
                     self.phase = Phase::Install { j, expected: prior };
                 }
             }
+            Phase::CrashBot { target } => {
+                // `crasher()` leaves `write_quorum = 0` for crash-stop
+                // (no restore step) and sets it for skip-resync.
+                self.phase = if self.write_quorum > 0 {
+                    Phase::CrashRestore { target }
+                } else {
+                    Phase::Done
+                };
+            }
+            Phase::CrashRestore { .. } => self.phase = Phase::Done,
             Phase::Done => panic!("observe called on a completed machine"),
         }
     }
 
     fn may_read(&self) -> Option<Vec<usize>> {
+        if self.bot_aware {
+            // Widening may touch any replica; the adversary reads none.
+            return Some(match &self.phase {
+                Phase::CrashBot { .. } | Phase::CrashRestore { .. } | Phase::Done => Vec::new(),
+                _ => (0..self.replicas).collect(),
+            });
+        }
         // CAS observations count as reads. While still reading, the
         // sound over-approximation is the whole read window (the write
         // window is a prefix of it, and installs on already-read slots
@@ -129,16 +268,23 @@ impl Machine for QuorumMachine {
         let range = match &self.phase {
             Phase::Read { .. } => 0..self.read_quorum,
             Phase::Install { j, .. } => *j..self.write_quorum,
-            Phase::Done => 0..0,
+            _ => 0..0,
         };
         Some(range.map(|i| self.reg(i)).collect())
     }
 
     fn may_write(&self) -> Option<Vec<usize>> {
+        if self.bot_aware {
+            return Some(match &self.phase {
+                Phase::CrashBot { target } | Phase::CrashRestore { target } => vec![*target],
+                Phase::Done => Vec::new(),
+                _ => (0..self.replicas).collect(),
+            });
+        }
         let range = match &self.phase {
             Phase::Read { .. } => 0..self.write_quorum,
             Phase::Install { j, .. } => *j..self.write_quorum,
-            Phase::Done => 0..0,
+            _ => 0..0,
         };
         Some(range.map(|i| self.reg(i)).collect())
     }
@@ -151,6 +297,7 @@ pub struct QuorumModel {
     n: usize,
     f: usize,
     write_quorum: usize,
+    crash: CrashMode,
 }
 
 impl QuorumModel {
@@ -176,7 +323,34 @@ impl QuorumModel {
             (1..=f + 1).contains(&write_quorum),
             "write quorum must be in 1..=f+1"
         );
-        Self { n, f, write_quorum }
+        Self {
+            n,
+            f,
+            write_quorum,
+            crash: CrashMode::None,
+        }
+    }
+
+    /// Correct quorums plus a crash-stop adversary: an extra process
+    /// (pid `n`) whose single op kills replica-register `f` with the
+    /// [`BOT`] sentinel. Clients widen past the dead replica; the
+    /// explorer verifies safety exhaustively (see the module docs for
+    /// why monotonicity makes the quorum argument survive).
+    pub fn crash_stop(n: usize, f: usize) -> Self {
+        let mut model = Self::new(n, f);
+        model.crash = CrashMode::Stop;
+        model
+    }
+
+    /// Correct quorums plus a crash **and an amnesiac restart with no
+    /// resync**: after the [`BOT`] write, the adversary restores the
+    /// register to its initial value. The real cluster's
+    /// `restart_skip_resync` twin — the explorer finds the duplicate-
+    /// timestamp counterexample this reintroduces.
+    pub fn crash_skip_resync(n: usize, f: usize) -> Self {
+        let mut model = Self::new(n, f);
+        model.crash = CrashMode::SkipResync;
+        model
     }
 
     /// Tolerated failures.
@@ -184,9 +358,20 @@ impl QuorumModel {
         self.f
     }
 
-    /// Whether the quorums intersect (the protocol is correct).
+    /// Whether quorums intersect *and* recovery resyncs (the protocol
+    /// is correct).
     pub fn is_correct(&self) -> bool {
-        self.write_quorum == self.f + 1
+        self.write_quorum == self.f + 1 && self.crash != CrashMode::SkipResync
+    }
+
+    /// The crash adversary's process id, when the model has one.
+    pub fn crash_pid(&self) -> Option<ProcId> {
+        (self.crash != CrashMode::None).then_some(self.n)
+    }
+
+    /// The replica-register the adversary crashes.
+    fn crash_target(&self) -> usize {
+        self.f
     }
 }
 
@@ -194,7 +379,7 @@ impl Algorithm for QuorumModel {
     type Machine = QuorumMachine;
 
     fn processes(&self) -> usize {
-        self.n
+        self.n + usize::from(self.crash != CrashMode::None)
     }
 
     fn registers(&self) -> usize {
@@ -206,8 +391,17 @@ impl Algorithm for QuorumModel {
     }
 
     fn invoke(&self, pid: ProcId, _op_index: usize) -> QuorumMachine {
-        assert!(pid < self.n, "pid {pid} out of range");
-        QuorumMachine::new(pid, self.registers(), self.f + 1, self.write_quorum)
+        assert!(pid < self.processes(), "pid {pid} out of range");
+        if Some(pid) == self.crash_pid() {
+            return QuorumMachine::crasher(
+                self.crash_target(),
+                self.registers(),
+                self.crash == CrashMode::SkipResync,
+            );
+        }
+        let mut machine = QuorumMachine::new(pid, self.registers(), self.f + 1, self.write_quorum);
+        machine.bot_aware = self.crash != CrashMode::None;
+        machine
     }
 
     fn compare(&self, t1: &Timestamp, t2: &Timestamp) -> bool {
@@ -216,12 +410,32 @@ impl Algorithm for QuorumModel {
 
     fn op_may_read(&self, pid: ProcId) -> Option<Vec<usize>> {
         let r = self.registers();
+        if Some(pid) == self.crash_pid() {
+            return Some(Vec::new());
+        }
+        if self.crash != CrashMode::None {
+            // Widening clients may read any replica.
+            return Some((0..r).collect());
+        }
         Some((0..self.f + 1).map(|i| (pid + i) % r).collect())
     }
 
     fn op_may_write(&self, pid: ProcId) -> Option<Vec<usize>> {
         let r = self.registers();
+        if Some(pid) == self.crash_pid() {
+            return Some(vec![self.crash_target()]);
+        }
+        if self.crash != CrashMode::None {
+            return Some((0..r).collect());
+        }
         Some((0..self.write_quorum).map(|i| (pid + i) % r).collect())
+    }
+
+    fn op_observable(&self, pid: ProcId) -> bool {
+        // The adversary's "op" is an environment event (crash /
+        // amnesiac restart), not a getTS call: exclude it from the
+        // timestamp property. Its steps still order client ops.
+        Some(pid) != self.crash_pid()
     }
 }
 
@@ -300,6 +514,89 @@ mod tests {
         let machine = model.invoke(1, 0);
         assert_eq!(machine.may_read(), Some(vec![1, 2]));
         assert_eq!(machine.may_write(), Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn crash_stop_passes_exhaustive_exploration() {
+        // Two clients, one crash-stop adversary: the explorer checks
+        // every interleaving of the crash against both getTS calls.
+        let report = Explorer::new(QuorumModel::crash_stop(2, 1), 1).run();
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(!report.truncated);
+        assert!(report.executions > 0);
+    }
+
+    #[test]
+    fn skip_resync_restart_yields_a_counterexample() {
+        let model = QuorumModel::crash_skip_resync(2, 1);
+        assert!(!model.is_correct());
+        let report = Explorer::new(model, 1).run();
+        let violation = report.violation.expect("amnesiac restart must violate");
+        // The schedule reproduces deterministically.
+        let report2 = Explorer::new(model, 1).run();
+        assert_eq!(
+            report2.violation.expect("still violates").schedule,
+            violation.schedule
+        );
+    }
+
+    #[test]
+    fn widening_reads_skip_the_crash_sentinel() {
+        let model = QuorumModel::crash_stop(2, 1);
+        let mut m = model.invoke(0, 0);
+        // First read hits the crashed replica: widen, don't count it.
+        assert_eq!(m.poised(), Poised::Read { reg: 0 });
+        m.observe(Some(BOT));
+        assert_eq!(m.poised(), Poised::Read { reg: 1 });
+        m.observe(Some(3));
+        assert_eq!(m.poised(), Poised::Read { reg: 2 });
+        m.observe(Some(0));
+        // Proposal 4; installs target the *live* window {1, 2}.
+        match m.poised() {
+            Poised::Cas { reg, expected, new } => {
+                assert_eq!((reg, expected, new), (1, 3, 4));
+            }
+            other => panic!("expected a CAS, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn widening_installs_retarget_a_freshly_crashed_replica() {
+        let model = QuorumModel::crash_stop(2, 1);
+        let mut m = model.invoke(0, 0);
+        m.observe(Some(0)); // reg 0
+        m.observe(Some(0)); // reg 1 → proposal 1, installs on {0, 1}
+        m.observe(Some(0)); // CAS reg 0 lands
+                            // Replica 1 crashed between our read and the install: the CAS
+                            // observes the sentinel and the install re-targets reg 2.
+        m.observe(Some(BOT));
+        match m.poised() {
+            Poised::Cas { reg, expected, new } => {
+                assert_eq!((reg, expected, new), (2, 0, 1));
+            }
+            other => panic!("expected a widened CAS, got {other:?}"),
+        }
+        m.observe(Some(0));
+        assert_eq!(m.poised(), Poised::Done(Timestamp::scalar(1)));
+    }
+
+    #[test]
+    fn crash_adversary_is_excluded_from_the_property_but_footprinted() {
+        let model = QuorumModel::crash_skip_resync(2, 1);
+        assert_eq!(model.processes(), 3);
+        assert_eq!(model.crash_pid(), Some(2));
+        assert!(model.op_observable(0));
+        assert!(model.op_observable(1));
+        assert!(!model.op_observable(2));
+        // Adversary footprint: writes only the target register.
+        assert_eq!(model.op_may_read(2), Some(vec![]));
+        assert_eq!(model.op_may_write(2), Some(vec![1]));
+        // Widening clients may touch anything.
+        assert_eq!(model.op_may_read(0), Some(vec![0, 1, 2]));
+        let crasher = model.invoke(2, 0);
+        assert_eq!(crasher.poised(), Poised::Write { reg: 1, value: BOT });
+        assert_eq!(crasher.may_write(), Some(vec![1]));
+        assert_eq!(crasher.may_read(), Some(vec![]));
     }
 
     #[test]

@@ -25,6 +25,13 @@
 //! it is discarded at delivery time — and [`Router::heal`] reconnects
 //! it. Clients survive both through retransmission.
 //!
+//! Crashes are dynamic too: [`Router::crash_endpoint`] marks a replica
+//! crash-stopped (its traffic is discarded like a partitioned node's,
+//! counted separately in [`NetStats::crash_discarded`]) and
+//! [`Router::restore_endpoint`] brings it back. State loss and resync
+//! on rejoin live one layer up, in
+//! [`Cluster::restart`](crate::Cluster::restart).
+//!
 //! # The step hook
 //!
 //! [`Router::set_step_hook`] installs a callback invoked **before
@@ -97,6 +104,14 @@ pub struct NetStats {
     /// Messages discarded at delivery time because an endpoint was
     /// partitioned away.
     pub partitioned: u64,
+    /// Messages that drew a nonzero extra delivery delay at send time.
+    pub delayed: u64,
+    /// Deliveries where the reorder knob picked a message other than
+    /// the FIFO (oldest-eligible) choice.
+    pub reordered: u64,
+    /// Messages discarded at delivery time because an endpoint was
+    /// crashed (see [`Router::crash_endpoint`]).
+    pub crash_discarded: u64,
 }
 
 #[derive(Debug)]
@@ -113,6 +128,7 @@ struct RouterState {
     in_flight: Vec<Flight>,
     rng: StdRng,
     isolated: HashSet<u32>,
+    crashed: HashSet<u32>,
     stats: NetStats,
     log: Vec<Message>,
 }
@@ -140,9 +156,10 @@ pub struct Router {
     state: Mutex<RouterState>,
     hook: Mutex<Option<StepHook>>,
     // Lock-free mirrors for the fault-free direct path: whether a hook
-    // is installed, and how many replicas are isolated.
+    // is installed, and how many replicas are isolated or crashed.
     hook_armed: AtomicBool,
     isolated_count: AtomicUsize,
+    crashed_count: AtomicUsize,
 }
 
 impl std::fmt::Debug for Router {
@@ -168,12 +185,14 @@ impl Router {
                 in_flight: Vec::new(),
                 rng: StdRng::seed_from_u64(plan.seed),
                 isolated: HashSet::new(),
+                crashed: HashSet::new(),
                 stats: NetStats::default(),
                 log: Vec::new(),
             }),
             hook: Mutex::new(None),
             hook_armed: AtomicBool::new(false),
             isolated_count: AtomicUsize::new(0),
+            crashed_count: AtomicUsize::new(0),
         }
     }
 
@@ -222,18 +241,65 @@ impl Router {
             .store(state.isolated.len(), Ordering::Release);
     }
 
+    /// Marks `replica` crashed: all its traffic (both directions) is
+    /// discarded at delivery time until [`Router::restore_endpoint`].
+    /// Unlike a partition, a crash also implies the replica's *state*
+    /// may be lost — that part is the cluster's business; the router
+    /// only models unreachability.
+    pub fn crash_endpoint(&self, replica: u32) {
+        let mut state = self.state.lock().expect("router lock");
+        state.crashed.insert(replica);
+        self.crashed_count
+            .store(state.crashed.len(), Ordering::Release);
+    }
+
+    /// Brings a crashed replica back onto the network.
+    pub fn restore_endpoint(&self, replica: u32) {
+        let mut state = self.state.lock().expect("router lock");
+        state.crashed.remove(&replica);
+        self.crashed_count
+            .store(state.crashed.len(), Ordering::Release);
+    }
+
+    /// Whether `replica` is currently crashed (takes the lock).
+    pub fn is_crashed(&self, replica: u32) -> bool {
+        self.state
+            .lock()
+            .expect("router lock")
+            .crashed
+            .contains(&replica)
+    }
+
+    /// The currently crashed replica ids (sorted).
+    pub fn crashed(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self
+            .state
+            .lock()
+            .expect("router lock")
+            .crashed
+            .iter()
+            .copied()
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
     /// Lock-free "no partition right now" probe for the direct path.
     pub(crate) fn no_partition_fast(&self) -> bool {
         self.isolated_count.load(Ordering::Acquire) == 0
     }
 
-    /// Whether `node` is currently isolated (takes the lock).
+    /// Lock-free "no crashed replica right now" probe for the direct
+    /// path.
+    pub(crate) fn no_crash_fast(&self) -> bool {
+        self.crashed_count.load(Ordering::Acquire) == 0
+    }
+
+    /// Whether `node` is currently unreachable — isolated by a
+    /// partition or crashed (takes the lock).
     pub(crate) fn is_blocked(&self, node: u32) -> bool {
-        self.state
-            .lock()
-            .expect("router lock")
-            .isolated
-            .contains(&node)
+        let state = self.state.lock().expect("router lock");
+        state.isolated.contains(&node) || state.crashed.contains(&node)
     }
 
     /// The currently isolated replica ids (sorted).
@@ -298,6 +364,9 @@ impl Router {
             } else {
                 0
             };
+            if delay > 0 {
+                state.stats.delayed += 1;
+            }
             let flight = Flight {
                 deliver_at: state.now + 1 + delay,
                 id: state.next_id,
@@ -339,6 +408,16 @@ impl Router {
                 idx
             } else if self.plan.reorder && eligible.len() > 1 {
                 let pick = state.rng.random_range(0usize..eligible.len());
+                let fifo = *eligible
+                    .iter()
+                    .min_by_key(|&&i| {
+                        let f = &state.in_flight[i];
+                        (f.deliver_at, f.id)
+                    })
+                    .expect("non-empty eligible");
+                if eligible[pick] != fifo {
+                    state.stats.reordered += 1;
+                }
                 eligible[pick]
             } else {
                 *eligible
@@ -350,6 +429,10 @@ impl Router {
                     .expect("non-empty eligible")
             };
             let flight = state.in_flight.swap_remove(chosen);
+            if state.crashed.contains(&flight.msg.from) || state.crashed.contains(&flight.msg.to) {
+                state.stats.crash_discarded += 1;
+                return Pumped::Discarded;
+            }
             let blocked = state.isolated.contains(&flight.msg.from)
                 || state.isolated.contains(&flight.msg.to);
             if blocked {
@@ -472,6 +555,44 @@ mod tests {
         router.send(msg(0, 0));
         assert_eq!(drain(&router), vec![0, 0]);
         assert_eq!(router.stats().duplicated, 1);
+    }
+
+    #[test]
+    fn crashed_endpoint_discards_until_restored() {
+        let router = Router::new(FaultPlan::default());
+        router.crash_endpoint(1);
+        assert!(router.is_crashed(1));
+        assert_eq!(router.crashed(), vec![1]);
+        assert!(!router.no_crash_fast());
+        router.send(msg(0, 1)); // to the crashed replica
+        router.send(msg(1, 0)); // unrelated traffic flows
+        assert_eq!(drain(&router), vec![1]);
+        assert_eq!(router.stats().crash_discarded, 1);
+        assert_eq!(router.stats().partitioned, 0, "crash is not a partition");
+        router.restore_endpoint(1);
+        assert!(router.no_crash_fast());
+        router.send(msg(2, 1));
+        assert_eq!(drain(&router), vec![2]);
+    }
+
+    #[test]
+    fn delay_and_reorder_counters_track_the_knobs() {
+        let plan = FaultPlan {
+            seed: 42,
+            delay_max: 4,
+            reorder: true,
+            ..FaultPlan::default()
+        };
+        let router = Router::new(plan);
+        for op in 0..50 {
+            router.send(msg(op, 0));
+        }
+        let delivered = drain(&router);
+        assert_eq!(delivered.len(), 50);
+        let stats = router.stats();
+        assert!(stats.delayed > 0, "delay_max > 0 must delay something");
+        assert!(stats.reordered > 0, "the reorder knob must fire");
+        assert!(stats.reordered < 50, "FIFO picks are not counted");
     }
 
     #[test]

@@ -39,6 +39,8 @@ pub struct Replica {
     installs: AtomicU64,
     /// Stale writes ignored (incoming stamp not above stored).
     stale: AtomicU64,
+    /// State wipes suffered (crash-with-state-loss restarts).
+    wipes: AtomicU64,
 }
 
 impl std::fmt::Debug for Replica {
@@ -59,6 +61,7 @@ impl Replica {
             slots: Mutex::new(Vec::new()),
             installs: AtomicU64::new(0),
             stale: AtomicU64::new(0),
+            wipes: AtomicU64::new(0),
         }
     }
 
@@ -83,6 +86,32 @@ impl Replica {
             stamp: WriteStamp::INITIAL,
             word,
         };
+    }
+
+    /// Crash-with-state-loss: resets every slot to `(INITIAL, 0)`, as
+    /// if the replica restarted from an empty disk.
+    ///
+    /// The monotonic-register invariant is **per incarnation**: it
+    /// constrains every handler step, and a wipe starts a new
+    /// incarnation with a fresh baseline. Cluster-level monotonicity
+    /// across the wipe is restored by the rejoin resync sweep
+    /// ([`Cluster::restart`](crate::Cluster::restart)), which runs
+    /// through the ordinary `Write` handler — so the invariant stays
+    /// armed while the replica catches back up.
+    pub(crate) fn wipe(&self) {
+        let mut slots = self.slots.lock().expect("replica lock");
+        for slot in slots.iter_mut() {
+            *slot = Slot {
+                stamp: WriteStamp::INITIAL,
+                word: 0,
+            };
+        }
+        self.wipes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Times this replica's state has been wiped by a crash.
+    pub fn wipes(&self) -> u64 {
+        self.wipes.load(Ordering::Relaxed)
     }
 
     /// The stored `(stamp, word)` for `reg` — durability probes in
@@ -277,6 +306,23 @@ mod tests {
         assert_eq!(reply.word, 1);
         assert_eq!(r.stored(0).1, 1);
         assert_eq!(r.installs(), 1);
+    }
+
+    #[test]
+    fn wipe_starts_a_fresh_incarnation_with_the_invariant_armed() {
+        let r = Replica::new(0);
+        r.init_register(0, 0);
+        r.handle(&write(0, 5, 1, 50));
+        assert_eq!(r.stored(0), (WriteStamp { seq: 5, writer: 1 }, 50));
+        r.wipe();
+        assert_eq!(r.wipes(), 1);
+        assert_eq!(r.stored(0), (WriteStamp::INITIAL, 0));
+        // A lower-than-pre-wipe stamp installs fine (new incarnation),
+        // and the per-step invariant still rejects regressions after.
+        r.handle(&write(0, 2, 1, 20));
+        assert_eq!(r.stored(0), (WriteStamp { seq: 2, writer: 1 }, 20));
+        r.handle(&write(0, 1, 1, 10));
+        assert_eq!(r.stored(0).1, 20, "stale write after wipe still ignored");
     }
 
     #[test]

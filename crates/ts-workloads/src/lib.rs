@@ -21,7 +21,10 @@
 //!   [`WorkloadTarget`](ts_core::workload::WorkloadTarget) (timestamp
 //!   objects from `ts-core`, lock consumers from `ts-apps`, on either
 //!   register backend) and merge per-thread histograms into a
-//!   [`ScenarioReport`];
+//!   [`ScenarioReport`]; [`run_scenario_with`] adds a fault
+//!   [`Campaign`] (seeded crash/partition/stall schedules from the
+//!   [`faults`] module, applied at deterministic op thresholds) and a
+//!   liveness watchdog;
 //! - [`replay`] — adversarial schedule replay: drives real objects
 //!   along `ts-model` Explorer/PCT traces (including minimized
 //!   counterexamples) with one OS thread per trace process, released
@@ -56,12 +59,16 @@
 #![warn(missing_debug_implementations)]
 
 pub mod engine;
+pub mod faults;
 pub mod histogram;
 pub mod replay;
 pub mod scenario;
 pub mod service;
 
-pub use engine::{run_scenario, OpCounts, RunConfig, ScenarioReport};
+pub use engine::{
+    run_scenario, run_scenario_with, EngineOptions, OpCounts, RunConfig, ScenarioReport,
+};
+pub use faults::{AppliedFault, Campaign, CampaignShape, FaultEvent, FaultSchedule, TimedFault};
 pub use histogram::{LatencyHistogram, NUM_BUCKETS, SUB_BUCKETS};
 pub use replay::{replay_trace, ReplayReport, ReplayViolation, ReplayedOp};
 pub use scenario::{catalog, Arrival, Churn, OpMix, Scenario};
